@@ -1,0 +1,186 @@
+/// \file bench_ablation_policies.cpp
+/// Ablation studies of the design choices Sect. 2.1 calls out (ours, not a
+/// paper figure):
+///
+///  1. DPM policy: the idle-timeout policy (shutdown timer armed when the
+///     server reports idle) vs the trivial policy (free-running shutdown
+///     generator, as in Sect. 2.3, but attached to the revised server that
+///     only listens when idle).
+///  2. Client timeout value: the resend timer trades waiting time against
+///     useless retransmissions.
+///  3. NIC power-state costs: how the wake-up transient power affects the
+///     streaming awake-period sweet spot.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "ctmc/absorption.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "sim/gsmp.hpp"
+
+namespace {
+
+using namespace dpma;
+using namespace dpma::bench;
+
+RpcPoint solve_rpc(const models::rpc::Config& config) {
+    const adl::ComposedModel model = models::rpc::compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto measures = models::rpc::measures();
+    RpcPoint point;
+    point.throughput =
+        ctmc::evaluate_measure(markov, model, pi, measures[models::rpc::kThroughput]);
+    point.energy_rate =
+        ctmc::evaluate_measure(markov, model, pi, measures[models::rpc::kEnergyRate]);
+    const double waiting =
+        ctmc::evaluate_measure(markov, model, pi, measures[models::rpc::kWaitingProb]);
+    point.waiting_per_request = waiting / point.throughput;
+    point.energy_per_request = point.energy_rate / point.throughput;
+    return point;
+}
+
+void ablate_policy() {
+    std::printf("== Ablation 1: idle-timeout vs trivial DPM policy (rpc) ==\n");
+
+    // Markovian phase: the two policies are *provably identical*.  The
+    // trivial DPM's free-running exponential timer and the idle-timeout
+    // DPM's restarted one generate the same CTMC transition (the shutdown
+    // can only synchronise while the server is idle, and the exponential
+    // distribution is memoryless), so the steady-state measures coincide.
+    {
+        models::rpc::Config idle = models::rpc::markovian(5.0, true);
+        models::rpc::Config trivial = idle;
+        trivial.policy = models::rpc::DpmPolicy::Trivial;
+        const RpcPoint a = solve_rpc(idle);
+        const RpcPoint b = solve_rpc(trivial);
+        std::printf(
+            "Markov check: energy/request idle=%.6f trivial=%.6f (identical by\n"
+            "memorylessness — the policy distinction only exists with\n"
+            "non-exponential timers, which motivates the general phase)\n",
+            a.energy_per_request, b.energy_per_request);
+    }
+
+    // The design choice that *does* change the outcome (Sect. 2.1): letting
+    // the server accept shutdowns while busy, dropping the request in
+    // service.  Exercised by the trivial DPM (the idle-timeout one never
+    // commands a busy server).  The revised client's resend timeout keeps
+    // the system live — this is the performance-domain echo of the
+    // functional defect of Sect. 3.1.
+    Table table("shutdown-while-busy (Trivial DPM, Markov)",
+                {"period_ms", "epr_idle_only", "epr_busy_too", "tput_idle_only",
+                 "tput_busy_too", "wait_busy_too"});
+    for (const double period : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+        models::rpc::Config idle_only = models::rpc::markovian(period, true);
+        idle_only.policy = models::rpc::DpmPolicy::Trivial;
+        models::rpc::Config busy_too = idle_only;
+        busy_too.shutdown_when_busy = true;
+        const RpcPoint a = solve_rpc(idle_only);
+        const RpcPoint b = solve_rpc(busy_too);
+        table.add_row({period, a.energy_per_request, b.energy_per_request,
+                       a.throughput, b.throughput, b.waiting_per_request});
+    }
+    table.print();
+    std::printf(
+        "(killing in-service requests saves little extra energy but wastes\n"
+        " whole service cycles: throughput drops and waiting grows sharply\n"
+        " at aggressive shutdown periods)\n\n");
+}
+
+void ablate_client_timeout() {
+    std::printf("== Ablation 2: client resend timeout (rpc, Markov, DPM t=5ms) ==\n");
+    Table table("client timeout sweep",
+                {"timeout_ms", "throughput", "wait_per_req", "epr"});
+    for (const double timeout : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        models::rpc::Config config = models::rpc::markovian(5.0, true);
+        config.params.client_timeout = timeout;
+        const RpcPoint p = solve_rpc(config);
+        table.add_row({timeout, p.throughput, p.waiting_per_request,
+                       p.energy_per_request});
+    }
+    table.print();
+    std::printf(
+        "(too-short client timeouts waste channel capacity on retransmissions;\n"
+        " too-long ones inflate recovery time after losses)\n\n");
+}
+
+void ablate_wakeup_power() {
+    std::printf("== Ablation 3: NIC wake-up transient power (streaming, Markov) ==\n");
+    Table table("energy/frame for awake=100ms under different wake-up powers",
+                {"p_waking", "epf_dpm", "epf_nodpm", "saving_pct"});
+    for (const double power : {1.0, 1.5, 3.0, 6.0, 12.0}) {
+        models::streaming::Config with = models::streaming::markovian(100.0, true);
+        with.params.power_waking = power;
+        models::streaming::Config without = models::streaming::markovian(100.0, false);
+        without.params.power_waking = power;
+
+        const auto solve = [](const models::streaming::Config& config) {
+            const adl::ComposedModel model = models::streaming::compose(config);
+            const ctmc::MarkovModel markov = ctmc::build_markov(model);
+            const auto pi = ctmc::steady_state(markov.chain);
+            const auto measures = models::streaming::measures();
+            // Rebuild the energy measure with the configured wake-up power.
+            adl::Measure energy = measures[models::streaming::kEnergyRate];
+            energy.clauses[2] = adl::state_reward_in("NIC", "NIC_WakingUp",
+                                                     config.params.power_waking);
+            const double rate = ctmc::evaluate_measure(markov, model, pi, energy);
+            const double frames = ctmc::evaluate_measure(
+                markov, model, pi, measures[models::streaming::kFramesReceived]);
+            return rate / frames;
+        };
+        const double epf_dpm = solve(with);
+        const double epf_nodpm = solve(without);
+        table.add_row({power, epf_dpm, epf_nodpm,
+                       100.0 * (1.0 - epf_dpm / epf_nodpm)});
+    }
+    table.print();
+    std::printf(
+        "(the saving shrinks as waking the NIC up gets more expensive; the\n"
+        " DPM stays profitable until the transient dominates the doze gain)\n");
+}
+
+void first_passage_to_overflow() {
+    std::printf(
+        "== Ablation 4: expected time to the first AP-buffer overflow ==\n");
+    Table table("first-passage analysis on the streaming Markov model",
+                {"awake_ms", "E[T_overflow]_ms", "P(doze)"});
+    for (const double period : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+        const adl::ComposedModel model =
+            models::streaming::compose(models::streaming::markovian(period, true));
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+
+        const auto full_mask =
+            adl::state_mask(model, adl::InStatePredicate{"AP", "AP_Buffer(10,"});
+        std::vector<char> targets(markov.chain.num_states(), 0);
+        for (ctmc::TangibleId t = 0; t < markov.chain.num_states(); ++t) {
+            targets[t] = full_mask[markov.orig_of[t]];
+        }
+        const auto h = ctmc::expected_hitting_times(markov.chain, targets, 0);
+        double expected = 0.0;
+        for (const auto& [state, prob] : markov.initial_distribution) {
+            expected += prob * h[state];
+        }
+
+        const auto pi = ctmc::steady_state(markov.chain);
+        const double doze = ctmc::state_probability(
+            markov, model, pi, adl::InStatePredicate{"NIC", "NIC_Doze"});
+        table.add_row({period, expected, doze});
+    }
+    table.print();
+    std::printf(
+        "(longer awake periods keep the NIC asleep longer, so the first\n"
+        " buffer overflow arrives sooner — an exact first-passage statement\n"
+        " of Fig. 4's loss trend)\n");
+}
+
+}  // namespace
+
+int main() {
+    ablate_policy();
+    ablate_client_timeout();
+    ablate_wakeup_power();
+    first_passage_to_overflow();
+    return 0;
+}

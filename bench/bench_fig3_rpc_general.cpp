@@ -1,0 +1,52 @@
+/// \file bench_fig3_rpc_general.cpp
+/// Reproduces the right-hand side of Fig. 3: the same three rpc metrics from
+/// the *general* model (deterministic service/awake/processing/timeout/
+/// shutdown delays, normally distributed channel delay), estimated by
+/// simulation (Sect. 5.2).
+///
+/// Paper shapes to observe — the bi-modal dependence on the shutdown
+/// timeout around the actual idle period (~11.3 ms):
+///  * below it, energy per request grows linearly with the timeout while
+///    throughput and waiting time stay flat;
+///  * above it, the DPM has no effect at all;
+///  * the transition is smooth only because of the Gaussian channel delay;
+///  * near the idle period the DPM is *counterproductive* (wakes up right
+///    after every shutdown).
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+    using namespace dpma::bench;
+    std::printf("== Fig. 3 (right): rpc general model, DPM vs NO-DPM ==\n");
+    std::printf("(30 replications, 90%% CI half-widths on throughput)\n");
+
+    const int reps = 30;
+    const double horizon = 30000.0;  // msec, scaled by DPMA_BENCH_SCALE
+
+    const RpcPoint base = rpc_general_point(10.0, false, reps, horizon, 101);
+
+    Table table("rpc / general: sweep of the deterministic shutdown timeout",
+                {"timeout_ms", "tput_dpm", "tput_hw", "tput_nodpm", "wait_dpm",
+                 "wait_nodpm", "epr_dpm", "epr_nodpm"});
+    for (const double timeout : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 10.5, 11.0, 11.3,
+                                 11.6, 12.0, 13.0, 15.0, 20.0, 25.0}) {
+        const RpcPoint dpm = rpc_general_point(timeout, true, reps, horizon,
+                                               1000 + static_cast<int>(timeout * 10));
+        table.add_row({timeout, dpm.throughput, dpm.throughput_hw, base.throughput,
+                       dpm.waiting_per_request, base.waiting_per_request,
+                       dpm.energy_per_request, base.energy_per_request});
+    }
+    table.print();
+
+    const RpcPoint below = rpc_general_point(5.0, true, reps, horizon, 77);
+    const RpcPoint near = rpc_general_point(11.3, true, reps, horizon, 78);
+    const RpcPoint above = rpc_general_point(20.0, true, reps, horizon, 79);
+    std::printf(
+        "\nsummary: energy/request %.3f (t=5) < %.3f (t=11.3, counterproductive "
+        "region) ; t=20 matches NO-DPM (%.3f vs %.3f)\n",
+        below.energy_per_request, near.energy_per_request, above.energy_per_request,
+        base.energy_per_request);
+    return 0;
+}

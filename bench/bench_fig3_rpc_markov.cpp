@@ -1,0 +1,46 @@
+/// \file bench_fig3_rpc_markov.cpp
+/// Reproduces the left-hand side of Fig. 3: throughput, waiting time per
+/// request and energy per request of the rpc system as functions of the DPM
+/// shutdown timeout (0..25 ms), from the exact steady-state solution of the
+/// Markovian model (Sect. 4.1).
+///
+/// Paper shapes to observe:
+///  * the shorter the timeout, the larger the DPM impact;
+///  * the DPM is never counterproductive in energy;
+///  * energy savings are paid in throughput and waiting time, so the DPM is
+///    not performance-transparent;
+///  * the NO-DPM series is flat.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+int main() {
+    using namespace dpma::bench;
+    std::printf("== Fig. 3 (left): rpc Markovian model, DPM vs NO-DPM ==\n");
+
+    const RpcPoint base = rpc_markov_point(10.0, false);
+
+    Table table("rpc / Markov: sweep of the DPM shutdown timeout",
+                {"timeout_ms", "tput_dpm", "tput_nodpm", "wait_dpm", "wait_nodpm",
+                 "epr_dpm", "epr_nodpm"});
+    for (const double timeout :
+         {0.0, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0}) {
+        const RpcPoint dpm = rpc_markov_point(timeout, true);
+        table.add_row({timeout, dpm.throughput, base.throughput,
+                       dpm.waiting_per_request, base.waiting_per_request,
+                       dpm.energy_per_request, base.energy_per_request});
+    }
+    table.print();
+
+    const RpcPoint t0 = rpc_markov_point(0.0, true);
+    const RpcPoint t25 = rpc_markov_point(25.0, true);
+    std::printf(
+        "\nsummary: timeout=0 saves %.1f%% energy/request at %.1f%% lower "
+        "throughput; timeout=25 saves %.1f%% at %.1f%% lower throughput\n",
+        100.0 * (1.0 - t0.energy_per_request / base.energy_per_request),
+        100.0 * (1.0 - t0.throughput / base.throughput),
+        100.0 * (1.0 - t25.energy_per_request / base.energy_per_request),
+        100.0 * (1.0 - t25.throughput / base.throughput));
+    return 0;
+}

@@ -1,0 +1,124 @@
+/// \file bench_micro.cpp
+/// Google-benchmark microbenchmarks of the analysis engines themselves:
+/// composition, weak-bisimulation checking, CTMC construction + solution,
+/// and GSMP simulation throughput.  These are ours (not a paper figure) and
+/// guard against performance regressions of the toolchain.
+
+#include <benchmark/benchmark.h>
+
+#include "bisim/equivalence.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/solve.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+#include "noninterference/noninterference.hpp"
+#include "sim/gsmp.hpp"
+
+namespace {
+
+using namespace dpma;
+
+void BM_ComposeRpcMarkov(benchmark::State& state) {
+    const auto config = models::rpc::markovian(5.0, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(models::rpc::compose(config));
+    }
+}
+BENCHMARK(BM_ComposeRpcMarkov);
+
+void BM_ComposeStreamingMarkov(benchmark::State& state) {
+    const auto config = models::streaming::markovian(100.0, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(models::streaming::compose(config));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            models::streaming::compose(config).graph.num_states());
+}
+BENCHMARK(BM_ComposeStreamingMarkov);
+
+void BM_NoninterferenceRpcRevised(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::revised_functional());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(noninterference::check_dpm_transparency(
+            model, models::rpc::high_action_labels(), "C"));
+    }
+}
+BENCHMARK(BM_NoninterferenceRpcRevised);
+
+void BM_NoninterferenceStreaming(benchmark::State& state) {
+    const auto model =
+        models::streaming::compose(models::streaming::functional(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(noninterference::check_dpm_transparency(
+            model, models::streaming::high_action_labels(), "C"));
+    }
+    state.SetLabel(std::to_string(model.graph.num_states()) + " states");
+}
+BENCHMARK(BM_NoninterferenceStreaming)->Arg(2)->Arg(3);
+
+void BM_BuildMarkovStreaming(benchmark::State& state) {
+    const auto model =
+        models::streaming::compose(models::streaming::markovian(100.0, true));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctmc::build_markov(model));
+    }
+}
+BENCHMARK(BM_BuildMarkovStreaming);
+
+void BM_SteadyStateGth(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::markovian(5.0, true));
+    const auto markov = ctmc::build_markov(model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctmc::steady_state_gth(markov.chain));
+    }
+    state.SetLabel(std::to_string(markov.chain.num_states()) + " states");
+}
+BENCHMARK(BM_SteadyStateGth);
+
+void BM_SteadyStateGaussSeidelStreaming(benchmark::State& state) {
+    const auto model =
+        models::streaming::compose(models::streaming::markovian(100.0, true));
+    const auto markov = ctmc::build_markov(model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctmc::steady_state_gauss_seidel(markov.chain));
+    }
+    state.SetLabel(std::to_string(markov.chain.num_states()) + " states");
+}
+BENCHMARK(BM_SteadyStateGaussSeidelStreaming);
+
+void BM_SimulateRpcGeneral(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::general(5.0, true));
+    const sim::Simulator simulator(model, models::rpc::measures());
+    sim::SimOptions options;
+    options.horizon = 5000.0;
+    std::uint64_t seed = 1;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        options.seed = seed++;
+        const auto run = simulator.run(options);
+        events += run.events;
+        benchmark::DoNotOptimize(run);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("items = simulated events");
+}
+BENCHMARK(BM_SimulateRpcGeneral);
+
+void BM_WeakBisimQuotient(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::revised_functional());
+    const lts::Lts hidden = lts::hide(
+        model.graph,
+        [&] {
+            lts::ActionSet set;
+            for (auto a : adl::actions_of_instance(model, "DPM")) set.insert(a);
+            return set;
+        }());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bisim::weakly_bisimilar(hidden, hidden));
+    }
+}
+BENCHMARK(BM_WeakBisimQuotient);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/text.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "sim/gsmp.hpp"
+
+namespace dpma::bench {
+namespace {
+
+/// Replaces every exponential rate of the composed graph by an explicitly
+/// general exponential distribution: the Fig. 5 cross-validation runs the
+/// *simulator* on a distribution-for-distribution copy of the Markov model.
+void exponentialize(adl::ComposedModel& model) {
+    for (lts::StateId s = 0; s < model.graph.num_states(); ++s) {
+        const auto out = model.graph.out(s);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            if (const auto* exp_rate = std::get_if<lts::RateExp>(&out[k].rate)) {
+                model.graph.set_rate(
+                    s, k, lts::RateGeneral{Dist::exponential(exp_rate->rate)});
+            }
+        }
+    }
+}
+
+RpcPoint derive_rpc(const std::vector<double>& values,
+                    const std::vector<double>& half_widths) {
+    RpcPoint point;
+    point.throughput = values[models::rpc::kThroughput];
+    point.energy_rate = values[models::rpc::kEnergyRate];
+    if (point.throughput > 0.0) {
+        point.waiting_per_request = values[models::rpc::kWaitingProb] / point.throughput;
+        point.energy_per_request = point.energy_rate / point.throughput;
+    }
+    if (!half_widths.empty()) {
+        point.throughput_hw = half_widths[models::rpc::kThroughput];
+        point.energy_rate_hw = half_widths[models::rpc::kEnergyRate];
+    }
+    return point;
+}
+
+StreamingPoint derive_streaming(const std::vector<double>& values,
+                                const std::vector<double>& half_widths) {
+    namespace ms = models::streaming;
+    StreamingPoint point;
+    const double fetches = values[ms::kMiss] + values[ms::kHits];
+    if (values[ms::kFramesReceived] > 0.0) {
+        point.energy_per_frame = values[ms::kEnergyRate] / values[ms::kFramesReceived];
+        if (!half_widths.empty()) {
+            point.energy_per_frame_hw =
+                half_widths[ms::kEnergyRate] / values[ms::kFramesReceived];
+        }
+    }
+    if (values[ms::kGenerated] > 0.0) {
+        point.loss = (values[ms::kApLoss] + values[ms::kBLoss]) / values[ms::kGenerated];
+    }
+    if (fetches > 0.0) {
+        point.miss = values[ms::kMiss] / fetches;
+        point.quality = values[ms::kHits] / fetches;
+    }
+    return point;
+}
+
+std::vector<double> solve_measures(const adl::ComposedModel& model,
+                                   const std::vector<adl::Measure>& measures) {
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const std::vector<double> pi = ctmc::steady_state(markov.chain);
+    std::vector<double> values;
+    values.reserve(measures.size());
+    for (const adl::Measure& m : measures) {
+        values.push_back(ctmc::evaluate_measure(markov, model, pi, m));
+    }
+    return values;
+}
+
+struct SimulatedValues {
+    std::vector<double> means;
+    std::vector<double> half_widths;
+};
+
+SimulatedValues simulate_measures(const adl::ComposedModel& model,
+                                  const std::vector<adl::Measure>& measures,
+                                  int replications, double warmup, double horizon,
+                                  std::uint64_t seed) {
+    const sim::Simulator simulator(model, measures);
+    sim::SimOptions options;
+    options.warmup = warmup;
+    options.horizon = horizon * effort_scale();
+    options.seed = seed;
+    const auto estimates =
+        sim::simulate_replications(simulator, options, replications, 0.90);
+    SimulatedValues out;
+    for (const sim::Estimate& e : estimates) {
+        out.means.push_back(e.mean);
+        out.half_widths.push_back(e.half_width);
+    }
+    return out;
+}
+
+}  // namespace
+
+double effort_scale() {
+    const char* env = std::getenv("DPMA_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double value = std::strtod(env, nullptr);
+    return value > 0.0 ? value : 1.0;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(const std::vector<double>& values) { rows_.push_back(values); }
+
+void Table::print() const {
+    std::printf("\n### %s\n", title_.c_str());
+    std::vector<int> widths;
+    widths.reserve(columns_.size());
+    for (const std::string& c : columns_) {
+        widths.push_back(std::max(14, static_cast<int>(c.size()) + 2));
+    }
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        std::printf("%*s", widths[i], columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            const int width = i < widths.size() ? widths[i] : 14;
+            std::printf("%*s", width, format_fixed(row[i], 6).c_str());
+        }
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+RpcPoint rpc_markov_point(double shutdown_timeout, bool dpm) {
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::markovian(shutdown_timeout, dpm));
+    return derive_rpc(solve_measures(model, models::rpc::measures()), {});
+}
+
+RpcPoint rpc_general_point(double shutdown_timeout, bool dpm, int replications,
+                           double horizon, std::uint64_t seed) {
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::general(shutdown_timeout, dpm));
+    const SimulatedValues sim = simulate_measures(
+        model, models::rpc::measures(), replications, 500.0, horizon, seed);
+    return derive_rpc(sim.means, sim.half_widths);
+}
+
+RpcPoint rpc_general_exp_point(double shutdown_timeout, bool dpm, int replications,
+                               double horizon, std::uint64_t seed) {
+    adl::ComposedModel model =
+        models::rpc::compose(models::rpc::markovian(shutdown_timeout, dpm));
+    exponentialize(model);
+    const SimulatedValues sim = simulate_measures(
+        model, models::rpc::measures(), replications, 500.0, horizon, seed);
+    return derive_rpc(sim.means, sim.half_widths);
+}
+
+StreamingPoint streaming_markov_point(double awake_period, bool dpm) {
+    const adl::ComposedModel model =
+        models::streaming::compose(models::streaming::markovian(awake_period, dpm));
+    return derive_streaming(solve_measures(model, models::streaming::measures()), {});
+}
+
+StreamingPoint streaming_general_point(double awake_period, bool dpm, int replications,
+                                       double horizon, std::uint64_t seed) {
+    const adl::ComposedModel model =
+        models::streaming::compose(models::streaming::general(awake_period, dpm));
+    const SimulatedValues sim = simulate_measures(
+        model, models::streaming::measures(), replications, 3000.0, horizon, seed);
+    return derive_streaming(sim.means, sim.half_widths);
+}
+
+}  // namespace dpma::bench

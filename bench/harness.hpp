@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file harness.hpp
+/// Shared plumbing for the figure-reproduction benches: each paper figure
+/// has one binary that sweeps the DPM operation rate and prints the series
+/// the paper plots.  Absolute numbers differ from the paper's testbed; the
+/// *shapes* (who wins, by what factor, where crossovers fall) are the
+/// reproduction target — see EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+
+namespace dpma::bench {
+
+/// Scale factor for simulation effort, from DPMA_BENCH_SCALE (default 1.0).
+/// CI environments can pass 0.2 for quick smoke runs; 5 gives tighter CIs.
+[[nodiscard]] double effort_scale();
+
+/// Simple fixed-width table printer (markdown-ish, one row per sweep point).
+class Table {
+public:
+    Table(std::string title, std::vector<std::string> columns);
+
+    void add_row(const std::vector<double>& values);
+    void print() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<double>> rows_;
+};
+
+/// One point of the rpc performance comparison (Fig. 3): derived per-request
+/// quantities as plotted by the paper.
+struct RpcPoint {
+    double throughput = 0.0;        ///< requests per msec
+    double waiting_per_request = 0.0;  ///< msec (Little's law on P(waiting))
+    double energy_per_request = 0.0;   ///< reward units
+    double energy_rate = 0.0;          ///< reward units per msec
+    // Simulation only: 90% CI half-widths (0 for the analytic solver).
+    double throughput_hw = 0.0;
+    double energy_rate_hw = 0.0;
+};
+
+[[nodiscard]] RpcPoint rpc_markov_point(double shutdown_timeout, bool dpm);
+[[nodiscard]] RpcPoint rpc_general_point(double shutdown_timeout, bool dpm,
+                                         int replications, double horizon,
+                                         std::uint64_t seed);
+/// Fig. 5 validation: the general model with *exponential* distributions
+/// substituted back in, simulated (30 runs, 90% CI in the paper).
+[[nodiscard]] RpcPoint rpc_general_exp_point(double shutdown_timeout, bool dpm,
+                                             int replications, double horizon,
+                                             std::uint64_t seed);
+
+/// One point of the streaming comparison (Fig. 4 / Fig. 6): the paper's four
+/// derived metrics.
+struct StreamingPoint {
+    double energy_per_frame = 0.0;
+    double loss = 0.0;     ///< buffer-full drops / generated frames
+    double miss = 0.0;     ///< real-time violations / frame fetches
+    double quality = 0.0;  ///< in-time deliveries / frame fetches
+    double energy_per_frame_hw = 0.0;
+};
+
+[[nodiscard]] StreamingPoint streaming_markov_point(double awake_period, bool dpm);
+[[nodiscard]] StreamingPoint streaming_general_point(double awake_period, bool dpm,
+                                                     int replications, double horizon,
+                                                     std::uint64_t seed);
+
+}  // namespace dpma::bench

@@ -1,0 +1,93 @@
+/// \file battery_lifetime.cpp
+/// The question behind the paper's title — what does the DPM buy a
+/// *battery-powered* appliance? — answered with the library's first-passage
+/// simulation: given a battery capacity, how long until the rpc server
+/// drains it, and how many requests does it serve before dying?
+///
+/// Two estimates are compared:
+///  * the fluid approximation  lifetime ~ capacity / steady-state power
+///    (from the CTMC solution), and
+///  * the simulated first-passage time of the accumulated-energy reward
+///    (exact crossing, 90% CI) on the general model.
+
+#include <cstdio>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "models/rpc.hpp"
+#include "sim/gsmp.hpp"
+
+namespace {
+
+using namespace dpma;
+namespace mr = models::rpc;
+
+struct Lifetime {
+    double fluid;            ///< capacity / steady-state power (msec)
+    double simulated;        ///< mean first-passage time (msec)
+    double half_width;       ///< 90% CI
+    double requests_served;  ///< mean requests completed until depletion
+};
+
+Lifetime analyse(double shutdown_timeout, bool dpm, double capacity) {
+    // Fluid bound from the Markovian model.
+    const adl::ComposedModel markov_model =
+        mr::compose(mr::markovian(shutdown_timeout, dpm));
+    const ctmc::MarkovModel markov = ctmc::build_markov(markov_model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto measures = mr::measures();
+    const double power = ctmc::evaluate_measure(markov, markov_model, pi,
+                                                measures[mr::kEnergyRate]);
+
+    // First-passage simulation on the general model.
+    const adl::ComposedModel general_model =
+        mr::compose(mr::general(shutdown_timeout, dpm));
+    const sim::Simulator simulator(general_model, measures);
+    sim::SimOptions options;
+    options.horizon = 4.0 * capacity / power;  // generous depletion bound
+    options.seed = 99;
+    const int reps = 20;
+    const sim::Estimate lifetime = sim::simulate_depletion(
+        simulator, mr::kEnergyRate, capacity, options, reps, 0.90);
+
+    // Requests served until depletion: raw throughput total at the stop.
+    double requests = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        sim::SimOptions rep = options;
+        rep.seed = sim::Rng::derive_seed(options.seed, static_cast<std::uint64_t>(r) + 7777);
+        const sim::DepletionResult result =
+            simulator.run_until(mr::kEnergyRate, capacity, rep);
+        requests += result.totals[mr::kThroughput];
+    }
+    requests /= reps;
+
+    return Lifetime{capacity / power, lifetime.mean, lifetime.half_width, requests};
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== battery lifetime of the rpc server (capacity 50,000 units) ==\n\n");
+    const double capacity = 50000.0;
+
+    std::printf("%-22s %14s %20s %16s\n", "configuration", "fluid est. [s]",
+                "simulated [s] (90%CI)", "requests served");
+    for (const auto& [label, timeout, dpm] :
+         {std::tuple{"NO-DPM", 10.0, false}, std::tuple{"DPM timeout=10ms", 10.0, true},
+          std::tuple{"DPM timeout=2ms", 2.0, true},
+          std::tuple{"DPM timeout=0 (eager)", 0.0, true}}) {
+        const Lifetime lt = analyse(timeout, dpm, capacity);
+        std::printf("%-22s %14.2f %13.2f ± %-6.2f %16.0f\n", label, lt.fluid / 1000.0,
+                    lt.simulated / 1000.0, lt.half_width / 1000.0, lt.requests_served);
+    }
+
+    std::printf(
+        "\n(two things to read off: the DPM can nearly double the battery\n"
+        " life *and* the total requests served per charge; and the fluid\n"
+        " estimate — which comes from the Markovian model — is badly wrong\n"
+        " for timeout=10ms, because in the general model that timeout sits\n"
+        " in the counterproductive region near the 11.3 ms idle period.\n"
+        " This is Fig. 7's Markov-vs-general gap restated in battery terms.)\n");
+    return 0;
+}

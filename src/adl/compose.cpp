@@ -1,0 +1,323 @@
+#include "adl/compose.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace dpma::adl {
+namespace {
+
+/// Combines the rates of the two parties of a synchronisation.  Exactly one
+/// party may be non-passive; two functional (unspecified) parties are also
+/// legal since no timing has to be decided.
+lts::Rate combine_rates(const lts::Rate& out_rate, const lts::Rate& in_rate,
+                        const std::string& label) {
+    const bool out_passive = lts::is_passive(out_rate);
+    const bool in_passive = lts::is_passive(in_rate);
+    if (out_passive && in_passive) {
+        // Two passive parties stay passive (EMPA): legal in untimed
+        // specifications, where `_' annotates every action; the Markovian
+        // and simulation layers reject any passive transition that survives
+        // to them.
+        return lts::RatePassive{};
+    }
+    if (out_passive) return in_rate;
+    if (in_passive) return out_rate;
+    const bool out_unspec = std::holds_alternative<lts::RateUnspecified>(out_rate);
+    const bool in_unspec = std::holds_alternative<lts::RateUnspecified>(in_rate);
+    if (out_unspec && in_unspec) return lts::RateUnspecified{};
+    throw ModelError("synchronisation " + label + " has two active parties");
+}
+
+/// How a local transition of an instance participates in the composition.
+enum class ParticipationKind : std::uint8_t {
+    Internal,     ///< fires alone
+    SyncInitiator,///< output attached to a partner input; fires with partner
+    SyncFollower, ///< input attached: fired from the initiator's side
+    Blocked,      ///< unattached interaction: never fires
+};
+
+struct Participation {
+    ParticipationKind kind = ParticipationKind::Internal;
+    std::uint32_t partner_instance = 0;  // SyncInitiator only
+    Symbol partner_action = kNoSymbol;   // SyncInitiator only
+    lts::ActionId label = kNoSymbol;     // Internal / SyncInitiator: global label
+    std::string label_text;
+};
+
+struct VecHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept {
+        std::size_t h = 0xcbf29ce484222325ull;
+        for (std::uint32_t x : v) {
+            h ^= x;
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    }
+};
+
+}  // namespace
+
+LocalLts build_local_lts(const ElemType& type, std::span<const long> args,
+                         lts::ActionTable& actions, std::size_t max_states) {
+    LocalLts local;
+    using Key = std::pair<std::size_t, std::vector<long>>;  // (behaviour idx, args)
+    std::map<Key, std::uint32_t> head_states;
+
+    const auto behavior_index = [&](const std::string& name) -> std::size_t {
+        for (std::size_t i = 0; i < type.behaviors.size(); ++i) {
+            if (type.behaviors[i].name == name) return i;
+        }
+        throw ModelError("unknown behaviour " + name + " in type " + type.name);
+    };
+
+    const auto state_label = [&](const BehaviorDef& b, std::span<const long> a) {
+        std::string text = b.name;
+        if (!a.empty()) {
+            text += '(';
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (i != 0) text += ',';
+                text += std::to_string(a[i]);
+            }
+            text += ')';
+        }
+        return text;
+    };
+
+    std::deque<Key> queue;
+    const auto intern_head = [&](Key key) -> std::uint32_t {
+        if (auto it = head_states.find(key); it != head_states.end()) return it->second;
+        if (local.out.size() >= max_states) {
+            throw ModelError("local state space of type " + type.name + " exceeds " +
+                             std::to_string(max_states) +
+                             " states (unbounded behaviour parameter?)");
+        }
+        const auto id = static_cast<std::uint32_t>(local.out.size());
+        local.out.emplace_back();
+        local.state_names.push_back(
+            state_label(type.behaviors[key.first], key.second));
+        head_states.emplace(key, id);
+        queue.push_back(std::move(key));
+        return id;
+    };
+
+    local.initial =
+        intern_head(Key{0, std::vector<long>(args.begin(), args.end())});
+
+    while (!queue.empty()) {
+        Key key = std::move(queue.front());
+        queue.pop_front();
+        const std::uint32_t state = head_states.at(key);
+        const BehaviorDef& behavior = type.behaviors[key.first];
+        const std::span<const long> params(key.second);
+
+        for (const Alternative& alt : behavior.alternatives) {
+            if (alt.guard != nullptr && !alt.guard->eval(params)) continue;
+
+            // Resolve the continuation first, then thread the action chain
+            // through fresh anonymous states.
+            std::vector<long> cont_args;
+            cont_args.reserve(alt.continuation.args.size());
+            for (const ExprPtr& e : alt.continuation.args) {
+                cont_args.push_back(e->eval(params));
+            }
+            const std::uint32_t cont_state =
+                intern_head(Key{behavior_index(alt.continuation.behavior),
+                                std::move(cont_args)});
+
+            std::uint32_t from = state;
+            for (std::size_t i = 0; i < alt.actions.size(); ++i) {
+                const Action& act = alt.actions[i];
+                std::uint32_t to;
+                if (i + 1 == alt.actions.size()) {
+                    to = cont_state;
+                } else {
+                    if (local.out.size() >= max_states) {
+                        throw ModelError("local state space of type " + type.name +
+                                         " exceeds " + std::to_string(max_states) + " states");
+                    }
+                    to = static_cast<std::uint32_t>(local.out.size());
+                    local.out.emplace_back();
+                    local.state_names.push_back(local.state_names[state] + "/" + act.name);
+                }
+                local.out[from].push_back(
+                    LocalLts::LocalTransition{actions.intern(act.name), act.rate, to});
+                from = to;
+            }
+        }
+    }
+    return local;
+}
+
+std::size_t ComposedModel::instance_index(const std::string& name) const {
+    for (std::size_t i = 0; i < instance_names.size(); ++i) {
+        if (instance_names[i] == name) return i;
+    }
+    throw ModelError("unknown instance " + name);
+}
+
+const std::string& ComposedModel::local_state_name(lts::StateId state,
+                                                   std::size_t instance) const {
+    DPMA_REQUIRE(state < local_states.size(), "state out of range");
+    DPMA_REQUIRE(instance < instance_names.size(), "instance out of range");
+    return local_state_names[instance][local_states[state][instance]];
+}
+
+ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
+    validate(archi);
+
+    auto actions = std::make_shared<lts::ActionTable>();
+    const std::size_t num_instances = archi.instances.size();
+
+    ComposedModel model{lts::Lts(actions), {}, {}, {}};
+    std::vector<LocalLts> locals;
+    locals.reserve(num_instances);
+    for (const Instance& inst : archi.instances) {
+        model.instance_names.push_back(inst.name);
+        const ElemType* type = archi.find_type(inst.type);
+        locals.push_back(
+            build_local_lts(*type, inst.args, *actions, options.max_states));
+        model.local_state_names.push_back(locals.back().state_names);
+    }
+
+    // Attachment lookup: (instance, bare action) -> partner / role.
+    struct PortRole {
+        bool is_initiator = false;
+        std::uint32_t partner_instance = 0;
+        Symbol partner_action = kNoSymbol;
+        std::string partner_instance_name;
+        std::string partner_action_name;
+    };
+    std::map<std::pair<std::uint32_t, Symbol>, PortRole> roles;
+    for (const Attachment& att : archi.attachments) {
+        const auto from_idx =
+            static_cast<std::uint32_t>(model.instance_index(att.from_instance));
+        const auto to_idx =
+            static_cast<std::uint32_t>(model.instance_index(att.to_instance));
+        const Symbol from_act = actions->intern(att.from_port);
+        const Symbol to_act = actions->intern(att.to_port);
+        roles[{from_idx, from_act}] =
+            PortRole{true, to_idx, to_act, att.to_instance, att.to_port};
+        roles[{to_idx, to_act}] = PortRole{false, from_idx, from_act, {}, {}};
+    }
+
+    // Classify every local transition of every instance once.
+    // participation[i][local_state][k] parallels locals[i].out[local_state][k].
+    std::vector<std::vector<std::vector<Participation>>> participation(num_instances);
+    for (std::uint32_t i = 0; i < num_instances; ++i) {
+        const Instance& inst = archi.instances[i];
+        const ElemType* type = archi.find_type(inst.type);
+        const auto is_interaction = [&](const std::string& a) {
+            return std::find(type->input_interactions.begin(),
+                             type->input_interactions.end(),
+                             a) != type->input_interactions.end() ||
+                   std::find(type->output_interactions.begin(),
+                             type->output_interactions.end(),
+                             a) != type->output_interactions.end();
+        };
+        participation[i].resize(locals[i].out.size());
+        for (std::size_t s = 0; s < locals[i].out.size(); ++s) {
+            for (const LocalLts::LocalTransition& t : locals[i].out[s]) {
+                Participation p;
+                const std::string& action_name = actions->name(t.action);
+                if (!is_interaction(action_name)) {
+                    p.kind = ParticipationKind::Internal;
+                    p.label_text = inst.name + "." + action_name;
+                    p.label = actions->intern(p.label_text);
+                } else if (auto it = roles.find({i, t.action}); it != roles.end()) {
+                    if (it->second.is_initiator) {
+                        p.kind = ParticipationKind::SyncInitiator;
+                        p.partner_instance = it->second.partner_instance;
+                        p.partner_action = it->second.partner_action;
+                        p.label_text = inst.name + "." + action_name + "#" +
+                                       it->second.partner_instance_name + "." +
+                                       it->second.partner_action_name;
+                        p.label = actions->intern(p.label_text);
+                    } else {
+                        p.kind = ParticipationKind::SyncFollower;
+                    }
+                } else {
+                    p.kind = ParticipationKind::Blocked;
+                }
+                participation[i][s].push_back(std::move(p));
+            }
+        }
+    }
+
+    // Breadth-first global exploration.
+    std::unordered_map<std::vector<std::uint32_t>, lts::StateId, VecHash> index;
+    std::deque<std::vector<std::uint32_t>> queue;
+
+    const auto global_name = [&](const std::vector<std::uint32_t>& g) -> std::string {
+        if (!options.record_state_names) return {};
+        std::string text;
+        for (std::uint32_t i = 0; i < num_instances; ++i) {
+            if (i != 0) text += " | ";
+            text += model.instance_names[i] + ":" + locals[i].state_names[g[i]];
+        }
+        return text;
+    };
+
+    const auto intern_global = [&](std::vector<std::uint32_t> g) -> lts::StateId {
+        if (auto it = index.find(g); it != index.end()) return it->second;
+        if (model.graph.num_states() >= options.max_states) {
+            throw ModelError("global state space of " + archi.name + " exceeds " +
+                             std::to_string(options.max_states) + " states");
+        }
+        const lts::StateId id = model.graph.add_state(global_name(g));
+        model.local_states.push_back(g);
+        index.emplace(std::move(g), id);
+        queue.push_back(model.local_states.back());
+        return id;
+    };
+
+    std::vector<std::uint32_t> initial(num_instances);
+    for (std::uint32_t i = 0; i < num_instances; ++i) initial[i] = locals[i].initial;
+    model.graph.set_initial(intern_global(std::move(initial)));
+
+    while (!queue.empty()) {
+        const std::vector<std::uint32_t> current = std::move(queue.front());
+        queue.pop_front();
+        const lts::StateId from = index.at(current);
+
+        for (std::uint32_t i = 0; i < num_instances; ++i) {
+            const std::uint32_t ls = current[i];
+            const auto& trans = locals[i].out[ls];
+            for (std::size_t k = 0; k < trans.size(); ++k) {
+                const Participation& p = participation[i][ls][k];
+                switch (p.kind) {
+                    case ParticipationKind::Internal: {
+                        std::vector<std::uint32_t> next = current;
+                        next[i] = trans[k].target;
+                        model.graph.add_transition(from, p.label, intern_global(std::move(next)),
+                                                   trans[k].rate);
+                        break;
+                    }
+                    case ParticipationKind::SyncInitiator: {
+                        const std::uint32_t j = p.partner_instance;
+                        const auto& partner_trans = locals[j].out[current[j]];
+                        for (const LocalLts::LocalTransition& u : partner_trans) {
+                            if (u.action != p.partner_action) continue;
+                            std::vector<std::uint32_t> next = current;
+                            next[i] = trans[k].target;
+                            next[j] = u.target;
+                            model.graph.add_transition(
+                                from, p.label, intern_global(std::move(next)),
+                                combine_rates(trans[k].rate, u.rate, p.label_text));
+                        }
+                        break;
+                    }
+                    case ParticipationKind::SyncFollower:
+                    case ParticipationKind::Blocked:
+                        break;
+                }
+            }
+        }
+    }
+    return model;
+}
+
+}  // namespace dpma::adl

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file expr.hpp
+/// Integer expressions and boolean guards over behaviour parameters.
+/// Æmilia behaviours may carry data parameters (e.g. the buffer occupancy of
+/// the streaming access point); recursion arguments and `cond(...)` guards
+/// are built from these expression trees.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dpma::adl {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Integer expression tree.
+class Expr {
+public:
+    enum class Kind { Const, Param, Add, Sub, Mul, Div, Mod };
+
+    [[nodiscard]] static ExprPtr constant(long value);
+    /// \p index refers to the enclosing behaviour's parameter list.
+    [[nodiscard]] static ExprPtr param(std::size_t index, std::string name);
+    [[nodiscard]] static ExprPtr binary(Kind op, ExprPtr lhs, ExprPtr rhs);
+
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    [[nodiscard]] long value() const noexcept { return value_; }
+    [[nodiscard]] std::size_t param_index() const noexcept { return param_; }
+    [[nodiscard]] const std::string& param_name() const noexcept { return name_; }
+
+    /// Evaluates with the given parameter values; throws on division by zero.
+    [[nodiscard]] long eval(std::span<const long> params) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    Kind kind_ = Kind::Const;
+    long value_ = 0;
+    std::size_t param_ = 0;
+    std::string name_;
+    ExprPtr lhs_;
+    ExprPtr rhs_;
+};
+
+class BoolExpr;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+/// Boolean guard tree over integer comparisons.
+class BoolExpr {
+public:
+    enum class Kind { True, Cmp, And, Or, Not };
+    enum class CmpOp { Lt, Le, Eq, Ne, Ge, Gt };
+
+    [[nodiscard]] static BoolExprPtr always_true();
+    [[nodiscard]] static BoolExprPtr compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+    [[nodiscard]] static BoolExprPtr conj(BoolExprPtr lhs, BoolExprPtr rhs);
+    [[nodiscard]] static BoolExprPtr disj(BoolExprPtr lhs, BoolExprPtr rhs);
+    [[nodiscard]] static BoolExprPtr negate(BoolExprPtr sub);
+
+    [[nodiscard]] bool eval(std::span<const long> params) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    // Structural accessors (used by the Æmilia printer).
+    [[nodiscard]] Kind kind() const noexcept { return kind_; }
+    [[nodiscard]] CmpOp cmp_op() const noexcept { return op_; }
+    [[nodiscard]] const ExprPtr& cmp_lhs() const noexcept { return cmp_lhs_; }
+    [[nodiscard]] const ExprPtr& cmp_rhs() const noexcept { return cmp_rhs_; }
+    [[nodiscard]] const BoolExprPtr& lhs() const noexcept { return lhs_; }
+    [[nodiscard]] const BoolExprPtr& rhs() const noexcept { return rhs_; }
+
+private:
+    Kind kind_ = Kind::True;
+    CmpOp op_ = CmpOp::Eq;
+    ExprPtr cmp_lhs_;
+    ExprPtr cmp_rhs_;
+    BoolExprPtr lhs_;
+    BoolExprPtr rhs_;
+};
+
+}  // namespace dpma::adl

@@ -1,0 +1,104 @@
+#include "adl/measure.hpp"
+
+#include "core/error.hpp"
+#include "core/text.hpp"
+
+namespace dpma::adl {
+namespace {
+
+/// Parses a composed label into its (instance, action) parties.
+/// "C.a#S.b" -> {{C,a},{S,b}};  "C.a" -> {{C,a}};  "tau" -> {}.
+std::vector<std::pair<std::string, std::string>> parties_of_label(const std::string& label) {
+    std::vector<std::pair<std::string, std::string>> parties;
+    if (label == "tau") return parties;
+    for (const std::string& part : split(label, '#')) {
+        const std::size_t dot = part.find('.');
+        if (dot == std::string::npos) continue;  // not an instance-qualified label
+        parties.emplace_back(part.substr(0, dot), part.substr(dot + 1));
+    }
+    return parties;
+}
+
+bool label_involves(const std::string& label, const std::string& instance,
+                    const std::string& action) {
+    for (const auto& [inst, act] : parties_of_label(label)) {
+        if (inst == instance && act == action) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+RewardClause state_reward(std::string instance, std::string action, double reward) {
+    return RewardClause{RewardClause::Target::State,
+                        EnabledPredicate{std::move(instance), std::move(action)}, reward};
+}
+
+RewardClause state_reward_in(std::string instance, std::string state_prefix, double reward) {
+    return RewardClause{RewardClause::Target::State,
+                        InStatePredicate{std::move(instance), std::move(state_prefix)}, reward};
+}
+
+RewardClause trans_reward(std::string instance, std::string action, double reward) {
+    return RewardClause{RewardClause::Target::Trans,
+                        EnabledPredicate{std::move(instance), std::move(action)}, reward};
+}
+
+std::vector<char> state_mask(const ComposedModel& model, const Predicate& predicate) {
+    const std::size_t n = model.graph.num_states();
+    std::vector<char> mask(n, 0);
+    if (const auto* enabled = std::get_if<EnabledPredicate>(&predicate)) {
+        // Precompute which labels involve the instance.action pair.
+        const auto labels = action_mask(model, predicate);
+        for (lts::StateId s = 0; s < n; ++s) {
+            for (const lts::Transition& t : model.graph.out(s)) {
+                if (labels[t.action]) {
+                    mask[s] = 1;
+                    break;
+                }
+            }
+        }
+        (void)enabled;
+        return mask;
+    }
+    const auto& in_state = std::get<InStatePredicate>(predicate);
+    const std::size_t idx = model.instance_index(in_state.instance);
+    const auto& names = model.local_state_names[idx];
+    std::vector<char> local_mask(names.size(), 0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        local_mask[i] = starts_with(names[i], in_state.state_prefix) ? 1 : 0;
+    }
+    for (lts::StateId s = 0; s < n; ++s) {
+        mask[s] = local_mask[model.local_states[s][idx]];
+    }
+    return mask;
+}
+
+std::vector<char> action_mask(const ComposedModel& model, const Predicate& predicate) {
+    const auto* enabled = std::get_if<EnabledPredicate>(&predicate);
+    DPMA_REQUIRE(enabled != nullptr, "TRANS_REWARD needs an ENABLED predicate");
+    const auto& table = *model.graph.actions();
+    std::vector<char> mask(table.size(), 0);
+    for (Symbol a = 0; a < table.size(); ++a) {
+        mask[a] = label_involves(table.name(a), enabled->instance, enabled->action) ? 1 : 0;
+    }
+    return mask;
+}
+
+std::vector<lts::ActionId> actions_of_instance(const ComposedModel& model,
+                                               const std::string& instance) {
+    const auto& table = *model.graph.actions();
+    std::vector<lts::ActionId> out;
+    for (Symbol a = 0; a < table.size(); ++a) {
+        for (const auto& [inst, act] : parties_of_label(table.name(a))) {
+            (void)act;
+            if (inst == instance) {
+                out.push_back(a);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace dpma::adl

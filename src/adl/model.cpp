@@ -1,0 +1,146 @@
+#include "adl/model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace dpma::adl {
+namespace {
+
+const BehaviorDef* find_behavior(const ElemType& type, const std::string& name) {
+    for (const BehaviorDef& b : type.behaviors) {
+        if (b.name == name) return &b;
+    }
+    return nullptr;
+}
+
+void validate_elem_type(const ElemType& type) {
+    DPMA_REQUIRE(!type.behaviors.empty(),
+                 "element type " + type.name + " has no behaviours");
+    std::unordered_set<std::string> behavior_names;
+    for (const BehaviorDef& b : type.behaviors) {
+        if (!behavior_names.insert(b.name).second) {
+            throw ModelError("duplicate behaviour " + b.name + " in type " + type.name);
+        }
+    }
+    std::unordered_set<std::string> interactions;
+    for (const std::string& port : type.input_interactions) {
+        if (!interactions.insert(port).second) {
+            throw ModelError("duplicate interaction " + port + " in type " + type.name);
+        }
+    }
+    for (const std::string& port : type.output_interactions) {
+        if (!interactions.insert(port).second) {
+            throw ModelError("interaction " + port + " declared both input and output in type " +
+                             type.name);
+        }
+    }
+    for (const BehaviorDef& b : type.behaviors) {
+        for (const Alternative& alt : b.alternatives) {
+            if (alt.actions.empty()) {
+                throw ModelError("empty action sequence in behaviour " + b.name +
+                                 " of type " + type.name);
+            }
+            const BehaviorDef* target = find_behavior(type, alt.continuation.behavior);
+            if (target == nullptr) {
+                throw ModelError("behaviour " + b.name + " of type " + type.name +
+                                 " invokes unknown behaviour " + alt.continuation.behavior);
+            }
+            if (target->params.size() != alt.continuation.args.size()) {
+                throw ModelError("behaviour " + alt.continuation.behavior + " of type " +
+                                 type.name + " expects " +
+                                 std::to_string(target->params.size()) + " argument(s), got " +
+                                 std::to_string(alt.continuation.args.size()));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+const ElemType* ArchiType::find_type(const std::string& type_name) const {
+    for (const ElemType& t : elem_types) {
+        if (t.name == type_name) return &t;
+    }
+    return nullptr;
+}
+
+const Instance* ArchiType::find_instance(const std::string& instance_name) const {
+    for (const Instance& i : instances) {
+        if (i.name == instance_name) return &i;
+    }
+    return nullptr;
+}
+
+void validate(const ArchiType& archi) {
+    DPMA_REQUIRE(!archi.instances.empty(), "architecture " + archi.name + " has no instances");
+
+    std::unordered_set<std::string> type_names;
+    for (const ElemType& t : archi.elem_types) {
+        if (!type_names.insert(t.name).second) {
+            throw ModelError("duplicate element type " + t.name);
+        }
+        validate_elem_type(t);
+    }
+
+    std::unordered_set<std::string> instance_names;
+    for (const Instance& inst : archi.instances) {
+        if (!instance_names.insert(inst.name).second) {
+            throw ModelError("duplicate instance " + inst.name);
+        }
+        const ElemType* type = archi.find_type(inst.type);
+        if (type == nullptr) {
+            throw ModelError("instance " + inst.name + " has unknown type " + inst.type);
+        }
+        const BehaviorDef& initial = type->behaviors.front();
+        if (initial.params.size() != inst.args.size()) {
+            throw ModelError("instance " + inst.name + ": initial behaviour " + initial.name +
+                             " expects " + std::to_string(initial.params.size()) +
+                             " argument(s), got " + std::to_string(inst.args.size()));
+        }
+    }
+
+    const auto is_port = [&](const std::string& inst_name, const std::string& port,
+                             bool output) -> bool {
+        const Instance* inst = archi.find_instance(inst_name);
+        if (inst == nullptr) return false;
+        const ElemType* type = archi.find_type(inst->type);
+        const auto& ports = output ? type->output_interactions : type->input_interactions;
+        return std::find(ports.begin(), ports.end(), port) != ports.end();
+    };
+
+    std::set<std::pair<std::string, std::string>> attached_out;
+    std::set<std::pair<std::string, std::string>> attached_in;
+    for (const Attachment& att : archi.attachments) {
+        if (archi.find_instance(att.from_instance) == nullptr) {
+            throw ModelError("attachment from unknown instance " + att.from_instance);
+        }
+        if (archi.find_instance(att.to_instance) == nullptr) {
+            throw ModelError("attachment to unknown instance " + att.to_instance);
+        }
+        if (!is_port(att.from_instance, att.from_port, /*output=*/true)) {
+            throw ModelError("attachment source " + att.from_instance + "." + att.from_port +
+                             " is not a declared output interaction");
+        }
+        if (!is_port(att.to_instance, att.to_port, /*output=*/false)) {
+            throw ModelError("attachment target " + att.to_instance + "." + att.to_port +
+                             " is not a declared input interaction");
+        }
+        if (att.from_instance == att.to_instance) {
+            throw ModelError("self-attachment on instance " + att.from_instance);
+        }
+        if (!attached_out.insert({att.from_instance, att.from_port}).second) {
+            throw ModelError("output " + att.from_instance + "." + att.from_port +
+                             " attached more than once (UNI)");
+        }
+        if (!attached_in.insert({att.to_instance, att.to_port}).second) {
+            throw ModelError("input " + att.to_instance + "." + att.to_port +
+                             " attached more than once (UNI)");
+        }
+    }
+}
+
+}  // namespace dpma::adl

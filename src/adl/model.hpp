@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file model.hpp
+/// The architectural model: element types (AETs) with behaviours, instances
+/// and UNI attachments — a faithful in-memory form of the Æmilia
+/// specifications used throughout the paper.  Models are built either
+/// programmatically (see dpma::models) or by the Æmilia parser
+/// (dpma::aemilia).
+
+#include <string>
+#include <vector>
+
+#include "adl/expr.hpp"
+#include "lts/rate.hpp"
+
+namespace dpma::adl {
+
+/// One action occurrence in a behaviour: `<name, rate>`.
+struct Action {
+    std::string name;
+    lts::Rate rate = lts::RateUnspecified{};
+};
+
+/// Invocation of a behaviour with argument expressions: `Beh(n + 1)`.
+struct BehaviorCall {
+    std::string behavior;
+    std::vector<ExprPtr> args;
+};
+
+/// One alternative of a `choice`: an optional guard, a non-empty sequence of
+/// action prefixes and the behaviour invoked afterwards:
+/// `cond(n < size) -> <a, r> . <b, r'> . Beh(n + 1)`.
+struct Alternative {
+    BoolExprPtr guard;  ///< null means always enabled
+    std::vector<Action> actions;
+    BehaviorCall continuation;
+};
+
+/// A named behaviour equation with integer parameters.
+struct BehaviorDef {
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<Alternative> alternatives;
+};
+
+/// An architectural element type.  The first behaviour is the initial one,
+/// as in Æmilia.  Interactions are classified UNI input / UNI output; every
+/// other action occurring in the behaviours is internal.
+struct ElemType {
+    std::string name;
+    std::vector<BehaviorDef> behaviors;
+    std::vector<std::string> input_interactions;
+    std::vector<std::string> output_interactions;
+};
+
+/// An instance of an element type: `S : Server_Type(10)`.
+struct Instance {
+    std::string name;
+    std::string type;
+    std::vector<long> args;
+};
+
+/// A UNI attachment: `FROM A.out_port TO B.in_port`.
+struct Attachment {
+    std::string from_instance;
+    std::string from_port;
+    std::string to_instance;
+    std::string to_port;
+};
+
+/// A complete architectural type (system description).
+struct ArchiType {
+    std::string name;
+    std::vector<ElemType> elem_types;
+    std::vector<Instance> instances;
+    std::vector<Attachment> attachments;
+
+    [[nodiscard]] const ElemType* find_type(const std::string& name) const;
+    [[nodiscard]] const Instance* find_instance(const std::string& name) const;
+};
+
+/// Structural validation; throws ModelError with a precise message on the
+/// first problem found.  Checks: type/behaviour resolution, parameter
+/// arities, interaction declarations, attachment well-formedness (output to
+/// input, each port attached at most once), and that interactions are not
+/// used in the middle of an action sequence without being declared.
+void validate(const ArchiType& archi);
+
+}  // namespace dpma::adl

@@ -1,0 +1,162 @@
+#include "aemilia/lexer.hpp"
+
+#include <cctype>
+
+namespace dpma::aemilia {
+namespace {
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+const char* token_kind_name(TokenKind kind) {
+    switch (kind) {
+        case TokenKind::Identifier: return "identifier";
+        case TokenKind::Number: return "number";
+        case TokenKind::LParen: return "'('";
+        case TokenKind::RParen: return "')'";
+        case TokenKind::LBrace: return "'{'";
+        case TokenKind::RBrace: return "'}'";
+        case TokenKind::Comma: return "','";
+        case TokenKind::Semicolon: return "';'";
+        case TokenKind::Colon: return "':'";
+        case TokenKind::Dot: return "'.'";
+        case TokenKind::Less: return "'<'";
+        case TokenKind::Greater: return "'>'";
+        case TokenKind::Arrow: return "'->'";
+        case TokenKind::Equal: return "'='";
+        case TokenKind::EqEq: return "'=='";
+        case TokenKind::NotEq: return "'!='";
+        case TokenKind::LessEq: return "'<='";
+        case TokenKind::GreaterEq: return "'>='";
+        case TokenKind::AndAnd: return "'&&'";
+        case TokenKind::OrOr: return "'||'";
+        case TokenKind::Not: return "'!'";
+        case TokenKind::Plus: return "'+'";
+        case TokenKind::Minus: return "'-'";
+        case TokenKind::Star: return "'*'";
+        case TokenKind::Slash: return "'/'";
+        case TokenKind::Percent: return "'%'";
+        case TokenKind::Underscore: return "'_'";
+        case TokenKind::EndOfInput: return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token> tokenize(std::string_view input) {
+    std::vector<Token> tokens;
+    int line = 1;
+    int column = 1;
+    std::size_t i = 0;
+
+    const auto push = [&](TokenKind kind, std::string text, int start_col) {
+        tokens.push_back(Token{kind, std::move(text), line, start_col});
+    };
+
+    while (i < input.size()) {
+        const char c = input[i];
+        if (c == '\n') {
+            ++line;
+            column = 1;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++column;
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < input.size() && input[i + 1] == '/') {
+            while (i < input.size() && input[i] != '\n') ++i;
+            continue;
+        }
+        const int start_col = column;
+        if (is_ident_start(c)) {
+            std::size_t j = i;
+            while (j < input.size() && is_ident_char(input[j])) ++j;
+            push(TokenKind::Identifier, std::string(input.substr(i, j - i)), start_col);
+            column += static_cast<int>(j - i);
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            bool saw_dot = false;
+            while (j < input.size() &&
+                   (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                    (input[j] == '.' && !saw_dot && j + 1 < input.size() &&
+                     std::isdigit(static_cast<unsigned char>(input[j + 1]))))) {
+                if (input[j] == '.') saw_dot = true;
+                ++j;
+            }
+            // Optional exponent: e / E, optional sign, one or more digits.
+            if (j < input.size() && (input[j] == 'e' || input[j] == 'E')) {
+                std::size_t k = j + 1;
+                if (k < input.size() && (input[k] == '+' || input[k] == '-')) ++k;
+                std::size_t digits = k;
+                while (digits < input.size() &&
+                       std::isdigit(static_cast<unsigned char>(input[digits]))) {
+                    ++digits;
+                }
+                if (digits > k) j = digits;
+            }
+            push(TokenKind::Number, std::string(input.substr(i, j - i)), start_col);
+            column += static_cast<int>(j - i);
+            i = j;
+            continue;
+        }
+
+        const auto two = input.substr(i, 2);
+        const auto emit2 = [&](TokenKind kind) {
+            push(kind, std::string(two), start_col);
+            column += 2;
+            i += 2;
+        };
+        if (two == "->") { emit2(TokenKind::Arrow); continue; }
+        if (two == "==") { emit2(TokenKind::EqEq); continue; }
+        if (two == "!=") { emit2(TokenKind::NotEq); continue; }
+        if (two == "<=") { emit2(TokenKind::LessEq); continue; }
+        if (two == ">=") { emit2(TokenKind::GreaterEq); continue; }
+        if (two == "&&") { emit2(TokenKind::AndAnd); continue; }
+        if (two == "||") { emit2(TokenKind::OrOr); continue; }
+
+        const auto emit1 = [&](TokenKind kind) {
+            push(kind, std::string(1, c), start_col);
+            ++column;
+            ++i;
+        };
+        switch (c) {
+            case '(': emit1(TokenKind::LParen); continue;
+            case ')': emit1(TokenKind::RParen); continue;
+            case '{': emit1(TokenKind::LBrace); continue;
+            case '}': emit1(TokenKind::RBrace); continue;
+            case ',': emit1(TokenKind::Comma); continue;
+            case ';': emit1(TokenKind::Semicolon); continue;
+            case ':': emit1(TokenKind::Colon); continue;
+            case '.': emit1(TokenKind::Dot); continue;
+            case '<': emit1(TokenKind::Less); continue;
+            case '>': emit1(TokenKind::Greater); continue;
+            case '=': emit1(TokenKind::Equal); continue;
+            case '!': emit1(TokenKind::Not); continue;
+            case '+': emit1(TokenKind::Plus); continue;
+            case '-': emit1(TokenKind::Minus); continue;
+            case '*': emit1(TokenKind::Star); continue;
+            case '/': emit1(TokenKind::Slash); continue;
+            case '%': emit1(TokenKind::Percent); continue;
+            case '_': emit1(TokenKind::Underscore); continue;
+            default:
+                throw ParseError("unexpected character '" + std::string(1, c) + "'",
+                                 line, start_col);
+        }
+    }
+    tokens.push_back(Token{TokenKind::EndOfInput, "", line, column});
+    return tokens;
+}
+
+}  // namespace dpma::aemilia

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Tokenizer for the Æmilia concrete syntax (and the companion measure
+/// language).  Keywords are not reserved at the lexer level: the parser
+/// matches identifier text, which keeps the token set small and the
+/// diagnostics precise.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dpma::aemilia {
+
+enum class TokenKind {
+    Identifier,  ///< letters, digits, underscores; starts with letter or '_'
+    Number,      ///< integer or decimal literal
+    LParen,      ///< (
+    RParen,      ///< )
+    LBrace,      ///< {
+    RBrace,      ///< }
+    Comma,       ///< ,
+    Semicolon,   ///< ;
+    Colon,       ///< :
+    Dot,         ///< .
+    Less,        ///< <
+    Greater,     ///< >
+    Arrow,       ///< ->
+    Equal,       ///< =
+    EqEq,        ///< ==
+    NotEq,       ///< !=
+    LessEq,      ///< <=
+    GreaterEq,   ///< >=
+    AndAnd,      ///< &&
+    OrOr,        ///< ||
+    Not,         ///< !
+    Plus,        ///< +
+    Minus,       ///< -
+    Star,        ///< *
+    Slash,       ///< /
+    Percent,     ///< %
+    Underscore,  ///< _ (the passive rate)
+    EndOfInput,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfInput;
+    std::string text;
+    int line = 1;
+    int column = 1;
+};
+
+/// Tokenizes the whole input.  Throws ParseError on an unexpected character.
+/// `//` starts a comment running to the end of the line.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view input);
+
+/// Human-readable token-kind name (for error messages).
+[[nodiscard]] const char* token_kind_name(TokenKind kind);
+
+}  // namespace dpma::aemilia

@@ -1,0 +1,181 @@
+#include "aemilia/printer.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dpma::aemilia {
+namespace {
+
+/// Full-precision, lexer-compatible double rendering.
+std::string num(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string rate_text(const lts::Rate& rate) {
+    struct Visitor {
+        std::string operator()(const lts::RateUnspecified&) const {
+            // The untimed fragment writes every rate as `_'.
+            return "_";
+        }
+        std::string operator()(const lts::RateExp& r) const {
+            return "exp(" + num(r.rate) + ")";
+        }
+        std::string operator()(const lts::RateImmediate& r) const {
+            return "inf(" + std::to_string(r.priority) + ", " + num(r.weight) + ")";
+        }
+        std::string operator()(const lts::RatePassive&) const { return "_"; }
+        std::string operator()(const lts::RateGeneral& r) const {
+            const Dist& d = r.dist;
+            switch (d.kind()) {
+                case DistKind::Exponential: return "exp(" + num(d.a()) + ")";
+                case DistKind::Deterministic: return "det(" + num(d.a()) + ")";
+                case DistKind::Uniform:
+                    return "unif(" + num(d.a()) + ", " + num(d.b()) + ")";
+                case DistKind::Normal:
+                    return "norm(" + num(d.a()) + ", " + num(d.b()) + ")";
+                case DistKind::Erlang:
+                    return "erlang(" + std::to_string(d.phases()) + ", " + num(d.a()) + ")";
+                case DistKind::Weibull:
+                    return "weibull(" + num(d.a()) + ", " + num(d.b()) + ")";
+                case DistKind::LogNormal:
+                    return "lognorm(" + num(d.a()) + ", " + num(d.b()) + ")";
+            }
+            throw Error("unknown distribution kind");
+        }
+    };
+    return std::visit(Visitor{}, rate);
+}
+
+/// Guard in parser-compatible form (no parenthesised boolean factors).
+std::string guard_text(const adl::BoolExprPtr& guard) {
+    using Kind = adl::BoolExpr::Kind;
+    switch (guard->kind()) {
+        case Kind::True:
+            return "1 == 1";
+        case Kind::Cmp:
+            return guard->to_string();
+        case Kind::And:
+            return guard_text(guard->lhs()) + " && " + guard_text(guard->rhs());
+        case Kind::Or:
+            return guard_text(guard->lhs()) + " || " + guard_text(guard->rhs());
+        case Kind::Not:
+            throw Error("negated guards are not expressible in the concrete syntax");
+    }
+    throw Error("unknown guard kind");
+}
+
+void print_behavior(std::ostringstream& out, const adl::BehaviorDef& behavior) {
+    out << "    " << behavior.name << "(";
+    if (behavior.params.empty()) {
+        out << "void";
+    } else {
+        for (std::size_t i = 0; i < behavior.params.size(); ++i) {
+            if (i != 0) out << ", ";
+            out << "integer " << behavior.params[i];
+        }
+    }
+    out << "; void) =";
+    const bool use_choice = behavior.alternatives.size() > 1;
+    if (use_choice) out << " choice {";
+    for (std::size_t i = 0; i < behavior.alternatives.size(); ++i) {
+        const adl::Alternative& alt = behavior.alternatives[i];
+        out << "\n      ";
+        if (alt.guard != nullptr) {
+            out << "cond(" << guard_text(alt.guard) << ") -> ";
+        }
+        for (const adl::Action& action : alt.actions) {
+            out << "<" << action.name << ", " << rate_text(action.rate) << "> . ";
+        }
+        out << alt.continuation.behavior << "(";
+        for (std::size_t a = 0; a < alt.continuation.args.size(); ++a) {
+            if (a != 0) out << ", ";
+            out << alt.continuation.args[a]->to_string();
+        }
+        out << ")";
+        if (use_choice && i + 1 < behavior.alternatives.size()) out << ",";
+    }
+    if (use_choice) out << "\n    }";
+}
+
+void print_interactions(std::ostringstream& out, const char* keyword,
+                        const std::vector<std::string>& names) {
+    out << "  " << keyword << ' ';
+    if (names.empty()) {
+        out << "void\n";
+        return;
+    }
+    out << "UNI ";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0) out << "; ";
+        out << names[i];
+    }
+    out << '\n';
+}
+
+}  // namespace
+
+std::string to_aemilia(const adl::ArchiType& archi) {
+    std::ostringstream out;
+    out << "ARCHI_TYPE " << archi.name << "(void)\n\nARCHI_ELEM_TYPES\n";
+    for (const adl::ElemType& type : archi.elem_types) {
+        out << "\nELEM_TYPE " << type.name << "(void)\n  BEHAVIOR\n";
+        for (std::size_t b = 0; b < type.behaviors.size(); ++b) {
+            print_behavior(out, type.behaviors[b]);
+            out << (b + 1 < type.behaviors.size() ? ";\n" : "\n");
+        }
+        print_interactions(out, "INPUT_INTERACTIONS", type.input_interactions);
+        print_interactions(out, "OUTPUT_INTERACTIONS", type.output_interactions);
+    }
+    out << "\nARCHI_TOPOLOGY\n  ARCHI_ELEM_INSTANCES\n";
+    for (std::size_t i = 0; i < archi.instances.size(); ++i) {
+        const adl::Instance& inst = archi.instances[i];
+        out << "    " << inst.name << " : " << inst.type << "(";
+        for (std::size_t a = 0; a < inst.args.size(); ++a) {
+            if (a != 0) out << ", ";
+            out << inst.args[a];
+        }
+        out << ")";
+        out << (i + 1 < archi.instances.size() ? ";\n" : "\n");
+    }
+    if (!archi.attachments.empty()) {
+        out << "  ARCHI_ATTACHMENTS\n";
+        for (std::size_t i = 0; i < archi.attachments.size(); ++i) {
+            const adl::Attachment& att = archi.attachments[i];
+            out << "    FROM " << att.from_instance << "." << att.from_port << " TO "
+                << att.to_instance << "." << att.to_port;
+            out << (i + 1 < archi.attachments.size() ? ";\n" : "\n");
+        }
+    }
+    out << "END\n";
+    return out.str();
+}
+
+std::string to_measure_language(const std::vector<adl::Measure>& measures) {
+    std::ostringstream out;
+    for (const adl::Measure& measure : measures) {
+        out << "MEASURE " << measure.name << " IS\n";
+        for (const adl::RewardClause& clause : measure.clauses) {
+            out << "  ";
+            if (const auto* enabled =
+                    std::get_if<adl::EnabledPredicate>(&clause.predicate)) {
+                out << "ENABLED(" << enabled->instance << "." << enabled->action << ")";
+            } else {
+                const auto& in_state = std::get<adl::InStatePredicate>(clause.predicate);
+                out << "IN_STATE(" << in_state.instance << ", "
+                    << in_state.state_prefix << ")";
+            }
+            out << " -> "
+                << (clause.target == adl::RewardClause::Target::State ? "STATE_REWARD"
+                                                                      : "TRANS_REWARD")
+                << "(" << num(clause.reward) << ")\n";
+        }
+        out << ";\n";
+    }
+    return out.str();
+}
+
+}  // namespace dpma::aemilia

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file printer.hpp
+/// Serialises an in-memory architectural model back to the Æmilia concrete
+/// syntax accepted by the parser, enabling model exchange and the
+/// parse-print-parse round-trip property tests.
+///
+/// Limitations: boolean guards using negation are not printable (the
+/// concrete grammar has no parenthesised boolean factor); none of the
+/// shipped models needs it.
+
+#include <string>
+#include <vector>
+
+#include "adl/measure.hpp"
+#include "adl/model.hpp"
+
+namespace dpma::aemilia {
+
+/// Renders \p archi in Æmilia concrete syntax.  The output parses back
+/// (parse_archi_type) to a model whose composition is strongly bisimilar to
+/// the original's, with rates reproduced to full double precision.
+[[nodiscard]] std::string to_aemilia(const adl::ArchiType& archi);
+
+/// Renders measures in the companion measure language (parse_measures
+/// round-trips).
+[[nodiscard]] std::string to_measure_language(const std::vector<adl::Measure>& measures);
+
+}  // namespace dpma::aemilia

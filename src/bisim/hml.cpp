@@ -1,0 +1,176 @@
+#include "bisim/hml.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dpma::bisim {
+namespace {
+
+void indent(std::ostringstream& out, int depth) {
+    for (int i = 0; i < depth; ++i) out << "  ";
+}
+
+void print_tt(std::ostringstream& out, const FormulaPtr& f, int depth) {
+    switch (f->kind) {
+        case Formula::Kind::True:
+            indent(out, depth);
+            out << "TRUE";
+            return;
+        case Formula::Kind::Not:
+            indent(out, depth);
+            out << "NOT(\n";
+            print_tt(out, f->children.at(0), depth + 1);
+            out << '\n';
+            indent(out, depth);
+            out << ')';
+            return;
+        case Formula::Kind::And: {
+            if (f->children.empty()) {
+                indent(out, depth);
+                out << "TRUE";
+                return;
+            }
+            if (f->children.size() == 1) {
+                print_tt(out, f->children.front(), depth);
+                return;
+            }
+            indent(out, depth);
+            out << "AND(\n";
+            for (std::size_t i = 0; i < f->children.size(); ++i) {
+                print_tt(out, f->children[i], depth + 1);
+                out << (i + 1 < f->children.size() ? ";\n" : "\n");
+            }
+            indent(out, depth);
+            out << ')';
+            return;
+        }
+        case Formula::Kind::Diamond: {
+            indent(out, depth);
+            out << (f->weak ? "EXISTS_WEAK_TRANS(" : "EXISTS_TRANS(") << '\n';
+            indent(out, depth + 1);
+            if (f->label == "tau") {
+                out << "TAU;\n";
+            } else {
+                out << "LABEL(" << f->label << ");\n";
+            }
+            indent(out, depth + 1);
+            out << "REACHED_STATE_SAT(\n";
+            print_tt(out, f->children.at(0), depth + 2);
+            out << '\n';
+            indent(out, depth + 1);
+            out << ")\n";
+            indent(out, depth);
+            out << ')';
+            return;
+        }
+    }
+    throw Error("unknown formula kind");
+}
+
+void print_compact(std::ostringstream& out, const FormulaPtr& f) {
+    switch (f->kind) {
+        case Formula::Kind::True:
+            out << "tt";
+            return;
+        case Formula::Kind::Not:
+            out << "~(";
+            print_compact(out, f->children.at(0));
+            out << ')';
+            return;
+        case Formula::Kind::And:
+            if (f->children.empty()) {
+                out << "tt";
+                return;
+            }
+            out << '(';
+            for (std::size_t i = 0; i < f->children.size(); ++i) {
+                if (i != 0) out << " & ";
+                print_compact(out, f->children[i]);
+            }
+            out << ')';
+            return;
+        case Formula::Kind::Diamond:
+            out << (f->weak ? "<<" : "<") << f->label << (f->weak ? ">>" : ">");
+            print_compact(out, f->children.at(0));
+            return;
+    }
+    throw Error("unknown formula kind");
+}
+
+}  // namespace
+
+FormulaPtr hml_true() {
+    static const FormulaPtr instance = std::make_shared<Formula>();
+    return instance;
+}
+
+FormulaPtr hml_not(FormulaPtr sub) {
+    DPMA_REQUIRE(sub != nullptr, "hml_not needs a subformula");
+    // ~~phi == phi: keep diagnostics small.
+    if (sub->kind == Formula::Kind::Not) return sub->children.front();
+    auto node = std::make_shared<Formula>();
+    node->kind = Formula::Kind::Not;
+    node->children.push_back(std::move(sub));
+    return node;
+}
+
+FormulaPtr hml_and(std::vector<FormulaPtr> subs) {
+    // Drop TRUE and structurally duplicated conjuncts, collapse singletons.
+    std::vector<FormulaPtr> kept;
+    std::vector<std::string> seen;
+    for (auto& s : subs) {
+        DPMA_REQUIRE(s != nullptr, "hml_and needs subformulae");
+        if (s->kind == Formula::Kind::True) continue;
+        std::string key = to_compact(s);
+        bool duplicate = false;
+        for (const std::string& k : seen) {
+            if (k == key) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (duplicate) continue;
+        seen.push_back(std::move(key));
+        kept.push_back(std::move(s));
+    }
+    if (kept.empty()) return hml_true();
+    if (kept.size() == 1) return kept.front();
+    auto node = std::make_shared<Formula>();
+    node->kind = Formula::Kind::And;
+    node->children = std::move(kept);
+    return node;
+}
+
+FormulaPtr hml_diamond(std::string label, bool weak, FormulaPtr sub) {
+    DPMA_REQUIRE(sub != nullptr, "hml_diamond needs a subformula");
+    auto node = std::make_shared<Formula>();
+    node->kind = Formula::Kind::Diamond;
+    node->label = std::move(label);
+    node->weak = weak;
+    node->children.push_back(std::move(sub));
+    return node;
+}
+
+std::string to_two_towers(const FormulaPtr& formula) {
+    DPMA_REQUIRE(formula != nullptr, "null formula");
+    std::ostringstream out;
+    print_tt(out, formula, 0);
+    return out.str();
+}
+
+std::string to_compact(const FormulaPtr& formula) {
+    DPMA_REQUIRE(formula != nullptr, "null formula");
+    std::ostringstream out;
+    print_compact(out, formula);
+    return out.str();
+}
+
+std::size_t formula_size(const FormulaPtr& formula) {
+    if (formula == nullptr) return 0;
+    std::size_t n = 1;
+    for (const auto& c : formula->children) n += formula_size(c);
+    return n;
+}
+
+}  // namespace dpma::bisim

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file hml.hpp
+/// Hennessy–Milner logic formulae, used as diagnostics when an equivalence
+/// check fails.  The printer emits the TwoTowers-style concrete syntax shown
+/// in the paper (EXISTS_WEAK_TRANS / LABEL / REACHED_STATE_SAT / NOT / AND /
+/// TRUE), so the reproduced rpc diagnostic reads like the original.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dpma::bisim {
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Immutable HML formula node.
+struct Formula {
+    enum class Kind {
+        True,     ///< satisfied by every state
+        Not,      ///< children[0] does not hold
+        And,      ///< all children hold (empty conjunction == True)
+        Diamond,  ///< a (weak or strong) transition labelled `label` leads to
+                  ///< a state satisfying children[0]
+    };
+
+    Kind kind = Kind::True;
+    std::string label;               ///< Diamond only; "tau" for the invisible action
+    bool weak = false;               ///< Diamond only; print as EXISTS_WEAK_TRANS
+    std::vector<FormulaPtr> children;
+};
+
+[[nodiscard]] FormulaPtr hml_true();
+[[nodiscard]] FormulaPtr hml_not(FormulaPtr sub);
+[[nodiscard]] FormulaPtr hml_and(std::vector<FormulaPtr> subs);
+[[nodiscard]] FormulaPtr hml_diamond(std::string label, bool weak, FormulaPtr sub);
+
+/// Pretty-prints in TwoTowers syntax with two-space indentation, e.g.
+///
+///   EXISTS_WEAK_TRANS(
+///     LABEL(C.send_rpc_packet#RCS.get_packet);
+///     REACHED_STATE_SAT(
+///       NOT(... )
+///     )
+///   )
+[[nodiscard]] std::string to_two_towers(const FormulaPtr& formula);
+
+/// Compact single-line mathematical rendering, e.g. <<a>>~(<b>tt).
+[[nodiscard]] std::string to_compact(const FormulaPtr& formula);
+
+/// Structural size (node count) — used by tests and to cap diagnostics.
+[[nodiscard]] std::size_t formula_size(const FormulaPtr& formula);
+
+}  // namespace dpma::bisim

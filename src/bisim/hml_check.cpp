@@ -1,0 +1,109 @@
+#include "bisim/hml_check.hpp"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dpma::bisim {
+namespace {
+
+class Checker {
+public:
+    explicit Checker(const lts::Lts& model) : model_(model) {}
+
+    bool eval(lts::StateId state, const FormulaPtr& formula) {
+        const auto key = std::make_pair(formula.get(), state);
+        if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+        bool value = false;
+        switch (formula->kind) {
+            case Formula::Kind::True:
+                value = true;
+                break;
+            case Formula::Kind::Not:
+                value = !eval(state, formula->children.front());
+                break;
+            case Formula::Kind::And: {
+                value = true;
+                for (const FormulaPtr& child : formula->children) {
+                    if (!eval(state, child)) {
+                        value = false;
+                        break;
+                    }
+                }
+                break;
+            }
+            case Formula::Kind::Diamond:
+                value = eval_diamond(state, *formula);
+                break;
+        }
+        memo_.emplace(key, value);
+        return value;
+    }
+
+private:
+    bool eval_diamond(lts::StateId state, const Formula& diamond) {
+        const lts::ActionId label = model_.actions()->find(diamond.label);
+        if (label == kNoSymbol) return false;
+        const FormulaPtr& child = diamond.children.front();
+        if (!diamond.weak) {
+            for (const lts::Transition& t : model_.out(state)) {
+                if (t.action == label && eval(t.target, child)) return true;
+            }
+            return false;
+        }
+        const std::vector<lts::StateId>& pre = tau_closure(state);
+        if (label == model_.actions()->tau()) {
+            for (lts::StateId mid : pre) {
+                if (eval(mid, child)) return true;
+            }
+            return false;
+        }
+        for (lts::StateId mid : pre) {
+            for (const lts::Transition& t : model_.out(mid)) {
+                if (t.action != label) continue;
+                for (lts::StateId end : tau_closure(t.target)) {
+                    if (eval(end, child)) return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    const std::vector<lts::StateId>& tau_closure(lts::StateId state) {
+        auto [it, inserted] = closures_.try_emplace(state);
+        if (!inserted) return it->second;
+        const lts::ActionId tau = model_.actions()->tau();
+        std::vector<char> seen(model_.num_states(), 0);
+        std::deque<lts::StateId> queue{state};
+        seen[state] = 1;
+        while (!queue.empty()) {
+            const lts::StateId u = queue.front();
+            queue.pop_front();
+            it->second.push_back(u);
+            for (const lts::Transition& t : model_.out(u)) {
+                if (t.action == tau && !seen[t.target]) {
+                    seen[t.target] = 1;
+                    queue.push_back(t.target);
+                }
+            }
+        }
+        return it->second;
+    }
+
+    const lts::Lts& model_;
+    std::map<std::pair<const Formula*, lts::StateId>, bool> memo_;
+    std::map<lts::StateId, std::vector<lts::StateId>> closures_;
+};
+
+}  // namespace
+
+bool satisfies(const lts::Lts& model, lts::StateId state, const FormulaPtr& formula) {
+    DPMA_REQUIRE(formula != nullptr, "null formula");
+    DPMA_REQUIRE(state < model.num_states(), "state out of range");
+    Checker checker(model);
+    return checker.eval(state, formula);
+}
+
+}  // namespace dpma::bisim

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file hml_check.hpp
+/// A small HML model checker.  Its main use is verifying diagnostics: a
+/// distinguishing formula produced by the equivalence checker must be
+/// satisfied by the first system's initial state and refuted by the
+/// second's.  The property tests of the library rely on this.
+
+#include "bisim/hml.hpp"
+#include "lts/lts.hpp"
+
+namespace dpma::bisim {
+
+/// Evaluates \p formula at \p state.  Diamonds marked weak are interpreted
+/// over the weak transition relation (tau* a tau* for visible labels, tau*
+/// for "tau"); strong diamonds over single transitions.  A diamond whose
+/// label does not occur in the system is simply unsatisfiable.
+[[nodiscard]] bool satisfies(const lts::Lts& model, lts::StateId state,
+                             const FormulaPtr& formula);
+
+}  // namespace dpma::bisim

@@ -1,0 +1,107 @@
+#include "bisim/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace dpma::bisim {
+namespace {
+
+/// Signature of a state: the sorted, deduplicated list of
+/// (action, target block) pairs of its outgoing transitions.
+using Signature = std::vector<std::pair<lts::ActionId, BlockId>>;
+
+Signature signature_of(const lts::Lts& model, lts::StateId state,
+                       const std::vector<BlockId>& blocks) {
+    Signature sig;
+    const auto out = model.out(state);
+    sig.reserve(out.size());
+    for (const lts::Transition& t : out) {
+        sig.emplace_back(t.action, blocks[t.target]);
+    }
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    return sig;
+}
+
+}  // namespace
+
+std::size_t RefinementResult::separation_round(lts::StateId a, lts::StateId b) const {
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        if (rounds[r][a] != rounds[r][b]) return r;
+    }
+    return 0;
+}
+
+RefinementResult refine_strong(const lts::Lts& model) {
+    const std::size_t n = model.num_states();
+    RefinementResult result;
+    result.rounds.emplace_back(n, BlockId{0});
+    if (n == 0) return result;
+
+    struct KeyHash {
+        std::size_t operator()(const std::pair<BlockId, Signature>& key) const noexcept {
+            std::size_t h = key.first * 0x9E3779B97F4A7C15ull;
+            for (const auto& [action, block] : key.second) {
+                h ^= (static_cast<std::size_t>(action) << 32 | block) +
+                     0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+            }
+            return h;
+        }
+    };
+
+    while (true) {
+        const std::vector<BlockId>& prev = result.rounds.back();
+        std::vector<BlockId> next(n, 0);
+        // Key: (previous block, signature wrt previous partition).
+        std::unordered_map<std::pair<BlockId, Signature>, BlockId, KeyHash> block_ids;
+        block_ids.reserve(n);
+        for (lts::StateId s = 0; s < n; ++s) {
+            auto key = std::make_pair(prev[s], signature_of(model, s, prev));
+            auto [it, inserted] =
+                block_ids.emplace(std::move(key), static_cast<BlockId>(block_ids.size()));
+            next[s] = it->second;
+        }
+        const bool stable = block_ids.size() ==
+                            static_cast<std::size_t>(
+                                1 + *std::max_element(prev.begin(), prev.end()));
+        result.rounds.push_back(std::move(next));
+        if (stable) break;
+    }
+    return result;
+}
+
+lts::Lts quotient(const lts::Lts& model, const RefinementResult& refinement) {
+    DPMA_REQUIRE(model.num_states() > 0, "cannot quotient an empty system");
+    const std::vector<BlockId>& blocks = refinement.final_blocks();
+    DPMA_REQUIRE(blocks.size() == model.num_states(),
+                 "refinement does not match the model");
+    const BlockId num_blocks = 1 + *std::max_element(blocks.begin(), blocks.end());
+
+    lts::Lts out(model.actions());
+    for (BlockId b = 0; b < num_blocks; ++b) {
+        out.add_state("block" + std::to_string(b));
+    }
+    // One representative per block suffices: bisimilar states have the same
+    // signature by construction.
+    std::vector<char> done(num_blocks, 0);
+    for (lts::StateId s = 0; s < model.num_states(); ++s) {
+        const BlockId b = blocks[s];
+        if (done[b]) continue;
+        done[b] = 1;
+        std::map<std::pair<lts::ActionId, BlockId>, char> seen;
+        for (const lts::Transition& t : model.out(s)) {
+            if (seen.emplace(std::make_pair(t.action, blocks[t.target]), 1).second) {
+                out.add_transition(b, t.action, blocks[t.target], t.rate);
+            }
+        }
+    }
+    if (model.initial() != lts::kNoState) {
+        out.set_initial(blocks[model.initial()]);
+    }
+    return out;
+}
+
+}  // namespace dpma::bisim

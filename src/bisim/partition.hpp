@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file partition.hpp
+/// Signature-based partition refinement for strong bisimulation, recording
+/// the per-round partitions.  The round history is what makes it possible to
+/// construct distinguishing formulae with guaranteed termination
+/// (Cleaveland, "On automatically explaining bisimulation inequivalence").
+
+#include <cstdint>
+#include <vector>
+
+#include "lts/lts.hpp"
+
+namespace dpma::bisim {
+
+using BlockId = std::uint32_t;
+
+/// Outcome of the refinement: rounds[0] is the trivial partition (all states
+/// in block 0); rounds.back() is the stable partition, i.e. strong
+/// bisimilarity on the input system.  Each later round refines the previous
+/// one (blocks only ever split).
+struct RefinementResult {
+    std::vector<std::vector<BlockId>> rounds;
+
+    [[nodiscard]] const std::vector<BlockId>& final_blocks() const {
+        return rounds.back();
+    }
+
+    [[nodiscard]] bool same_block(lts::StateId a, lts::StateId b) const {
+        return final_blocks()[a] == final_blocks()[b];
+    }
+
+    /// First round index at which \p a and \p b land in different blocks;
+    /// returns 0 when they are never separated (i.e. bisimilar).
+    [[nodiscard]] std::size_t separation_round(lts::StateId a, lts::StateId b) const;
+};
+
+/// Runs signature refinement to a fixpoint.  Rates are ignored: this is the
+/// functional notion of bisimulation used by the noninterference check.
+[[nodiscard]] RefinementResult refine_strong(const lts::Lts& model);
+
+/// Quotient of \p model by its strong-bisimilarity partition: one state per
+/// block, transitions deduplicated.  Keeps the block of the initial state as
+/// the new initial state.
+[[nodiscard]] lts::Lts quotient(const lts::Lts& model, const RefinementResult& refinement);
+
+}  // namespace dpma::bisim

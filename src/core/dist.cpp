@@ -1,0 +1,77 @@
+#include "core/dist.hpp"
+
+#include <cmath>
+
+#include "core/text.hpp"
+
+namespace dpma {
+
+Dist Dist::exponential(double rate) {
+    DPMA_REQUIRE(rate > 0.0, "exponential rate must be positive");
+    return {DistKind::Exponential, rate, 0.0, 0};
+}
+
+Dist Dist::deterministic(double value) {
+    DPMA_REQUIRE(value >= 0.0, "deterministic delay must be non-negative");
+    return {DistKind::Deterministic, value, 0.0, 0};
+}
+
+Dist Dist::uniform(double low, double high) {
+    DPMA_REQUIRE(low >= 0.0 && high >= low, "uniform needs 0 <= low <= high");
+    return {DistKind::Uniform, low, high, 0};
+}
+
+Dist Dist::normal(double mean, double stddev) {
+    DPMA_REQUIRE(mean > 0.0, "normal delay mean must be positive");
+    DPMA_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+    return {DistKind::Normal, mean, stddev, 0};
+}
+
+Dist Dist::erlang(int phases, double rate) {
+    DPMA_REQUIRE(phases >= 1, "Erlang needs at least one phase");
+    DPMA_REQUIRE(rate > 0.0, "Erlang rate must be positive");
+    return {DistKind::Erlang, rate, 0.0, phases};
+}
+
+Dist Dist::weibull(double shape, double scale) {
+    DPMA_REQUIRE(shape > 0.0 && scale > 0.0, "Weibull parameters must be positive");
+    return {DistKind::Weibull, shape, scale, 0};
+}
+
+Dist Dist::lognormal(double mu, double sigma) {
+    DPMA_REQUIRE(sigma >= 0.0, "lognormal sigma must be non-negative");
+    return {DistKind::LogNormal, mu, sigma, 0};
+}
+
+double Dist::mean() const {
+    switch (kind_) {
+        case DistKind::Exponential: return 1.0 / a_;
+        case DistKind::Deterministic: return a_;
+        case DistKind::Uniform: return 0.5 * (a_ + b_);
+        case DistKind::Normal: return a_;
+        case DistKind::Erlang: return static_cast<double>(phases_) / a_;
+        case DistKind::Weibull: return b_ * std::tgamma(1.0 + 1.0 / a_);
+        case DistKind::LogNormal: return std::exp(a_ + 0.5 * b_ * b_);
+    }
+    throw Error("unknown distribution kind");
+}
+
+std::string Dist::to_string() const {
+    switch (kind_) {
+        case DistKind::Exponential: return "exp(" + format_fixed(a_, 6) + ")";
+        case DistKind::Deterministic: return "det(" + format_fixed(a_, 6) + ")";
+        case DistKind::Uniform:
+            return "unif(" + format_fixed(a_, 6) + ", " + format_fixed(b_, 6) + ")";
+        case DistKind::Normal:
+            return "norm(" + format_fixed(a_, 6) + ", " + format_fixed(b_, 6) + ")";
+        case DistKind::Erlang:
+            return "erlang(" + std::to_string(phases_) + ", " + format_fixed(a_, 6) + ")";
+        case DistKind::Weibull:
+            return "weibull(" + format_fixed(a_, 6) + ", " + format_fixed(b_, 6) + ")";
+        case DistKind::LogNormal:
+            return "lognorm(" + format_fixed(a_, 6) + ", " + format_fixed(b_, 6) + ")";
+    }
+    throw Error("unknown distribution kind");
+}
+
+}  // namespace dpma

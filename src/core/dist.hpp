@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file dist.hpp
+/// Value-type description of a probability distribution for activity
+/// durations.  The description lives in core because it is shared by the
+/// model layer (Æmilia rate annotations), the Markovian layer (which accepts
+/// only Exponential) and the simulation layer (which samples all of them).
+
+#include <string>
+
+#include "core/error.hpp"
+
+namespace dpma {
+
+/// Family of a duration distribution.
+enum class DistKind {
+    Exponential,   ///< rate lambda          (mean 1/lambda)
+    Deterministic, ///< constant value       (mean value)
+    Uniform,       ///< on [low, high]
+    Normal,        ///< truncated at 0; mean/stddev of the untruncated normal
+    Erlang,        ///< k phases of rate lambda (mean k/lambda)
+    Weibull,       ///< shape k, scale lambda
+    LogNormal,     ///< location mu, scale sigma of the underlying normal
+};
+
+/// Immutable distribution description.  Construct through the named factory
+/// functions, which validate parameters.
+class Dist {
+public:
+    [[nodiscard]] static Dist exponential(double rate);
+    [[nodiscard]] static Dist deterministic(double value);
+    [[nodiscard]] static Dist uniform(double low, double high);
+    /// Normal truncated below at zero (resampled); \p mean / \p stddev refer
+    /// to the untruncated distribution, as is conventional for delay models
+    /// whose stddev is small relative to the mean.
+    [[nodiscard]] static Dist normal(double mean, double stddev);
+    [[nodiscard]] static Dist erlang(int phases, double rate);
+    [[nodiscard]] static Dist weibull(double shape, double scale);
+    [[nodiscard]] static Dist lognormal(double mu, double sigma);
+
+    [[nodiscard]] DistKind kind() const noexcept { return kind_; }
+    [[nodiscard]] double a() const noexcept { return a_; }
+    [[nodiscard]] double b() const noexcept { return b_; }
+    [[nodiscard]] int phases() const noexcept { return phases_; }
+
+    /// Analytic mean of the distribution (for the truncated normal this is
+    /// the untruncated mean, consistent with the small-stddev use case).
+    [[nodiscard]] double mean() const;
+
+    /// Human-readable form, e.g. "exp(0.5)" or "norm(0.8, 0.0345)".
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Dist& lhs, const Dist& rhs) noexcept = default;
+
+private:
+    Dist(DistKind kind, double a, double b, int phases) noexcept
+        : kind_(kind), a_(a), b_(b), phases_(phases) {}
+
+    DistKind kind_;
+    double a_;
+    double b_;
+    int phases_;
+};
+
+}  // namespace dpma

@@ -1,0 +1,15 @@
+#include "core/error.hpp"
+
+#include <sstream>
+
+namespace dpma::detail {
+
+void assert_failed(const char* expr, const char* file, int line,
+                   const std::string& message) {
+    std::ostringstream out;
+    out << "internal invariant violated: " << message << " [" << expr << " at "
+        << file << ':' << line << ']';
+    throw Error(out.str());
+}
+
+}  // namespace dpma::detail

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every dpma module.
+///
+/// All recoverable failures in the library are reported by throwing
+/// dpma::Error (or a subclass).  Programming mistakes caught at run time
+/// (broken invariants) use DPMA_ASSERT, which also throws so that tests can
+/// observe them deterministically.
+
+#include <stdexcept>
+#include <string>
+
+namespace dpma {
+
+/// Base class of every exception thrown by the dpma library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Thrown when a model is structurally ill-formed (dangling attachment,
+/// unknown behaviour, two active parties in a synchronisation, ...).
+class ModelError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Thrown when parsing an Æmilia specification or a measure definition fails.
+/// Carries 1-based line/column of the offending token.
+class ParseError : public Error {
+public:
+    ParseError(std::string message, int line, int column)
+        : Error(std::move(message)), line_(line), column_(column) {}
+
+    [[nodiscard]] int line() const noexcept { return line_; }
+    [[nodiscard]] int column() const noexcept { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+/// Thrown when a numerical routine cannot deliver a result (singular chain,
+/// iteration limit exceeded, immediate-action cycle, ...).
+class NumericalError : public Error {
+public:
+    using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void assert_failed(const char* expr, const char* file, int line,
+                                const std::string& message);
+}  // namespace detail
+
+}  // namespace dpma
+
+/// Invariant check that throws dpma::Error on failure (enabled in all builds:
+/// model analysis is not a hot inner loop and tests rely on the throws).
+#define DPMA_ASSERT(expr, message)                                              \
+    do {                                                                        \
+        if (!(expr)) {                                                          \
+            ::dpma::detail::assert_failed(#expr, __FILE__, __LINE__, (message)); \
+        }                                                                       \
+    } while (false)
+
+/// Precondition check for public API entry points.
+#define DPMA_REQUIRE(expr, message)                                             \
+    do {                                                                        \
+        if (!(expr)) {                                                          \
+            throw ::dpma::Error(std::string("precondition violated: ") + (message)); \
+        }                                                                       \
+    } while (false)

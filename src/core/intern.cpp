@@ -1,0 +1,26 @@
+#include "core/intern.hpp"
+
+namespace dpma {
+
+Symbol StringInterner::intern(std::string_view text) {
+    if (auto it = index_.find(text); it != index_.end()) {
+        return it->second;
+    }
+    DPMA_REQUIRE(texts_.size() < kNoSymbol, "interner overflow");
+    const auto id = static_cast<Symbol>(texts_.size());
+    const std::string& stored = texts_.emplace_back(text);
+    index_.emplace(std::string_view(stored), id);
+    return id;
+}
+
+Symbol StringInterner::find(std::string_view text) const noexcept {
+    auto it = index_.find(text);
+    return it == index_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& StringInterner::text(Symbol id) const {
+    DPMA_REQUIRE(id < texts_.size(), "symbol id out of range");
+    return texts_[id];
+}
+
+}  // namespace dpma

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file intern.hpp
+/// String interning used for action labels, behaviour names and instance
+/// names.  Interned ids are dense 32-bit integers, so hot analysis loops
+/// (partition refinement, state-space exploration) compare and hash integers
+/// instead of strings.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace dpma {
+
+/// Identifier of an interned string.  Dense, starting at 0, stable for the
+/// lifetime of the owning StringInterner.
+using Symbol = std::uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+/// A bidirectional string <-> dense-id table.
+///
+/// Not thread-safe; each analysis pipeline owns its interners.
+class StringInterner {
+public:
+    StringInterner() = default;
+
+    /// Returns the id of \p text, inserting it if not present.
+    Symbol intern(std::string_view text);
+
+    /// Returns the id of \p text or kNoSymbol when it was never interned.
+    [[nodiscard]] Symbol find(std::string_view text) const noexcept;
+
+    /// Returns the text of an interned id.  Throws on out-of-range ids.
+    [[nodiscard]] const std::string& text(Symbol id) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return texts_.size(); }
+
+private:
+    // std::deque: element addresses are stable under push_back, so the
+    // string_view keys in index_ remain valid as the table grows.
+    std::deque<std::string> texts_;
+    std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace dpma

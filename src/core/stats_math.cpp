@@ -1,0 +1,119 @@
+#include "core/stats_math.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dpma {
+namespace {
+
+/// Regularised incomplete beta function I_x(a, b) via the continued-fraction
+/// expansion (Lentz's algorithm), as in Numerical Recipes.  Used to evaluate
+/// the Student-t CDF.
+double beta_continued_fraction(double a, double b, double x) {
+    constexpr int kMaxIter = 300;
+    constexpr double kEps = 3e-14;
+    constexpr double kFpMin = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kFpMin) d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kFpMin) c = kFpMin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < kFpMin) d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < kFpMin) c = kFpMin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < kEps) break;
+    }
+    return h;
+}
+
+double incomplete_beta(double a, double b, double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                            a * std::log(x) + b * std::log1p(-x);
+    const double front = std::exp(ln_front);
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return front * beta_continued_fraction(a, b, x) / a;
+    }
+    return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+/// CDF of Student's t with df degrees of freedom.
+double student_t_cdf(double t, double df) {
+    const double x = df / (df + t * t);
+    const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+    return t > 0.0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+void RunningMoments::add(double value) noexcept {
+    ++n_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (value - mean_);
+}
+
+double RunningMoments::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double student_t_critical(std::size_t df, double confidence) {
+    DPMA_REQUIRE(df >= 1, "t distribution needs df >= 1");
+    DPMA_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must lie in (0, 1)");
+    const double target = 0.5 + confidence / 2.0;
+    // Bisection on the CDF; the quantile of interest is comfortably in
+    // (0, 700) even for df = 1 and confidence = 0.999.
+    double lo = 0.0;
+    double hi = 700.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (student_t_cdf(mid, static_cast<double>(df)) < target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double confidence_half_width(const std::vector<double>& samples,
+                             double confidence) {
+    if (samples.size() < 2) return 0.0;
+    RunningMoments moments;
+    for (double s : samples) moments.add(s);
+    const double t = student_t_critical(samples.size() - 1, confidence);
+    return t * moments.stddev() / std::sqrt(static_cast<double>(samples.size()));
+}
+
+double mean_of(const std::vector<double>& samples) {
+    if (samples.empty()) return 0.0;
+    KahanSum sum;
+    for (double s : samples) sum.add(s);
+    return sum.value() / static_cast<double>(samples.size());
+}
+
+}  // namespace dpma

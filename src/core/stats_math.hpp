@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file stats_math.hpp
+/// Small numerical helpers: compensated summation, running moments and
+/// Student-t quantiles for confidence intervals.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dpma {
+
+/// Kahan–Babuška compensated accumulator.  Used wherever long reward sums are
+/// accumulated (steady-state rewards, simulation time averages).
+class KahanSum {
+public:
+    void add(double value) noexcept {
+        const double t = sum_ + value;
+        if (std::abs(sum_) >= std::abs(value)) {
+            comp_ += (sum_ - t) + value;
+        } else {
+            comp_ += (value - t) + sum_;
+        }
+        sum_ = t;
+    }
+
+    [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+    void reset() noexcept { sum_ = comp_ = 0.0; }
+
+private:
+    double sum_ = 0.0;
+    double comp_ = 0.0;
+};
+
+/// Welford running mean/variance accumulator.
+class RunningMoments {
+public:
+    void add(double value) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance (0 when fewer than two samples).
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Two-sided Student-t critical value t_{df, (1+confidence)/2}.
+///
+/// \param df          degrees of freedom (>= 1)
+/// \param confidence  e.g. 0.90 or 0.95
+///
+/// Exact for the tabulated confidence levels {0.90, 0.95, 0.99} via a
+/// Cornish–Fisher style inversion of the t CDF computed numerically; accurate
+/// to ~1e-6, which is far below the statistical noise it is used to bound.
+[[nodiscard]] double student_t_critical(std::size_t df, double confidence);
+
+/// Half-width of the two-sided CI for the mean of \p samples.
+[[nodiscard]] double confidence_half_width(const std::vector<double>& samples,
+                                           double confidence);
+
+/// Mean of \p samples (0 for empty input).
+[[nodiscard]] double mean_of(const std::vector<double>& samples);
+
+}  // namespace dpma

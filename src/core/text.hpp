@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file text.hpp
+/// Minimal text utilities shared by the parser and the report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpma {
+
+/// Strips leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on \p separator, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char separator);
+
+/// Joins \p parts with \p separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// Fixed-point formatting with \p digits decimals (locale independent).
+[[nodiscard]] std::string format_fixed(double value, int digits);
+
+/// True when \p text starts with \p prefix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+}  // namespace dpma

@@ -1,0 +1,187 @@
+#include "ctmc/ctmc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace dpma::ctmc {
+namespace {
+
+/// Maximal-progress filtered immediate branches of a composed state; empty
+/// when the state has no immediate transitions (i.e. is tangible).
+std::vector<VanishingBranch> immediate_branches(const adl::ComposedModel& model,
+                                                lts::StateId state) {
+    int best_priority = std::numeric_limits<int>::min();
+    double total_weight = 0.0;
+    for (const lts::Transition& t : model.graph.out(state)) {
+        if (const auto* imm = std::get_if<lts::RateImmediate>(&t.rate)) {
+            if (imm->priority > best_priority) {
+                best_priority = imm->priority;
+                total_weight = 0.0;
+            }
+            if (imm->priority == best_priority) total_weight += imm->weight;
+        }
+    }
+    std::vector<VanishingBranch> branches;
+    if (total_weight <= 0.0) return branches;
+    for (const lts::Transition& t : model.graph.out(state)) {
+        if (const auto* imm = std::get_if<lts::RateImmediate>(&t.rate)) {
+            // Zero-weight branches can never fire; dropping them keeps
+            // degenerate parameterisations (e.g. loss probability 0) legal.
+            if (imm->priority == best_priority && imm->weight > 0.0) {
+                branches.push_back(
+                    VanishingBranch{t.target, imm->weight / total_weight, t.action});
+            }
+        }
+    }
+    return branches;
+}
+
+}  // namespace
+
+void Ctmc::add_rate(TangibleId from, TangibleId to, double rate) {
+    DPMA_REQUIRE(from < rows_.size() && to < rows_.size(), "CTMC state out of range");
+    DPMA_REQUIRE(rate > 0.0, "CTMC rates must be positive");
+    if (from == to) return;  // self-loops do not affect the CTMC dynamics
+    for (RateEntry& e : rows_[from]) {
+        if (e.target == to) {
+            e.rate += rate;
+            exit_[from] += rate;
+            return;
+        }
+    }
+    rows_[from].push_back(RateEntry{to, rate});
+    exit_[from] += rate;
+}
+
+double Ctmc::max_exit_rate() const {
+    double best = 0.0;
+    for (double e : exit_) best = std::max(best, e);
+    return best;
+}
+
+MarkovModel build_markov(const adl::ComposedModel& model, bool allow_absorbing) {
+    const std::size_t n = model.graph.num_states();
+    MarkovModel out;
+    out.tangible_of.assign(n, kNoTangible);
+    out.vanishing_branches.resize(n);
+
+    // Classify states and sanity-check rates.
+    for (lts::StateId s = 0; s < n; ++s) {
+        for (const lts::Transition& t : model.graph.out(s)) {
+            if (std::holds_alternative<lts::RateUnspecified>(t.rate)) {
+                throw ModelError(
+                    "transition " + model.graph.actions()->name(t.action) +
+                    " has no rate: functional models cannot be solved as CTMCs");
+            }
+            if (lts::is_passive(t.rate)) {
+                throw ModelError("passive transition " +
+                                 model.graph.actions()->name(t.action) +
+                                 " survived composition (unattached interaction?)");
+            }
+            if (lts::is_general(t.rate)) {
+                throw ModelError("generally distributed transition " +
+                                 model.graph.actions()->name(t.action) +
+                                 " in a Markovian model; use the simulator instead");
+            }
+        }
+        out.vanishing_branches[s] = immediate_branches(model, s);
+        if (out.vanishing_branches[s].empty()) {
+            out.tangible_of[s] = static_cast<TangibleId>(out.orig_of.size());
+            out.orig_of.push_back(s);
+        }
+    }
+
+    // Topologically order the vanishing subgraph; reject immediate cycles.
+    {
+        std::vector<int> indegree(n, 0);
+        std::vector<lts::StateId> vanishing;
+        for (lts::StateId s = 0; s < n; ++s) {
+            if (out.is_tangible(s)) continue;
+            vanishing.push_back(s);
+            for (const VanishingBranch& b : out.vanishing_branches[s]) {
+                if (!out.is_tangible(b.target)) ++indegree[b.target];
+            }
+        }
+        std::deque<lts::StateId> ready;
+        for (lts::StateId s : vanishing) {
+            if (indegree[s] == 0) ready.push_back(s);
+        }
+        while (!ready.empty()) {
+            const lts::StateId s = ready.front();
+            ready.pop_front();
+            out.vanishing_topo_order.push_back(s);
+            for (const VanishingBranch& b : out.vanishing_branches[s]) {
+                if (!out.is_tangible(b.target) && --indegree[b.target] == 0) {
+                    ready.push_back(b.target);
+                }
+            }
+        }
+        if (out.vanishing_topo_order.size() != vanishing.size()) {
+            throw NumericalError(
+                "immediate-action cycle detected: the model lets time stand "
+                "still forever (check immediate self-triggering loops)");
+        }
+    }
+
+    // reach[v]: distribution over tangible states entered from vanishing v.
+    // Computed in reverse topological order so successors are ready.
+    std::vector<std::unordered_map<lts::StateId, double>> reach(n);
+    for (auto it = out.vanishing_topo_order.rbegin();
+         it != out.vanishing_topo_order.rend(); ++it) {
+        const lts::StateId v = *it;
+        auto& dist = reach[v];
+        for (const VanishingBranch& b : out.vanishing_branches[v]) {
+            if (out.is_tangible(b.target)) {
+                dist[b.target] += b.probability;
+            } else {
+                for (const auto& [g, p] : reach[b.target]) {
+                    dist[g] += b.probability * p;
+                }
+            }
+        }
+    }
+
+    // Assemble the tangible CTMC.
+    Ctmc chain(out.orig_of.size());
+    for (TangibleId t = 0; t < out.orig_of.size(); ++t) {
+        const lts::StateId s = out.orig_of[t];
+        bool has_timed = false;
+        for (const lts::Transition& tr : model.graph.out(s)) {
+            const auto* exp_rate = std::get_if<lts::RateExp>(&tr.rate);
+            if (exp_rate == nullptr) continue;  // tangible => no immediates enabled
+            has_timed = true;
+            if (out.is_tangible(tr.target)) {
+                chain.add_rate(t, out.tangible_of[tr.target], exp_rate->rate);
+            } else {
+                for (const auto& [g, p] : reach[tr.target]) {
+                    chain.add_rate(t, out.tangible_of[g], exp_rate->rate * p);
+                }
+            }
+        }
+        if (!has_timed && !allow_absorbing) {
+            throw ModelError("absorbing tangible state found (deadlock): " +
+                             (model.graph.state_name(s).empty()
+                                  ? "state " + std::to_string(s)
+                                  : model.graph.state_name(s)));
+        }
+    }
+    out.chain = std::move(chain);
+
+    // Initial distribution.
+    const lts::StateId init = model.graph.initial();
+    DPMA_REQUIRE(init != lts::kNoState, "composed model has no initial state");
+    if (out.is_tangible(init)) {
+        out.initial_distribution.emplace_back(out.tangible_of[init], 1.0);
+    } else {
+        for (const auto& [g, p] : reach[init]) {
+            out.initial_distribution.emplace_back(out.tangible_of[g], p);
+        }
+    }
+    return out;
+}
+
+}  // namespace dpma::ctmc

@@ -1,0 +1,110 @@
+#include "ctmc/lump.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace dpma::ctmc {
+namespace {
+
+/// Rounds a rate for signature comparison: rates are compared up to one
+/// part in 1e9 so that values assembled in different summation orders still
+/// land in the same class.
+long long quantise(double rate) {
+    return static_cast<long long>(std::llround(rate * 1e9));
+}
+
+}  // namespace
+
+LumpResult lump(const Ctmc& chain, const std::vector<std::vector<char>>& protected_masks) {
+    const std::size_t n = chain.num_states();
+    LumpResult result;
+    result.block_of.assign(n, 0);
+    if (n == 0) return result;
+
+    // Initial partition: group by the vector of protected-mask bits.
+    {
+        std::map<std::vector<char>, TangibleId> index;
+        for (TangibleId s = 0; s < n; ++s) {
+            std::vector<char> key;
+            key.reserve(protected_masks.size());
+            for (const auto& mask : protected_masks) {
+                DPMA_REQUIRE(mask.size() == n, "mask does not match the chain");
+                key.push_back(mask[s]);
+            }
+            auto [it, inserted] =
+                index.emplace(std::move(key), static_cast<TangibleId>(index.size()));
+            result.block_of[s] = it->second;
+        }
+    }
+
+    // Refine: signature = sorted (target block, total quantised rate).
+    while (true) {
+        using Signature = std::vector<std::pair<TangibleId, long long>>;
+        std::map<std::pair<TangibleId, Signature>, TangibleId> index;
+        std::vector<TangibleId> next(n);
+        for (TangibleId s = 0; s < n; ++s) {
+            std::map<TangibleId, double> into;
+            for (const RateEntry& e : chain.row(s)) {
+                into[result.block_of[e.target]] += e.rate;
+            }
+            Signature sig;
+            sig.reserve(into.size());
+            for (const auto& [block, rate] : into) {
+                sig.emplace_back(block, quantise(rate));
+            }
+            auto [it, inserted] = index.emplace(
+                std::make_pair(result.block_of[s], std::move(sig)),
+                static_cast<TangibleId>(index.size()));
+            next[s] = it->second;
+        }
+        const bool stable =
+            index.size() ==
+            static_cast<std::size_t>(
+                1 + *std::max_element(result.block_of.begin(), result.block_of.end()));
+        result.block_of = std::move(next);
+        if (stable) break;
+    }
+
+    const TangibleId num_blocks =
+        1 + *std::max_element(result.block_of.begin(), result.block_of.end());
+    result.blocks.assign(num_blocks, {});
+    for (TangibleId s = 0; s < n; ++s) {
+        result.blocks[result.block_of[s]].push_back(s);
+    }
+
+    // Build the lumped chain from one representative per block (all members
+    // have identical block-level rates by construction).
+    Ctmc lumped(num_blocks);
+    for (TangibleId b = 0; b < num_blocks; ++b) {
+        const TangibleId rep = result.blocks[b].front();
+        std::map<TangibleId, double> into;
+        for (const RateEntry& e : chain.row(rep)) {
+            into[result.block_of[e.target]] += e.rate;
+        }
+        for (const auto& [target, rate] : into) {
+            if (target != b) lumped.add_rate(b, target, rate);
+        }
+    }
+    result.lumped = std::move(lumped);
+    return result;
+}
+
+std::vector<char> project_mask(const LumpResult& lumping, const std::vector<char>& mask) {
+    DPMA_REQUIRE(mask.size() == lumping.block_of.size(), "mask does not match the chain");
+    std::vector<char> out(lumping.blocks.size(), 0);
+    for (std::size_t b = 0; b < lumping.blocks.size(); ++b) {
+        const char first = mask[lumping.blocks[b].front()];
+        for (TangibleId s : lumping.blocks[b]) {
+            DPMA_REQUIRE(mask[s] == first,
+                         "mask is not constant on a lumping block; pass it as a "
+                         "protected mask when lumping");
+        }
+        out[b] = first;
+    }
+    return out;
+}
+
+}  // namespace dpma::ctmc

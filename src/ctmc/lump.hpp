@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file lump.hpp
+/// Ordinary lumpability of CTMCs: the coarsest partition (refining a given
+/// initial one) such that every state of a block has the same total rate
+/// into every other block.  The lumped chain has one state per block and is
+/// stochastically equivalent for every measure that is constant on blocks —
+/// the state-space reduction TwoTowers applies through Markovian
+/// bisimulation equivalence.
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace dpma::ctmc {
+
+struct LumpResult {
+    Ctmc lumped{0};
+    /// block_of[original state] = lumped state.
+    std::vector<TangibleId> block_of;
+    /// blocks[lumped state] = original member states.
+    std::vector<std::vector<TangibleId>> blocks;
+};
+
+/// Lumps \p chain.  \p protected_masks lists state predicates that must stay
+/// evaluable on the lumped chain (e.g. the masks of every reward measure):
+/// two states start in the same block only when they agree on every mask.
+/// Pass an empty vector for unconstrained (maximal) lumping.
+[[nodiscard]] LumpResult lump(const Ctmc& chain,
+                              const std::vector<std::vector<char>>& protected_masks);
+
+/// Lifts a steady-state distribution of the lumped chain back to the
+/// original states is impossible in general; the useful direction is
+/// projecting measures: sum of pi over a block.  This helper folds an
+/// original-state mask into lumped-state weights and checks consistency
+/// (every block is pure w.r.t. the mask).
+[[nodiscard]] std::vector<char> project_mask(const LumpResult& lumping,
+                                             const std::vector<char>& mask);
+
+}  // namespace dpma::ctmc

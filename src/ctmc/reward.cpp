@@ -1,0 +1,78 @@
+#include "ctmc/reward.hpp"
+
+#include "core/error.hpp"
+#include "core/stats_math.hpp"
+
+namespace dpma::ctmc {
+
+std::vector<double> action_frequencies(const MarkovModel& markov,
+                                       const adl::ComposedModel& model,
+                                       const std::vector<double>& pi) {
+    DPMA_REQUIRE(pi.size() == markov.chain.num_states(),
+                 "steady-state vector does not match the chain");
+    const std::size_t num_actions = model.graph.actions()->size();
+    std::vector<double> freq(num_actions, 0.0);
+    std::vector<double> vanishing_entry(model.graph.num_states(), 0.0);
+
+    // Timed transitions out of tangible states.
+    for (TangibleId t = 0; t < markov.orig_of.size(); ++t) {
+        const lts::StateId s = markov.orig_of[t];
+        for (const lts::Transition& tr : model.graph.out(s)) {
+            const auto* exp_rate = std::get_if<lts::RateExp>(&tr.rate);
+            if (exp_rate == nullptr) continue;
+            const double f = pi[t] * exp_rate->rate;
+            freq[tr.action] += f;
+            if (!markov.is_tangible(tr.target)) {
+                vanishing_entry[tr.target] += f;
+            }
+        }
+    }
+
+    // Propagate through the acyclic vanishing subgraph, sources first.
+    for (lts::StateId v : markov.vanishing_topo_order) {
+        const double entry = vanishing_entry[v];
+        if (entry == 0.0) continue;
+        for (const VanishingBranch& b : markov.vanishing_branches[v]) {
+            const double f = entry * b.probability;
+            freq[b.action] += f;
+            if (!markov.is_tangible(b.target)) {
+                vanishing_entry[b.target] += f;
+            }
+        }
+    }
+    return freq;
+}
+
+double state_probability(const MarkovModel& markov, const adl::ComposedModel& model,
+                         const std::vector<double>& pi,
+                         const adl::Predicate& predicate) {
+    const std::vector<char> mask = adl::state_mask(model, predicate);
+    KahanSum sum;
+    for (TangibleId t = 0; t < markov.orig_of.size(); ++t) {
+        if (mask[markov.orig_of[t]]) sum.add(pi[t]);
+    }
+    return sum.value();
+}
+
+double evaluate_measure(const MarkovModel& markov, const adl::ComposedModel& model,
+                        const std::vector<double>& pi, const adl::Measure& measure) {
+    KahanSum total;
+    std::vector<double> freq;  // computed lazily, shared by all trans clauses
+    for (const adl::RewardClause& clause : measure.clauses) {
+        if (clause.target == adl::RewardClause::Target::State) {
+            total.add(clause.reward *
+                      state_probability(markov, model, pi, clause.predicate));
+            continue;
+        }
+        if (freq.empty()) {
+            freq = action_frequencies(markov, model, pi);
+        }
+        const std::vector<char> mask = adl::action_mask(model, clause.predicate);
+        for (Symbol a = 0; a < mask.size(); ++a) {
+            if (mask[a]) total.add(clause.reward * freq[a]);
+        }
+    }
+    return total.value();
+}
+
+}  // namespace dpma::ctmc

@@ -1,0 +1,409 @@
+#include "ctmc/solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/error.hpp"
+#include "core/stats_math.hpp"
+
+namespace dpma::ctmc {
+namespace {
+
+/// Transposed adjacency (incoming rates) used by Gauss–Seidel.
+std::vector<std::vector<RateEntry>> incoming_of(const Ctmc& chain) {
+    std::vector<std::vector<RateEntry>> in(chain.num_states());
+    for (TangibleId s = 0; s < chain.num_states(); ++s) {
+        for (const RateEntry& e : chain.row(s)) {
+            in[e.target].push_back(RateEntry{s, e.rate});
+        }
+    }
+    return in;
+}
+
+void normalize(std::vector<double>& pi) {
+    KahanSum sum;
+    for (double p : pi) sum.add(p);
+    const double total = sum.value();
+    DPMA_REQUIRE(total > 0.0, "probability vector has zero mass");
+    for (double& p : pi) p /= total;
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        best = std::max(best, std::abs(a[i] - b[i]));
+    }
+    return best;
+}
+
+bool reaches_all(const Ctmc& chain, bool forward) {
+    const std::size_t n = chain.num_states();
+    std::vector<std::vector<TangibleId>> adj(n);
+    for (TangibleId s = 0; s < n; ++s) {
+        for (const RateEntry& e : chain.row(s)) {
+            if (forward) {
+                adj[s].push_back(e.target);
+            } else {
+                adj[e.target].push_back(s);
+            }
+        }
+    }
+    std::vector<char> seen(n, 0);
+    std::deque<TangibleId> queue{0};
+    seen[0] = 1;
+    std::size_t count = 1;
+    while (!queue.empty()) {
+        const TangibleId u = queue.front();
+        queue.pop_front();
+        for (TangibleId v : adj[u]) {
+            if (!seen[v]) {
+                seen[v] = 1;
+                ++count;
+                queue.push_back(v);
+            }
+        }
+    }
+    return count == n;
+}
+
+}  // namespace
+
+bool is_irreducible(const Ctmc& chain) {
+    if (chain.num_states() == 0) return false;
+    return reaches_all(chain, true) && reaches_all(chain, false);
+}
+
+std::vector<double> steady_state_gth(const Ctmc& chain) {
+    const std::size_t n = chain.num_states();
+    DPMA_REQUIRE(n >= 1, "empty chain");
+    if (n == 1) return {1.0};
+
+    // Dense off-diagonal rate matrix.
+    std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+    for (TangibleId s = 0; s < n; ++s) {
+        for (const RateEntry& e : chain.row(s)) {
+            a[s][e.target] += e.rate;
+        }
+    }
+
+    // Forward elimination, censoring states n-1 .. 1 (Grassmann, Taksar,
+    // Heyman; see Stewart, "Introduction to the Numerical Solution of Markov
+    // Chains", sect. 2.7).  Only additions/divisions of non-negative
+    // quantities: no cancellation.
+    for (std::size_t k = n - 1; k >= 1; --k) {
+        KahanSum departure;
+        for (std::size_t j = 0; j < k; ++j) departure.add(a[k][j]);
+        const double s = departure.value();
+        if (s <= 0.0) {
+            throw NumericalError(
+                "GTH: state " + std::to_string(k) +
+                " cannot reach lower-numbered states (chain not irreducible)");
+        }
+        for (std::size_t i = 0; i < k; ++i) a[i][k] /= s;
+        for (std::size_t i = 0; i < k; ++i) {
+            const double f = a[i][k];
+            if (f == 0.0) continue;
+            for (std::size_t j = 0; j < k; ++j) {
+                if (j != i) a[i][j] += f * a[k][j];
+            }
+        }
+    }
+
+    // Back substitution: unnormalised stationary weights.
+    std::vector<double> pi(n, 0.0);
+    pi[0] = 1.0;
+    for (std::size_t k = 1; k < n; ++k) {
+        KahanSum sum;
+        for (std::size_t i = 0; i < k; ++i) sum.add(pi[i] * a[i][k]);
+        pi[k] = sum.value();
+    }
+    normalize(pi);
+    return pi;
+}
+
+std::vector<double> steady_state_gauss_seidel(const Ctmc& chain,
+                                              const SolveOptions& options) {
+    const std::size_t n = chain.num_states();
+    DPMA_REQUIRE(n >= 1, "empty chain");
+    const auto incoming = incoming_of(chain);
+    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    std::vector<double> prev(n);
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+        prev = pi;
+        for (TangibleId j = 0; j < n; ++j) {
+            const double exit = chain.exit_rate(j);
+            if (exit <= 0.0) {
+                throw NumericalError("Gauss-Seidel: absorbing state in chain");
+            }
+            KahanSum inflow;
+            for (const RateEntry& e : incoming[j]) {
+                inflow.add(pi[e.target] * e.rate);
+            }
+            pi[j] = inflow.value() / exit;
+        }
+        normalize(pi);
+        if (max_abs_diff(pi, prev) < options.tolerance) {
+            return pi;
+        }
+    }
+    throw NumericalError("Gauss-Seidel did not converge within " +
+                         std::to_string(options.max_iterations) + " iterations");
+}
+
+std::vector<double> steady_state_power(const Ctmc& chain, const SolveOptions& options) {
+    const std::size_t n = chain.num_states();
+    DPMA_REQUIRE(n >= 1, "empty chain");
+    const double lambda = chain.max_exit_rate() * 1.05 + 1e-12;
+    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n);
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+        // next = pi * (I + Q / lambda)
+        for (TangibleId s = 0; s < n; ++s) {
+            next[s] = pi[s] * (1.0 - chain.exit_rate(s) / lambda);
+        }
+        for (TangibleId s = 0; s < n; ++s) {
+            const double mass = pi[s] / lambda;
+            if (mass == 0.0) continue;
+            for (const RateEntry& e : chain.row(s)) {
+                next[e.target] += mass * e.rate;
+            }
+        }
+        normalize(next);
+        const double diff = max_abs_diff(next, pi);
+        pi.swap(next);
+        if (diff < options.tolerance) return pi;
+    }
+    throw NumericalError("power iteration did not converge within " +
+                         std::to_string(options.max_iterations) + " iterations");
+}
+
+std::vector<std::vector<TangibleId>> bottom_sccs(const Ctmc& chain) {
+    const std::size_t n = chain.num_states();
+    // Iterative Tarjan.
+    std::vector<int> index(n, -1);
+    std::vector<int> lowlink(n, 0);
+    std::vector<char> on_stack(n, 0);
+    std::vector<TangibleId> stack;
+    std::vector<int> scc_of(n, -1);
+    int next_index = 0;
+    int num_sccs = 0;
+
+    struct Frame {
+        TangibleId v;
+        std::size_t child = 0;
+    };
+    for (TangibleId root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = 1;
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            const TangibleId v = frame.v;
+            const auto& row = chain.row(v);
+            if (frame.child < row.size()) {
+                const TangibleId w = row[frame.child++].target;
+                if (index[w] == -1) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = 1;
+                    frames.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+                }
+                continue;
+            }
+            if (lowlink[v] == index[v]) {
+                while (true) {
+                    const TangibleId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = 0;
+                    scc_of[w] = num_sccs;
+                    if (w == v) break;
+                }
+                ++num_sccs;
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                const TangibleId parent = frames.back().v;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+
+    // A SCC is "bottom" when no member has an edge leaving it.
+    std::vector<char> is_bottom(static_cast<std::size_t>(num_sccs), 1);
+    for (TangibleId v = 0; v < n; ++v) {
+        for (const RateEntry& e : chain.row(v)) {
+            if (scc_of[e.target] != scc_of[v]) {
+                is_bottom[static_cast<std::size_t>(scc_of[v])] = 0;
+            }
+        }
+    }
+    std::vector<std::vector<TangibleId>> out(static_cast<std::size_t>(num_sccs));
+    for (TangibleId v = 0; v < n; ++v) {
+        out[static_cast<std::size_t>(scc_of[v])].push_back(v);
+    }
+    std::vector<std::vector<TangibleId>> bottoms;
+    for (std::size_t c = 0; c < out.size(); ++c) {
+        if (is_bottom[c]) bottoms.push_back(std::move(out[c]));
+    }
+    return bottoms;
+}
+
+namespace {
+
+std::vector<double> steady_state_irreducible(const Ctmc& chain,
+                                             const SolveOptions& options) {
+    if (chain.num_states() <= options.dense_threshold) {
+        return steady_state_gth(chain);
+    }
+    try {
+        return steady_state_gauss_seidel(chain, options);
+    } catch (const NumericalError&) {
+        return steady_state_power(chain, options);
+    }
+}
+
+}  // namespace
+
+std::vector<double> steady_state(const Ctmc& chain, const SolveOptions& options) {
+    DPMA_REQUIRE(chain.num_states() >= 1, "empty chain");
+    if (is_irreducible(chain)) {
+        return steady_state_irreducible(chain, options);
+    }
+    const auto bottoms = bottom_sccs(chain);
+    if (bottoms.size() != 1) {
+        throw NumericalError(
+            "chain has " + std::to_string(bottoms.size()) +
+            " recurrent classes; the long-run distribution depends on the "
+            "initial state (is the model deadlock-free?)");
+    }
+    const std::vector<TangibleId>& recurrent = bottoms.front();
+    std::vector<TangibleId> dense_of(chain.num_states(), kNoTangible);
+    for (std::size_t i = 0; i < recurrent.size(); ++i) {
+        dense_of[recurrent[i]] = static_cast<TangibleId>(i);
+    }
+    Ctmc sub(recurrent.size());
+    for (std::size_t i = 0; i < recurrent.size(); ++i) {
+        for (const RateEntry& e : chain.row(recurrent[i])) {
+            DPMA_ASSERT(dense_of[e.target] != kNoTangible,
+                        "edge leaves a bottom SCC");
+            sub.add_rate(static_cast<TangibleId>(i), dense_of[e.target], e.rate);
+        }
+    }
+    const std::vector<double> sub_pi = steady_state_irreducible(sub, options);
+    std::vector<double> pi(chain.num_states(), 0.0);
+    for (std::size_t i = 0; i < recurrent.size(); ++i) {
+        pi[recurrent[i]] = sub_pi[i];
+    }
+    return pi;
+}
+
+std::vector<double> transient(const Ctmc& chain,
+                              const std::vector<std::pair<TangibleId, double>>& initial,
+                              double time) {
+    const std::size_t n = chain.num_states();
+    DPMA_REQUIRE(n >= 1, "empty chain");
+    DPMA_REQUIRE(time >= 0.0, "negative time");
+    std::vector<double> pi(n, 0.0);
+    for (const auto& [s, p] : initial) {
+        DPMA_REQUIRE(s < n, "initial state out of range");
+        pi[s] += p;
+    }
+    normalize(pi);
+    if (time == 0.0) return pi;
+
+    const double lambda = std::max(chain.max_exit_rate() * 1.05, 1e-9);
+    const double lt = lambda * time;
+
+    // Uniformised one-step operator.
+    const auto step = [&](const std::vector<double>& v) {
+        std::vector<double> out(n, 0.0);
+        for (TangibleId s = 0; s < n; ++s) {
+            out[s] += v[s] * (1.0 - chain.exit_rate(s) / lambda);
+            const double mass = v[s] / lambda;
+            if (mass == 0.0) continue;
+            for (const RateEntry& e : chain.row(s)) {
+                out[e.target] += mass * e.rate;
+            }
+        }
+        return out;
+    };
+
+    std::vector<double> result(n, 0.0);
+    std::vector<double> vk = pi;
+    double cumulative = 0.0;
+    // Poisson weights in log space to survive large lambda*t.
+    for (std::size_t k = 0;; ++k) {
+        const double log_w =
+            -lt + static_cast<double>(k) * std::log(lt > 0 ? lt : 1e-300) -
+            std::lgamma(static_cast<double>(k) + 1.0);
+        const double w = std::exp(log_w);
+        for (std::size_t i = 0; i < n; ++i) result[i] += w * vk[i];
+        cumulative += w;
+        if (cumulative >= 1.0 - 1e-12 && static_cast<double>(k) >= lt) break;
+        if (k > 20 * (static_cast<std::size_t>(lt) + 10)) break;  // safety cap
+        vk = step(vk);
+    }
+    normalize(result);
+    return result;
+}
+
+double accumulated_reward(const Ctmc& chain,
+                          const std::vector<std::pair<TangibleId, double>>& initial,
+                          const std::vector<double>& reward_rates, double time) {
+    const std::size_t n = chain.num_states();
+    DPMA_REQUIRE(n >= 1, "empty chain");
+    DPMA_REQUIRE(reward_rates.size() == n, "reward vector does not match the chain");
+    DPMA_REQUIRE(time >= 0.0, "negative time");
+    if (time == 0.0) return 0.0;
+
+    std::vector<double> pi(n, 0.0);
+    for (const auto& [s, p] : initial) {
+        DPMA_REQUIRE(s < n, "initial state out of range");
+        pi[s] += p;
+    }
+    normalize(pi);
+
+    const double lambda = std::max(chain.max_exit_rate() * 1.05, 1e-9);
+    const double lt = lambda * time;
+
+    const auto step = [&](const std::vector<double>& v) {
+        std::vector<double> out(n, 0.0);
+        for (TangibleId s = 0; s < n; ++s) {
+            out[s] += v[s] * (1.0 - chain.exit_rate(s) / lambda);
+            const double mass = v[s] / lambda;
+            if (mass == 0.0) continue;
+            for (const RateEntry& e : chain.row(s)) {
+                out[e.target] += mass * e.rate;
+            }
+        }
+        return out;
+    };
+
+    // tail_k = P(Pois(lt) >= k+1); accumulate (tail_k / lambda) * (v_k . r).
+    KahanSum total;
+    std::vector<double> vk = pi;
+    double cdf = 0.0;  // P(Pois(lt) <= k)
+    for (std::size_t k = 0;; ++k) {
+        const double log_w =
+            -lt + static_cast<double>(k) * std::log(lt) -
+            std::lgamma(static_cast<double>(k) + 1.0);
+        cdf += std::exp(log_w);
+        const double tail = std::max(0.0, 1.0 - cdf);
+        KahanSum dot;
+        for (std::size_t i = 0; i < n; ++i) dot.add(vk[i] * reward_rates[i]);
+        total.add(tail / lambda * dot.value());
+        if (tail < 1e-13 && static_cast<double>(k) >= lt) break;
+        if (k > 20 * (static_cast<std::size_t>(lt) + 10)) break;  // safety cap
+        vk = step(vk);
+    }
+    return total.value();
+}
+
+}  // namespace dpma::ctmc

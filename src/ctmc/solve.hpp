@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file solve.hpp
+/// Numerical solution of CTMCs: steady-state distribution via GTH
+/// (Grassmann–Taksar–Heyman, subtraction-free and numerically stable, used
+/// for small chains), Gauss–Seidel and power iteration (sparse, for large
+/// chains), and transient analysis via uniformisation.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace dpma::ctmc {
+
+struct SolveOptions {
+    double tolerance = 1e-12;          ///< max norm of successive-iterate change
+    std::size_t max_iterations = 500000;
+    std::size_t dense_threshold = 1500;  ///< up to this size use GTH
+};
+
+/// True when every state can reach every other state (checked via forward
+/// and backward reachability from state 0).
+[[nodiscard]] bool is_irreducible(const Ctmc& chain);
+
+/// Bottom strongly connected components (recurrent classes) of the chain.
+/// Each inner vector lists the member states of one BSCC.
+[[nodiscard]] std::vector<std::vector<TangibleId>> bottom_sccs(const Ctmc& chain);
+
+/// Steady-state distribution, dispatching on chain size: GTH below the dense
+/// threshold, Gauss–Seidel (with power-iteration fallback) above.
+///
+/// Chains with transient states (e.g. a client's one-shot prebuffering
+/// delay) are handled by restricting to the recurrent class: the chain must
+/// have exactly one bottom SCC, which receives all the probability mass;
+/// transient states get probability zero.  Multiple bottom SCCs raise
+/// NumericalError (the long-run behaviour would depend on the initial state).
+[[nodiscard]] std::vector<double> steady_state(const Ctmc& chain,
+                                               const SolveOptions& options = {});
+
+/// GTH state reduction.  O(n^3) time, O(n^2) memory; exact up to rounding,
+/// no subtractions.
+[[nodiscard]] std::vector<double> steady_state_gth(const Ctmc& chain);
+
+/// Gauss–Seidel iteration on the balance equations pi Q = 0.
+/// Throws NumericalError when the iteration limit is reached.
+[[nodiscard]] std::vector<double> steady_state_gauss_seidel(const Ctmc& chain,
+                                                            const SolveOptions& options = {});
+
+/// Power iteration on the uniformised DTMC P = I + Q/Lambda.
+[[nodiscard]] std::vector<double> steady_state_power(const Ctmc& chain,
+                                                     const SolveOptions& options = {});
+
+/// Transient distribution pi(t) from \p initial via uniformisation with
+/// adaptive truncation of the Poisson series (truncation mass < 1e-12).
+[[nodiscard]] std::vector<double> transient(
+    const Ctmc& chain, const std::vector<std::pair<TangibleId, double>>& initial,
+    double time);
+
+/// Expected reward accumulated over [0, t]:  E[ integral_0^t r(X_s) ds ],
+/// where r is a per-state reward rate vector.  Uses the uniformisation
+/// identity  integral_0^t pois(L s, k) ds = P(Pois(L t) >= k+1) / L.
+/// Answers questions like "how much energy does a cold start cost in its
+/// first second?" exactly on the Markovian model.
+[[nodiscard]] double accumulated_reward(
+    const Ctmc& chain, const std::vector<std::pair<TangibleId, double>>& initial,
+    const std::vector<double>& reward_rates, double time);
+
+}  // namespace dpma::ctmc

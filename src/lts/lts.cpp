@@ -1,0 +1,85 @@
+#include "lts/lts.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dpma::lts {
+
+std::string rate_to_string(const Rate& rate) {
+    struct Visitor {
+        std::string operator()(const RateUnspecified&) const { return "_"; }
+        std::string operator()(const RateExp& r) const {
+            return "exp(" + std::to_string(r.rate) + ")";
+        }
+        std::string operator()(const RateImmediate& r) const {
+            return "inf(" + std::to_string(r.priority) + ", " + std::to_string(r.weight) + ")";
+        }
+        std::string operator()(const RatePassive&) const { return "passive"; }
+        std::string operator()(const RateGeneral& r) const { return r.dist.to_string(); }
+    };
+    return std::visit(Visitor{}, rate);
+}
+
+Lts::Lts(std::shared_ptr<ActionTable> actions) : actions_(std::move(actions)) {
+    DPMA_REQUIRE(actions_ != nullptr, "Lts needs an action table");
+}
+
+Lts::Lts() : Lts(std::make_shared<ActionTable>()) {}
+
+StateId Lts::add_state(std::string name) {
+    DPMA_REQUIRE(out_.size() < kNoState, "state-space overflow");
+    out_.emplace_back();
+    names_.push_back(std::move(name));
+    return static_cast<StateId>(out_.size() - 1);
+}
+
+void Lts::add_transition(StateId from, ActionId action, StateId to, Rate rate) {
+    DPMA_REQUIRE(from < out_.size() && to < out_.size(), "transition endpoint out of range");
+    out_[from].push_back(Transition{action, to, std::move(rate)});
+    ++num_transitions_;
+}
+
+void Lts::set_initial(StateId state) {
+    DPMA_REQUIRE(state < out_.size(), "initial state out of range");
+    initial_ = state;
+}
+
+std::span<const Transition> Lts::out(StateId state) const {
+    DPMA_REQUIRE(state < out_.size(), "state out of range");
+    return out_[state];
+}
+
+const std::string& Lts::state_name(StateId state) const {
+    DPMA_REQUIRE(state < names_.size(), "state out of range");
+    return names_[state];
+}
+
+void Lts::set_state_name(StateId state, std::string name) {
+    DPMA_REQUIRE(state < names_.size(), "state out of range");
+    names_[state] = std::move(name);
+}
+
+void Lts::set_rate(StateId from, std::size_t transition_index, Rate rate) {
+    DPMA_REQUIRE(from < out_.size(), "state out of range");
+    DPMA_REQUIRE(transition_index < out_[from].size(), "transition index out of range");
+    out_[from][transition_index].rate = std::move(rate);
+}
+
+std::string Lts::dump() const {
+    std::ostringstream outstr;
+    outstr << "lts: " << num_states() << " states, " << num_transitions_
+           << " transitions, initial " << initial_ << '\n';
+    for (StateId s = 0; s < out_.size(); ++s) {
+        outstr << "  s" << s;
+        if (!names_[s].empty()) outstr << " [" << names_[s] << ']';
+        outstr << '\n';
+        for (const Transition& t : out_[s]) {
+            outstr << "    --" << actions_->name(t.action) << ", "
+                   << rate_to_string(t.rate) << "--> s" << t.target << '\n';
+        }
+    }
+    return outstr.str();
+}
+
+}  // namespace dpma::lts

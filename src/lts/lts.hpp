@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file lts.hpp
+/// Labelled transition systems: the common semantic object of the whole
+/// toolchain.  The functional phase analyses an Lts ignoring rates; the
+/// Markovian phase reads RateExp / RateImmediate annotations; the general
+/// phase reads RateGeneral annotations.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/intern.hpp"
+#include "lts/rate.hpp"
+
+namespace dpma::lts {
+
+using StateId = std::uint32_t;
+using ActionId = Symbol;
+
+inline constexpr StateId kNoState = 0xFFFFFFFFu;
+
+/// Interning table for action labels with the invisible action tau
+/// pre-interned as id 0.
+class ActionTable {
+public:
+    ActionTable() { tau_ = interner_.intern("tau"); }
+
+    /// Id of the invisible action.
+    [[nodiscard]] ActionId tau() const noexcept { return tau_; }
+
+    ActionId intern(std::string_view name) { return interner_.intern(name); }
+
+    /// Id of \p name, or kNoSymbol when never interned.
+    [[nodiscard]] ActionId find(std::string_view name) const noexcept {
+        return interner_.find(name);
+    }
+
+    [[nodiscard]] const std::string& name(ActionId id) const { return interner_.text(id); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return interner_.size(); }
+
+private:
+    StringInterner interner_;
+    ActionId tau_;
+};
+
+/// One outgoing transition.
+struct Transition {
+    ActionId action;
+    StateId target;
+    Rate rate;
+};
+
+/// A rooted labelled transition system with rate-annotated transitions.
+///
+/// Shares its ActionTable through a shared_ptr so that several models built
+/// for comparison (with DPM / without DPM, hidden / restricted) agree on
+/// action ids.
+class Lts {
+public:
+    explicit Lts(std::shared_ptr<ActionTable> actions);
+
+    /// Creates a fresh action table and an empty LTS over it.
+    Lts();
+
+    [[nodiscard]] const std::shared_ptr<ActionTable>& actions() const noexcept {
+        return actions_;
+    }
+
+    /// Adds a state; \p name is optional diagnostic text (e.g. the tuple of
+    /// component-local states the composer produced it from).
+    StateId add_state(std::string name = {});
+
+    void add_transition(StateId from, ActionId action, StateId to, Rate rate = RateUnspecified{});
+
+    void set_initial(StateId state);
+    [[nodiscard]] StateId initial() const noexcept { return initial_; }
+
+    [[nodiscard]] std::size_t num_states() const noexcept { return out_.size(); }
+    [[nodiscard]] std::size_t num_transitions() const noexcept { return num_transitions_; }
+
+    [[nodiscard]] std::span<const Transition> out(StateId state) const;
+
+    [[nodiscard]] const std::string& state_name(StateId state) const;
+    void set_state_name(StateId state, std::string name);
+
+    /// Convenience: interns \p name in the shared action table.
+    ActionId action(std::string_view name) { return actions_->intern(name); }
+
+    /// Multi-line textual dump (for debugging and golden tests).
+    [[nodiscard]] std::string dump() const;
+
+    /// Replaces the rate of an existing transition (used by model refiners
+    /// that swap exponential delays for general ones).
+    void set_rate(StateId from, std::size_t transition_index, Rate rate);
+
+private:
+    std::shared_ptr<ActionTable> actions_;
+    std::vector<std::vector<Transition>> out_;
+    std::vector<std::string> names_;
+    StateId initial_ = kNoState;
+    std::size_t num_transitions_ = 0;
+};
+
+}  // namespace dpma::lts

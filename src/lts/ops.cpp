@@ -1,0 +1,260 @@
+#include "lts/ops.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace dpma::lts {
+namespace {
+
+/// Copies states (with names) of \p model into a fresh LTS sharing the same
+/// action table; transitions are added by the caller.
+Lts clone_states(const Lts& model) {
+    Lts out(model.actions());
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        out.add_state(model.state_name(s));
+    }
+    if (model.initial() != kNoState) out.set_initial(model.initial());
+    return out;
+}
+
+/// Forward tau-closure (reflexive) of every state.
+std::vector<std::vector<StateId>> tau_closures(const Lts& model) {
+    const ActionId tau = model.actions()->tau();
+    std::vector<std::vector<StateId>> closure(model.num_states());
+    std::vector<char> seen(model.num_states());
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        std::fill(seen.begin(), seen.end(), 0);
+        std::deque<StateId> queue{s};
+        seen[s] = 1;
+        while (!queue.empty()) {
+            const StateId u = queue.front();
+            queue.pop_front();
+            closure[s].push_back(u);
+            for (const Transition& t : model.out(u)) {
+                if (t.action == tau && !seen[t.target]) {
+                    seen[t.target] = 1;
+                    queue.push_back(t.target);
+                }
+            }
+        }
+    }
+    return closure;
+}
+
+}  // namespace
+
+Lts hide(const Lts& model, const ActionSet& actions) {
+    Lts out = clone_states(model);
+    const ActionId tau = model.actions()->tau();
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        for (const Transition& t : model.out(s)) {
+            const ActionId label = actions.contains(t.action) ? tau : t.action;
+            out.add_transition(s, label, t.target, t.rate);
+        }
+    }
+    return out;
+}
+
+Lts restrict_actions(const Lts& model, const ActionSet& actions) {
+    Lts out = clone_states(model);
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        for (const Transition& t : model.out(s)) {
+            if (!actions.contains(t.action)) {
+                out.add_transition(s, t.action, t.target, t.rate);
+            }
+        }
+    }
+    return out;
+}
+
+Lts reachable_part(const Lts& model) {
+    DPMA_REQUIRE(model.initial() != kNoState, "reachable_part needs an initial state");
+    std::vector<StateId> remap(model.num_states(), kNoState);
+    Lts out(model.actions());
+    std::deque<StateId> queue{model.initial()};
+    remap[model.initial()] = out.add_state(model.state_name(model.initial()));
+    out.set_initial(remap[model.initial()]);
+    std::vector<StateId> order{model.initial()};
+    while (!queue.empty()) {
+        const StateId u = queue.front();
+        queue.pop_front();
+        for (const Transition& t : model.out(u)) {
+            if (remap[t.target] == kNoState) {
+                remap[t.target] = out.add_state(model.state_name(t.target));
+                queue.push_back(t.target);
+                order.push_back(t.target);
+            }
+        }
+    }
+    for (StateId u : order) {
+        for (const Transition& t : model.out(u)) {
+            out.add_transition(remap[u], t.action, remap[t.target], t.rate);
+        }
+    }
+    return out;
+}
+
+std::vector<StateId> deadlock_states(const Lts& model) {
+    std::vector<StateId> out;
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        if (model.out(s).empty()) out.push_back(s);
+    }
+    return out;
+}
+
+TauCollapseResult collapse_tau_sccs(const Lts& model) {
+    const ActionId tau = model.actions()->tau();
+    const std::size_t n = model.num_states();
+
+    // Iterative Tarjan over tau edges only.
+    std::vector<int> index(n, -1);
+    std::vector<int> lowlink(n, 0);
+    std::vector<char> on_stack(n, 0);
+    std::vector<StateId> stack;
+    std::vector<StateId> scc_of(n, kNoState);
+    int next_index = 0;
+    StateId num_sccs = 0;
+
+    struct Frame {
+        StateId v;
+        std::size_t child = 0;
+    };
+    for (StateId root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = 1;
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            const StateId v = frame.v;
+            const auto out = model.out(v);
+            if (frame.child < out.size()) {
+                const Transition& t = out[frame.child++];
+                if (t.action != tau) continue;
+                const StateId w = t.target;
+                if (index[w] == -1) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = 1;
+                    frames.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+                }
+                continue;
+            }
+            if (lowlink[v] == index[v]) {
+                while (true) {
+                    const StateId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = 0;
+                    scc_of[w] = num_sccs;
+                    if (w == v) break;
+                }
+                ++num_sccs;
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                const StateId parent = frames.back().v;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+
+    TauCollapseResult result{Lts(model.actions()), std::move(scc_of)};
+    for (StateId c = 0; c < num_sccs; ++c) {
+        result.collapsed.add_state();
+    }
+    // Deduplicated condensed edges; tau self-edges vanish by construction.
+    // Per-source sets keyed by (action, target) packed into 64 bits — exact,
+    // since both ids are 32-bit.
+    std::vector<std::unordered_set<std::uint64_t>> seen(num_sccs);
+    for (StateId s = 0; s < n; ++s) {
+        const StateId from = result.representative_of[s];
+        for (const Transition& t : model.out(s)) {
+            const StateId to = result.representative_of[t.target];
+            if (t.action == tau && from == to) continue;
+            const std::uint64_t key = (static_cast<std::uint64_t>(t.action) << 32) | to;
+            if (!seen[from].insert(key).second) continue;
+            result.collapsed.add_transition(from, t.action, to);
+        }
+    }
+    if (model.initial() != kNoState) {
+        result.collapsed.set_initial(result.representative_of[model.initial()]);
+    }
+    return result;
+}
+
+Lts saturate(const Lts& model) {
+    const ActionId tau = model.actions()->tau();
+    const auto closure = tau_closures(model);
+    Lts out = clone_states(model);
+
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        // Weak tau moves: everything in the (reflexive) closure.
+        std::vector<char> added_tau(model.num_states(), 0);
+        for (StateId mid : closure[s]) {
+            if (!added_tau[mid]) {
+                added_tau[mid] = 1;
+                out.add_transition(s, tau, mid);
+            }
+        }
+        // Weak visible moves: tau* a tau*.
+        // Deduplicate (action, target) pairs to keep the saturated system small.
+        std::unordered_map<std::uint64_t, char> added;
+        for (StateId mid : closure[s]) {
+            for (const Transition& t : model.out(mid)) {
+                if (t.action == tau) continue;
+                for (StateId end : closure[t.target]) {
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(t.action) << 32) | end;
+                    if (!added.emplace(key, 1).second) continue;
+                    out.add_transition(s, t.action, end);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+UnionResult disjoint_union(const Lts& lhs, const Lts& rhs) {
+    DPMA_REQUIRE(lhs.initial() != kNoState && rhs.initial() != kNoState,
+                 "disjoint_union needs rooted systems");
+    auto table = std::make_shared<ActionTable>();
+    Lts combined(table);
+
+    const auto import = [&](const Lts& src, StateId offset) {
+        for (StateId s = 0; s < src.num_states(); ++s) {
+            combined.add_state(src.state_name(s));
+        }
+        for (StateId s = 0; s < src.num_states(); ++s) {
+            for (const Transition& t : src.out(s)) {
+                const ActionId label = table->intern(src.actions()->name(t.action));
+                combined.add_transition(offset + s, label, offset + t.target, t.rate);
+            }
+        }
+    };
+
+    import(lhs, 0);
+    const auto rhs_offset = static_cast<StateId>(lhs.num_states());
+    import(rhs, rhs_offset);
+
+    UnionResult result{std::move(combined), lhs.initial(),
+                       static_cast<StateId>(rhs_offset + rhs.initial())};
+    result.combined.set_initial(result.initial_lhs);
+    return result;
+}
+
+ActionSet make_action_set(Lts& model, const std::vector<std::string>& names) {
+    ActionSet set;
+    for (const std::string& name : names) {
+        set.insert(model.action(name));
+    }
+    return set;
+}
+
+}  // namespace dpma::lts

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file rate.hpp
+/// Timing annotation of an LTS transition, following the EMPA / Æmilia
+/// taxonomy used by the paper:
+///
+///  * Unspecified — purely functional model, no timing at all;
+///  * Exp         — exponentially timed (active) with a positive rate;
+///  * Immediate   — zero duration, with a priority level and a weight;
+///                  immediate actions take precedence over timed ones
+///                  (maximal progress) and, within the highest enabled
+///                  priority, fire with probability proportional to weight;
+///  * Passive     — reactive action whose timing is decided by the active
+///                  partner it synchronises with (the `_' rate of Æmilia);
+///  * General     — generally distributed duration, used by the simulator.
+
+#include <string>
+#include <variant>
+
+#include "core/dist.hpp"
+
+namespace dpma::lts {
+
+struct RateUnspecified {
+    friend bool operator==(const RateUnspecified&, const RateUnspecified&) noexcept = default;
+};
+
+struct RateExp {
+    double rate = 0.0;  ///< exponential rate (1/mean), > 0
+    friend bool operator==(const RateExp&, const RateExp&) noexcept = default;
+};
+
+struct RateImmediate {
+    int priority = 1;     ///< larger = more urgent
+    double weight = 1.0;  ///< relative probability within the same priority
+    friend bool operator==(const RateImmediate&, const RateImmediate&) noexcept = default;
+};
+
+struct RatePassive {
+    friend bool operator==(const RatePassive&, const RatePassive&) noexcept = default;
+};
+
+struct RateGeneral {
+    Dist dist = Dist::deterministic(0.0);
+    friend bool operator==(const RateGeneral&, const RateGeneral&) noexcept = default;
+};
+
+using Rate = std::variant<RateUnspecified, RateExp, RateImmediate, RatePassive, RateGeneral>;
+
+[[nodiscard]] inline bool is_passive(const Rate& rate) noexcept {
+    return std::holds_alternative<RatePassive>(rate);
+}
+
+[[nodiscard]] inline bool is_immediate(const Rate& rate) noexcept {
+    return std::holds_alternative<RateImmediate>(rate);
+}
+
+[[nodiscard]] inline bool is_exponential(const Rate& rate) noexcept {
+    return std::holds_alternative<RateExp>(rate);
+}
+
+[[nodiscard]] inline bool is_general(const Rate& rate) noexcept {
+    return std::holds_alternative<RateGeneral>(rate);
+}
+
+[[nodiscard]] inline bool is_timed(const Rate& rate) noexcept {
+    return is_exponential(rate) || is_general(rate);
+}
+
+/// Human-readable form used in diagnostics and LTS dumps.
+[[nodiscard]] std::string rate_to_string(const Rate& rate);
+
+}  // namespace dpma::lts

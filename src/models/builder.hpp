@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file builder.hpp
+/// Tiny construction helpers that keep the programmatic case-study models
+/// close to the Æmilia surface syntax:  behaviours read as lists of
+/// alternatives "guard -> <action, rate> . ... . Continuation(args)".
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adl/model.hpp"
+
+namespace dpma::models {
+
+[[nodiscard]] inline adl::Action act(std::string name, lts::Rate rate) {
+    return adl::Action{std::move(name), std::move(rate)};
+}
+
+/// Alternative with no guard and constant-free continuation.
+[[nodiscard]] inline adl::Alternative alt(std::vector<adl::Action> actions,
+                                          std::string continuation,
+                                          std::vector<adl::ExprPtr> args = {},
+                                          adl::BoolExprPtr guard = nullptr) {
+    return adl::Alternative{std::move(guard), std::move(actions),
+                            adl::BehaviorCall{std::move(continuation), std::move(args)}};
+}
+
+// Expression shorthands for single-parameter buffer behaviours.
+[[nodiscard]] inline adl::ExprPtr pvar(std::size_t index = 0, std::string name = "n") {
+    return adl::Expr::param(index, std::move(name));
+}
+[[nodiscard]] inline adl::ExprPtr lit(long v) { return adl::Expr::constant(v); }
+[[nodiscard]] inline adl::ExprPtr plus(adl::ExprPtr a, adl::ExprPtr b) {
+    return adl::Expr::binary(adl::Expr::Kind::Add, std::move(a), std::move(b));
+}
+[[nodiscard]] inline adl::ExprPtr minus(adl::ExprPtr a, adl::ExprPtr b) {
+    return adl::Expr::binary(adl::Expr::Kind::Sub, std::move(a), std::move(b));
+}
+[[nodiscard]] inline adl::BoolExprPtr cmp_lt(adl::ExprPtr a, adl::ExprPtr b) {
+    return adl::BoolExpr::compare(adl::BoolExpr::CmpOp::Lt, std::move(a), std::move(b));
+}
+[[nodiscard]] inline adl::BoolExprPtr cmp_eq(adl::ExprPtr a, adl::ExprPtr b) {
+    return adl::BoolExpr::compare(adl::BoolExpr::CmpOp::Eq, std::move(a), std::move(b));
+}
+[[nodiscard]] inline adl::BoolExprPtr cmp_gt(adl::ExprPtr a, adl::ExprPtr b) {
+    return adl::BoolExpr::compare(adl::BoolExpr::CmpOp::Gt, std::move(a), std::move(b));
+}
+
+}  // namespace dpma::models

@@ -1,0 +1,226 @@
+#include "models/disk.hpp"
+
+#include "core/error.hpp"
+#include "models/builder.hpp"
+
+namespace dpma::models::disk {
+namespace {
+
+/// Bursty ON/OFF request source.  Requests are fire-and-forget (the queue
+/// always accepts, dropping on overflow), so the source never blocks.
+adl::ElemType source(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Source_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Bursting_Source", {},
+            {alt({act("interarrival",
+                      r.timed(p.burst_interarrival,
+                              Dist::deterministic(p.burst_interarrival))),
+                  act("issue_request", r.immediate())},
+                 "Bursting_Source"),
+             alt({act("end_burst", r.exponential(p.burst_length))}, "Quiet_Source")}},
+        adl::BehaviorDef{"Quiet_Source", {},
+            {alt({act("begin_burst", r.exponential(p.quiet_length))},
+                 "Bursting_Source")}},
+    };
+    type.input_interactions = {};
+    type.output_interactions = {"issue_request"};
+    return type;
+}
+
+/// Finite request queue: accepts always (drops when full), hands requests
+/// to the disk on demand.
+adl::ElemType queue(const RateGen& r) {
+    adl::ElemType type;
+    type.name = "Queue_Type";
+    adl::BehaviorDef buffer{"Queue", {"n", "cap"}, {}};
+    const auto n = [] { return pvar(0, "n"); };
+    const auto cap = [] { return pvar(1, "cap"); };
+    buffer.alternatives.push_back(
+        alt({act("enqueue", RateGen::passive())}, "Queue",
+            {plus(n(), lit(1)), cap()}, cmp_lt(n(), cap())));
+    buffer.alternatives.push_back(
+        alt({act("enqueue", RateGen::passive()),
+             act("drop_request", r.immediate())},
+            "Queue", {n(), cap()}, cmp_eq(n(), cap())));
+    buffer.alternatives.push_back(
+        alt({act("dequeue", RateGen::passive())}, "Queue",
+            {minus(n(), lit(1)), cap()}, cmp_gt(n(), lit(0))));
+    type.behaviors = {std::move(buffer)};
+    type.input_interactions = {"enqueue", "dequeue"};
+    type.output_interactions = {};
+    return type;
+}
+
+/// The power-managed disk.  Pulls work eagerly while active; notifies the
+/// DPM about idle/busy transitions; accepts shutdowns only when idle (the
+/// lesson of the paper's Sect. 3.1).
+adl::ElemType drive(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Disk_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Idle_Disk", {},
+            {alt({act("pull_request", r.immediate()),
+                  act("notify_busy", r.immediate())},
+                 "Active_Disk"),
+             alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Disk")}},
+        adl::BehaviorDef{"Active_Disk", {},
+            {alt({act("serve_request",
+                      r.timed(p.service_time, Dist::deterministic(p.service_time))),
+                  act("complete_request", r.immediate()),
+                  act("notify_idle", r.immediate())},
+                 "Idle_Disk")}},
+        // A queued request wakes the sleeping disk (wake-on-demand); no busy
+        // notification on this path — the DPM was already disabled by its
+        // own shutdown, exactly as in the rpc server of Sect. 3.1.
+        adl::BehaviorDef{"Sleeping_Disk", {},
+            {alt({act("pull_request", r.immediate())}, "Waking_Disk")}},
+        adl::BehaviorDef{"Waking_Disk", {},
+            {alt({act("spin_up",
+                      r.timed(p.wakeup_time, Dist::deterministic(p.wakeup_time)))},
+                 "Active_Disk")}},
+    };
+    type.input_interactions = {"receive_shutdown"};
+    type.output_interactions = {"pull_request", "complete_request", "notify_busy",
+                                "notify_idle"};
+    return type;
+}
+
+/// Completion observer (the functional check's low side).
+adl::ElemType sink() {
+    adl::ElemType type;
+    type.name = "Sink_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Sink", {},
+            {alt({act("observe_completion", RateGen::passive())}, "Sink")}},
+    };
+    type.input_interactions = {"observe_completion"};
+    type.output_interactions = {};
+    return type;
+}
+
+lts::Rate timeout_rate(const RateGen& r, double timeout) {
+    if (timeout <= 0.0) return r.immediate();
+    return r.timed(timeout, Dist::deterministic(timeout));
+}
+
+adl::ElemType idle_timeout_dpm(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Enabled_DPM", {},
+            {alt({act("send_shutdown", timeout_rate(r, p.shutdown_timeout))},
+                 "Disabled_DPM"),
+             alt({act("receive_busy_notice", RateGen::passive())}, "Disabled_DPM")}},
+        adl::BehaviorDef{"Disabled_DPM", {},
+            {alt({act("receive_idle_notice", RateGen::passive())}, "Enabled_DPM")}},
+    };
+    type.input_interactions = {"receive_busy_notice", "receive_idle_notice"};
+    type.output_interactions = {"send_shutdown"};
+    return type;
+}
+
+adl::ElemType null_dpm() {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Enabled_DPM", {},
+            {alt({act("receive_busy_notice", RateGen::passive())}, "Disabled_DPM")}},
+        adl::BehaviorDef{"Disabled_DPM", {},
+            {alt({act("receive_idle_notice", RateGen::passive())}, "Enabled_DPM")}},
+    };
+    type.input_interactions = {"receive_busy_notice", "receive_idle_notice"};
+    type.output_interactions = {};
+    return type;
+}
+
+}  // namespace
+
+Config functional(bool dpm) {
+    Config config;
+    config.phase = Phase::Functional;
+    config.with_dpm = dpm;
+    config.params.queue_capacity = 3;  // keep the weak-bisim check small
+    return config;
+}
+
+Config markovian(double shutdown_timeout, bool dpm) {
+    Config config;
+    config.phase = Phase::Markovian;
+    config.with_dpm = dpm;
+    config.params.shutdown_timeout = shutdown_timeout;
+    return config;
+}
+
+Config general(double shutdown_timeout, bool dpm) {
+    Config config = markovian(shutdown_timeout, dpm);
+    config.phase = Phase::General;
+    return config;
+}
+
+adl::ArchiType build(const Config& config) {
+    const RateGen r(config.phase);
+    const Params& p = config.params;
+    DPMA_REQUIRE(p.queue_capacity >= 1, "queue capacity must be >= 1");
+    DPMA_REQUIRE(p.power_idle > p.power_sleep,
+                 "sleeping must consume less than idling");
+
+    adl::ArchiType archi;
+    archi.name = "Disk_DPM";
+    archi.elem_types = {source(r, p), queue(r), drive(r, p), sink(),
+                        config.with_dpm ? idle_timeout_dpm(r, p) : null_dpm()};
+    archi.instances = {
+        adl::Instance{"SRC", "Source_Type", {}},
+        adl::Instance{"Q", "Queue_Type", {0, p.queue_capacity}},
+        adl::Instance{"D", "Disk_Type", {}},
+        adl::Instance{"SINK", "Sink_Type", {}},
+        adl::Instance{"DPM", "DPM_Type", {}},
+    };
+    archi.attachments = {
+        adl::Attachment{"SRC", "issue_request", "Q", "enqueue"},
+        adl::Attachment{"D", "pull_request", "Q", "dequeue"},
+        adl::Attachment{"D", "complete_request", "SINK", "observe_completion"},
+        adl::Attachment{"D", "notify_busy", "DPM", "receive_busy_notice"},
+        adl::Attachment{"D", "notify_idle", "DPM", "receive_idle_notice"},
+    };
+    if (config.with_dpm) {
+        archi.attachments.push_back(
+            adl::Attachment{"DPM", "send_shutdown", "D", "receive_shutdown"});
+    }
+    return archi;
+}
+
+adl::ComposedModel compose(const Config& config, bool record_state_names) {
+    adl::ComposeOptions options;
+    options.record_state_names = record_state_names;
+    return adl::compose(build(config), options);
+}
+
+std::vector<std::string> high_action_labels() {
+    return {"DPM.send_shutdown#D.receive_shutdown"};
+}
+
+std::vector<adl::Measure> measures(const Params& params) {
+    std::vector<adl::Measure> out(kNumMeasures);
+    out[kPower].name = "disk_power";
+    out[kPower].clauses = {
+        adl::state_reward_in("D", "Active_Disk", params.power_active),
+        adl::state_reward_in("D", "Idle_Disk", params.power_idle),
+        adl::state_reward_in("D", "Sleeping_Disk", params.power_sleep),
+        adl::state_reward_in("D", "Waking_Disk", params.power_wakeup),
+    };
+    out[kCompleted].name = "completed";
+    out[kCompleted].clauses = {adl::trans_reward("D", "complete_request", 1.0)};
+    out[kDropped].name = "dropped";
+    out[kDropped].clauses = {adl::trans_reward("Q", "drop_request", 1.0)};
+    out[kIssued].name = "issued";
+    out[kIssued].clauses = {adl::trans_reward("SRC", "issue_request", 1.0)};
+    out[kQueueLength].name = "queue_length";
+    for (long k = 1; k <= params.queue_capacity; ++k) {
+        out[kQueueLength].clauses.push_back(adl::state_reward_in(
+            "Q", "Queue(" + std::to_string(k) + ",", static_cast<double>(k)));
+    }
+    return out;
+}
+
+}  // namespace dpma::models::disk

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file disk.hpp
+/// A third case study (ours, not from the paper): the canonical
+/// power-manageable *disk drive* of the DPM literature the paper builds on
+/// (Benini, Bogliolo, De Micheli, "A Survey of Design Techniques for
+/// System-Level Dynamic Power Management" — the paper's reference [1]).
+///
+/// Topology:
+///
+///     SRC --request--> Q --pull--> D(isk) --complete--> SINK
+///                                   ^ shutdown / notifications
+///                                  DPM
+///
+///  * SRC is a bursty ON/OFF source (Markov-modulated arrivals): during a
+///    burst it issues requests with a short interarrival time, then goes
+///    quiet for a long OFF period — the workload shape that makes timeout
+///    DPM policies worthwhile;
+///  * Q is a finite queue (drops on overflow);
+///  * D serves queued requests and has the classic four power states
+///    Active / Idle / Sleep / WakingUp with disk-like power levels;
+///  * the DPM arms a shutdown timer when the disk goes idle (the same
+///    idle-timeout policy as the paper's rpc study);
+///  * SINK observes completions (the "low" observer of the functional
+///    check).
+///
+/// The interesting control question is the *break-even time*: sleeping is
+/// only profitable when the idle period exceeds
+///     T_be = E_transition / (P_idle - P_sleep),
+/// and the classical competitive-analysis result says the timeout policy
+/// with timeout = T_be uses at most twice the energy of the clairvoyant
+/// policy.  bench_disk_breakeven sweeps the timeout and locates the
+/// numerically optimal value next to T_be.
+
+#include <vector>
+
+#include "adl/compose.hpp"
+#include "adl/measure.hpp"
+#include "adl/model.hpp"
+#include "models/phase.hpp"
+
+namespace dpma::models::disk {
+
+/// Timing in milliseconds; power in watts (IBM Travelstar-like levels, the
+/// standard parameterisation of the DPM literature).
+struct Params {
+    double burst_interarrival = 20.0;  ///< mean gap between requests in a burst
+    double burst_length = 100.0;       ///< mean ON duration
+    /// Mean OFF duration.  Must sit well above the break-even time
+    /// (~4.4 s with the default power levels) for sleeping to pay off —
+    /// bench_disk_breakeven sweeps it across the crossover.
+    double quiet_length = 20000.0;
+    double service_time = 12.0;        ///< disk access
+    double wakeup_time = 1600.0;       ///< sleep -> active transient
+    double shutdown_timeout = 500.0;   ///< DPM idle timer (swept)
+    long queue_capacity = 8;
+
+    double power_active = 2.5;
+    double power_idle = 0.9;
+    double power_sleep = 0.13;
+    double power_wakeup = 3.0;
+
+    /// Classical break-even time: the sleep period must at least amortise
+    /// the wake-up transient's extra energy over staying idle.
+    [[nodiscard]] double break_even_time() const {
+        return wakeup_time * (power_wakeup - power_idle) /
+               (power_idle - power_sleep);
+    }
+};
+
+struct Config {
+    Phase phase = Phase::Markovian;
+    bool with_dpm = true;
+    Params params;
+};
+
+[[nodiscard]] Config functional(bool dpm = true);
+[[nodiscard]] Config markovian(double shutdown_timeout, bool dpm);
+[[nodiscard]] Config general(double shutdown_timeout, bool dpm);
+
+[[nodiscard]] adl::ArchiType build(const Config& config);
+[[nodiscard]] adl::ComposedModel compose(const Config& config,
+                                         bool record_state_names = false);
+
+/// High actions of the functional check (the DPM command).
+[[nodiscard]] std::vector<std::string> high_action_labels();
+
+enum MeasureIndex : std::size_t {
+    kPower = 0,          ///< disk power (W)
+    kCompleted = 1,      ///< requests served per msec
+    kDropped = 2,        ///< requests dropped at the full queue per msec
+    kIssued = 3,         ///< requests issued per msec
+    kQueueLength = 4,    ///< mean queue occupancy
+    kNumMeasures = 5,
+};
+
+[[nodiscard]] std::vector<adl::Measure> measures(const Params& params);
+
+}  // namespace dpma::models::disk

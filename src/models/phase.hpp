@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file phase.hpp
+/// The three modelling phases of the paper's incremental methodology and a
+/// small helper that maps an activity's nominal timing onto the rate kind of
+/// the current phase:
+///
+///  * Functional — no timing at all (RateUnspecified); used for the
+///    noninterference check;
+///  * Markovian  — every timed activity is exponential with the given mean;
+///  * General    — every timed activity uses the supplied general
+///    distribution (deterministic / normal / ...).
+///
+/// Immediate actions keep their priorities and weights in the timed phases
+/// and degrade to plain nondeterminism in the functional phase.
+
+#include "core/dist.hpp"
+#include "lts/rate.hpp"
+
+namespace dpma::models {
+
+enum class Phase { Functional, Markovian, General };
+
+/// Rate factory for one phase.
+class RateGen {
+public:
+    explicit RateGen(Phase phase) : phase_(phase) {}
+
+    [[nodiscard]] Phase phase() const noexcept { return phase_; }
+
+    /// A timed activity: exponential with mean \p mean in the Markovian
+    /// phase, \p general in the general phase.
+    [[nodiscard]] lts::Rate timed(double mean, const Dist& general) const {
+        switch (phase_) {
+            case Phase::Functional: return lts::RateUnspecified{};
+            case Phase::Markovian: return lts::RateExp{1.0 / mean};
+            case Phase::General: return lts::RateGeneral{general};
+        }
+        throw Error("unknown phase");
+    }
+
+    /// A timed activity that stays exponential even in the general phase.
+    [[nodiscard]] lts::Rate exponential(double mean) const {
+        return timed(mean, Dist::exponential(1.0 / mean));
+    }
+
+    /// A timed activity that becomes deterministic in the general phase.
+    [[nodiscard]] lts::Rate deterministic(double mean) const {
+        return timed(mean, Dist::deterministic(mean));
+    }
+
+    /// An immediate action (zero duration).
+    [[nodiscard]] lts::Rate immediate(int priority = 1, double weight = 1.0) const {
+        if (phase_ == Phase::Functional) return lts::RateUnspecified{};
+        return lts::RateImmediate{priority, weight};
+    }
+
+    /// A passive (reactive) action; phase independent.
+    [[nodiscard]] static lts::Rate passive() { return lts::RatePassive{}; }
+
+private:
+    Phase phase_;
+};
+
+}  // namespace dpma::models

@@ -1,0 +1,342 @@
+#include "models/rpc.hpp"
+
+#include "core/error.hpp"
+#include "models/builder.hpp"
+
+namespace dpma::models::rpc {
+namespace {
+
+/// Server of Sect. 2.3: sensitive to shutdown in every state, no duplicate
+/// handling, no DPM notifications.
+adl::ElemType simplified_server(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Server_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Idle_Server", {},
+            {alt({act("receive_rpc_packet", RateGen::passive())}, "Busy_Server"),
+             alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Server")}},
+        adl::BehaviorDef{"Busy_Server", {},
+            {alt({act("prepare_result_packet",
+                      r.timed(p.service_time, Dist::deterministic(p.service_time)))},
+                 "Responding_Server"),
+             alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Server")}},
+        adl::BehaviorDef{"Responding_Server", {},
+            {alt({act("send_result_packet", r.immediate())}, "Idle_Server"),
+             alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Server")}},
+        adl::BehaviorDef{"Sleeping_Server", {},
+            {alt({act("receive_rpc_packet", RateGen::passive())}, "Awaking_Server")}},
+        adl::BehaviorDef{"Awaking_Server", {},
+            {alt({act("awake", r.timed(p.awake_time, Dist::deterministic(p.awake_time)))},
+                 "Busy_Server")}},
+    };
+    type.input_interactions = {"receive_rpc_packet", "receive_shutdown"};
+    type.output_interactions = {"send_result_packet"};
+    return type;
+}
+
+/// Server of Sect. 3.1: shutdown only accepted when idle, duplicates are
+/// discarded, busy/idle notifications keep the DPM in sync.  With
+/// \p shutdown_when_busy the Busy/Responding states also accept shutdowns
+/// (dropping the request in service), the variant Sect. 2.1 describes.
+adl::ElemType revised_server(const RateGen& r, const Params& p,
+                             bool shutdown_when_busy) {
+    adl::ElemType type;
+    type.name = "Server_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Idle_Server", {},
+            {alt({act("receive_rpc_packet", RateGen::passive()),
+                  act("notify_busy", r.immediate())},
+                 "Busy_Server"),
+             alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Server")}},
+        adl::BehaviorDef{"Busy_Server", {},
+            {alt({act("prepare_result_packet",
+                      r.timed(p.service_time, Dist::deterministic(p.service_time)))},
+                 "Responding_Server"),
+             alt({act("receive_rpc_packet", RateGen::passive()),
+                  act("ignore_rpc_packet", r.immediate())},
+                 "Busy_Server")}},
+        adl::BehaviorDef{"Responding_Server", {},
+            {alt({act("send_result_packet", r.immediate()),
+                  act("notify_idle", r.immediate())},
+                 "Idle_Server"),
+             alt({act("receive_rpc_packet", RateGen::passive()),
+                  act("ignore_rpc_packet", r.immediate())},
+                 "Responding_Server")}},
+        adl::BehaviorDef{"Sleeping_Server", {},
+            {alt({act("receive_rpc_packet", RateGen::passive())}, "Awaking_Server")}},
+        adl::BehaviorDef{"Awaking_Server", {},
+            {alt({act("awake", r.timed(p.awake_time, Dist::deterministic(p.awake_time)))},
+                 "Busy_Server"),
+             alt({act("receive_rpc_packet", RateGen::passive()),
+                  act("ignore_rpc_packet", r.immediate())},
+                 "Awaking_Server")}},
+    };
+    if (shutdown_when_busy) {
+        // The interrupted request is simply dropped; the DPM was disabled by
+        // the busy notification, so only a free-running (Trivial) DPM can
+        // actually exercise these transitions.  Going back to sleep from
+        // Busy/Responding re-enables the DPM on the next notify_idle cycle.
+        type.behaviors[1].alternatives.push_back(
+            alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Server"));
+        type.behaviors[2].alternatives.push_back(
+            alt({act("receive_shutdown", RateGen::passive())}, "Sleeping_Server"));
+    }
+    type.input_interactions = {"receive_rpc_packet", "receive_shutdown"};
+    type.output_interactions = {"send_result_packet", "notify_busy", "notify_idle"};
+    return type;
+}
+
+/// Half-duplex radio channel; \p lossy adds the keep/lose probabilistic
+/// branch of Sect. 3.1 (loss probability from \p p).
+adl::ElemType radio_channel(const RateGen& r, const Params& p, bool lossy) {
+    const lts::Rate propagation =
+        r.timed(p.propagation_time,
+                Dist::normal(p.propagation_time, p.propagation_stddev));
+    adl::ElemType type;
+    type.name = "Radio_Channel_Type";
+    if (!lossy) {
+        type.behaviors = {
+            adl::BehaviorDef{"Radio_Channel", {},
+                {alt({act("get_packet", RateGen::passive()),
+                      act("propagate_packet", propagation),
+                      act("deliver_packet", r.immediate())},
+                     "Radio_Channel")}},
+        };
+    } else {
+        type.behaviors = {
+            adl::BehaviorDef{"Radio_Channel", {},
+                {alt({act("get_packet", RateGen::passive())}, "Propagating_Channel")}},
+            adl::BehaviorDef{"Propagating_Channel", {},
+                {alt({act("propagate_packet", propagation)}, "Deciding_Channel")}},
+            adl::BehaviorDef{"Deciding_Channel", {},
+                {alt({act("keep_packet", r.immediate(1, 1.0 - p.loss_probability)),
+                      act("deliver_packet", r.immediate())},
+                     "Radio_Channel"),
+                 alt({act("lose_packet", r.immediate(1, p.loss_probability))},
+                     "Radio_Channel")}},
+        };
+    }
+    type.input_interactions = {"get_packet"};
+    type.output_interactions = {"deliver_packet"};
+    return type;
+}
+
+/// Blocking client of Sect. 2.3 (no timeout).
+adl::ElemType simplified_client(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Sync_Client_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Requesting_Client", {},
+            {alt({act("send_rpc_packet", r.immediate())}, "Waiting_Client")}},
+        adl::BehaviorDef{"Waiting_Client", {},
+            {alt({act("receive_result_packet", RateGen::passive())}, "Processing_Client")}},
+        adl::BehaviorDef{"Processing_Client", {},
+            {alt({act("process_result_packet",
+                      r.timed(p.processing_time, Dist::deterministic(p.processing_time)))},
+                 "Requesting_Client")}},
+    };
+    type.input_interactions = {"receive_result_packet"};
+    type.output_interactions = {"send_rpc_packet"};
+    return type;
+}
+
+/// Client of Sect. 3.1: resend timeout, stale results discarded.
+adl::ElemType revised_client(const RateGen& r, const Params& p) {
+    const lts::Rate timeout =
+        r.timed(p.client_timeout, Dist::deterministic(p.client_timeout));
+    adl::ElemType type;
+    type.name = "Sync_Client_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Requesting_Client", {},
+            {alt({act("send_rpc_packet", r.immediate())}, "Waiting_Client"),
+             alt({act("receive_result_packet", RateGen::passive()),
+                  act("ignore_result_packet", r.immediate())},
+                 "Requesting_Client")}},
+        adl::BehaviorDef{"Waiting_Client", {},
+            {alt({act("receive_result_packet", RateGen::passive())}, "Processing_Client"),
+             alt({act("expire_timeout", timeout)}, "Resending_Client")}},
+        adl::BehaviorDef{"Processing_Client", {},
+            {alt({act("process_result_packet",
+                      r.timed(p.processing_time, Dist::deterministic(p.processing_time)))},
+                 "Requesting_Client"),
+             alt({act("receive_result_packet", RateGen::passive()),
+                  act("ignore_result_packet", r.immediate())},
+                 "Processing_Client")}},
+        adl::BehaviorDef{"Resending_Client", {},
+            {alt({act("send_rpc_packet", r.immediate())}, "Waiting_Client"),
+             alt({act("receive_result_packet", RateGen::passive())}, "Processing_Client")}},
+    };
+    type.input_interactions = {"receive_result_packet"};
+    type.output_interactions = {"send_rpc_packet"};
+    return type;
+}
+
+lts::Rate shutdown_rate(const RateGen& r, double timeout) {
+    if (timeout <= 0.0) return r.immediate();
+    return r.timed(timeout, Dist::deterministic(timeout));
+}
+
+/// Trivial DPM (Sect. 2.3): free-running shutdown generator.  Notification
+/// inputs are declared so the same type also fits the revised architecture
+/// (where it absorbs them without reacting).
+adl::ElemType trivial_dpm(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"DPM_Beh", {},
+            {alt({act("send_shutdown", shutdown_rate(r, p.shutdown_timeout))}, "DPM_Beh"),
+             alt({act("receive_busy_notice", RateGen::passive())}, "DPM_Beh"),
+             alt({act("receive_idle_notice", RateGen::passive())}, "DPM_Beh")}},
+    };
+    type.input_interactions = {"receive_busy_notice", "receive_idle_notice"};
+    type.output_interactions = {"send_shutdown"};
+    return type;
+}
+
+/// Idle-timeout DPM (Sect. 3.1 / 4.1): armed when the server reports idle,
+/// cancelled when it reports busy.
+adl::ElemType idle_timeout_dpm(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Enabled_DPM", {},
+            {alt({act("send_shutdown", shutdown_rate(r, p.shutdown_timeout))},
+                 "Disabled_DPM"),
+             alt({act("receive_busy_notice", RateGen::passive())}, "Disabled_DPM")}},
+        adl::BehaviorDef{"Disabled_DPM", {},
+            {alt({act("receive_idle_notice", RateGen::passive())}, "Enabled_DPM")}},
+    };
+    type.input_interactions = {"receive_busy_notice", "receive_idle_notice"};
+    type.output_interactions = {"send_shutdown"};
+    return type;
+}
+
+/// Null DPM: tracks notifications, never issues commands — the "system
+/// without DPM" configuration of the performance comparisons.
+adl::ElemType null_dpm() {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Enabled_DPM", {},
+            {alt({act("receive_busy_notice", RateGen::passive())}, "Disabled_DPM")}},
+        adl::BehaviorDef{"Disabled_DPM", {},
+            {alt({act("receive_idle_notice", RateGen::passive())}, "Enabled_DPM")}},
+    };
+    type.input_interactions = {"receive_busy_notice", "receive_idle_notice"};
+    type.output_interactions = {};
+    return type;
+}
+
+}  // namespace
+
+Config simplified_functional() {
+    Config config;
+    config.phase = Phase::Functional;
+    config.simplified = true;
+    config.policy = DpmPolicy::Trivial;
+    config.lossy_channels = false;
+    return config;
+}
+
+Config revised_functional() {
+    Config config;
+    config.phase = Phase::Functional;
+    config.simplified = false;
+    config.policy = DpmPolicy::IdleTimeout;
+    config.lossy_channels = true;
+    return config;
+}
+
+Config markovian(double shutdown_timeout, bool dpm) {
+    Config config;
+    config.phase = Phase::Markovian;
+    config.simplified = false;
+    config.policy = dpm ? DpmPolicy::IdleTimeout : DpmPolicy::None;
+    config.lossy_channels = true;
+    config.params.shutdown_timeout = shutdown_timeout;
+    return config;
+}
+
+Config general(double shutdown_timeout, bool dpm) {
+    Config config = markovian(shutdown_timeout, dpm);
+    config.phase = Phase::General;
+    return config;
+}
+
+adl::ArchiType build(const Config& config) {
+    const RateGen r(config.phase);
+    const Params& p = config.params;
+
+    adl::ArchiType archi;
+    archi.name = config.simplified ? "RPC_DPM_Simplified" : "RPC_DPM_Revised";
+
+    archi.elem_types.push_back(
+        config.simplified ? simplified_server(r, p)
+                          : revised_server(r, p, config.shutdown_when_busy));
+    archi.elem_types.push_back(radio_channel(r, p, config.lossy_channels));
+    archi.elem_types.push_back(config.simplified ? simplified_client(r, p)
+                                                 : revised_client(r, p));
+    switch (config.policy) {
+        case DpmPolicy::None: archi.elem_types.push_back(null_dpm()); break;
+        case DpmPolicy::Trivial: archi.elem_types.push_back(trivial_dpm(r, p)); break;
+        case DpmPolicy::IdleTimeout: archi.elem_types.push_back(idle_timeout_dpm(r, p)); break;
+    }
+
+    archi.instances = {
+        adl::Instance{"S", "Server_Type", {}},
+        adl::Instance{"RCS", "Radio_Channel_Type", {}},
+        adl::Instance{"RSC", "Radio_Channel_Type", {}},
+        adl::Instance{"C", "Sync_Client_Type", {}},
+        adl::Instance{"DPM", "DPM_Type", {}},
+    };
+
+    archi.attachments = {
+        adl::Attachment{"C", "send_rpc_packet", "RCS", "get_packet"},
+        adl::Attachment{"RCS", "deliver_packet", "S", "receive_rpc_packet"},
+        adl::Attachment{"S", "send_result_packet", "RSC", "get_packet"},
+        adl::Attachment{"RSC", "deliver_packet", "C", "receive_result_packet"},
+    };
+    if (config.policy != DpmPolicy::None) {
+        archi.attachments.push_back(
+            adl::Attachment{"DPM", "send_shutdown", "S", "receive_shutdown"});
+    }
+    if (!config.simplified) {
+        archi.attachments.push_back(
+            adl::Attachment{"S", "notify_busy", "DPM", "receive_busy_notice"});
+        archi.attachments.push_back(
+            adl::Attachment{"S", "notify_idle", "DPM", "receive_idle_notice"});
+    }
+    return archi;
+}
+
+adl::ComposedModel compose(const Config& config, bool record_state_names) {
+    adl::ComposeOptions options;
+    options.record_state_names = record_state_names;
+    return adl::compose(build(config), options);
+}
+
+std::vector<std::string> high_action_labels() {
+    return {"DPM.send_shutdown#S.receive_shutdown"};
+}
+
+std::vector<std::string> low_instance() { return {"C"}; }
+
+std::vector<adl::Measure> measures() {
+    std::vector<adl::Measure> out(kNumMeasures);
+    out[kThroughput].name = "throughput";
+    out[kThroughput].clauses = {adl::trans_reward("C", "process_result_packet", 1.0)};
+
+    out[kWaitingProb].name = "waiting";
+    out[kWaitingProb].clauses = {adl::state_reward_in("C", "Waiting_Client", 1.0)};
+
+    out[kEnergyRate].name = "energy";
+    out[kEnergyRate].clauses = {
+        adl::state_reward_in("S", "Idle_Server", 2.0),
+        adl::state_reward_in("S", "Busy_Server", 3.0),
+        adl::state_reward_in("S", "Responding_Server", 3.0),
+        adl::state_reward_in("S", "Awaking_Server", 2.0),
+    };
+    return out;
+}
+
+}  // namespace dpma::models::rpc

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file rpc.hpp
+/// The paper's first case study (Sect. 2.1 / Fig. 2.a): a blocking client C
+/// calling a power-manageable server S through two half-duplex radio
+/// channels RCS and RSC, with a dynamic power manager DPM issuing shutdown
+/// commands.
+///
+/// Two model families are provided:
+///
+///  * the *simplified* system of Sect. 2.3 — ideal channels, blocking client
+///    without timeout, trivial DPM, server sensitive to shutdowns in every
+///    state.  It fails the noninterference check (the DPM can kill a request
+///    in service and the client blocks forever), reproducing the diagnostic
+///    formula of Sect. 3.1;
+///
+///  * the *revised* system of Sect. 3.1 — lossy channels, client with a
+///    resend timeout, duplicate-discarding server, DPM disabled while the
+///    server is busy (via busy/idle notifications).  It passes the check and
+///    is the basis of the Markovian (Sect. 4.1) and general (Sect. 5.2)
+///    performance models.
+
+#include <string>
+#include <vector>
+
+#include "adl/compose.hpp"
+#include "adl/measure.hpp"
+#include "adl/model.hpp"
+#include "models/phase.hpp"
+
+namespace dpma::models::rpc {
+
+/// Which DPM is plugged into the architecture.
+enum class DpmPolicy {
+    None,         ///< "null" DPM: absorbs notifications, never shuts down
+    Trivial,      ///< issues shutdowns regardless of the server state (2.3)
+    IdleTimeout,  ///< arms a shutdown timer whenever the server goes idle (4.1)
+};
+
+/// Timing parameters (milliseconds), defaults from Sect. 4.1 / 5.2.
+struct Params {
+    double service_time = 0.2;        ///< server result preparation
+    double awake_time = 3.0;          ///< sleeping -> busy transient
+    double propagation_time = 0.8;    ///< per radio channel hop
+    double propagation_stddev = 0.0345;  ///< general phase: normal channel
+    double loss_probability = 0.02;   ///< per hop
+    double processing_time = 9.7;     ///< client-side result processing
+    double client_timeout = 2.0;      ///< resend timer
+    double shutdown_timeout = 10.0;   ///< DPM idle timer (swept 0..25)
+};
+
+struct Config {
+    Phase phase = Phase::Functional;
+    bool simplified = false;  ///< Sect. 2.3 system instead of the revised one
+    DpmPolicy policy = DpmPolicy::IdleTimeout;
+    bool lossy_channels = true;   ///< simplified() sets false
+    /// Revised system only: make the server accept shutdowns while busy or
+    /// responding too (the design choice Sect. 2.1 mentions: "depending on
+    /// the application, the server may be also sensitive to shutdown
+    /// commands when busy, in which case the shutdown interrupts the
+    /// service").  Only observable under the Trivial policy, since the
+    /// idle-timeout DPM never commands a busy server.
+    bool shutdown_when_busy = false;
+    Params params;
+};
+
+/// Canonical configurations used by the experiments.
+[[nodiscard]] Config simplified_functional();                      // Sect. 2.3 + 3.1 (fails)
+[[nodiscard]] Config revised_functional();                         // Sect. 3.1 (passes)
+[[nodiscard]] Config markovian(double shutdown_timeout, bool dpm); // Sect. 4.1 / Fig. 3 left
+[[nodiscard]] Config general(double shutdown_timeout, bool dpm);   // Sect. 5.2 / Fig. 3 right
+
+/// Builds the architectural description for \p config.
+[[nodiscard]] adl::ArchiType build(const Config& config);
+
+/// Composes with names recorded (functional diagnosis) or without (solving).
+[[nodiscard]] adl::ComposedModel compose(const Config& config,
+                                         bool record_state_names = false);
+
+/// The "high" actions of the noninterference check: the DPM commands that
+/// change the power state of the server (Sect. 3: only these are high; the
+/// busy/idle notifications are bookkeeping, not commands).
+[[nodiscard]] std::vector<std::string> high_action_labels();
+
+/// The "low" observer: every action involving the client C.
+[[nodiscard]] std::vector<std::string> low_instance();
+
+/// Indices into the measure list returned by measures().
+enum MeasureIndex : std::size_t {
+    kThroughput = 0,   ///< completed requests per msec
+    kWaitingProb = 1,  ///< fraction of time the client waits for a result
+    kEnergyRate = 2,   ///< server power (reward units per msec)
+    kNumMeasures = 3,
+};
+
+/// The measure set of Sect. 4.1 (throughput, waiting, energy).  Derived
+/// quantities (energy *per request*, waiting time *per request*) are ratios
+/// computed by the harness, as in the paper.
+[[nodiscard]] std::vector<adl::Measure> measures();
+
+}  // namespace dpma::models::rpc

@@ -1,0 +1,19 @@
+#include "models/specs.hpp"
+
+#include "models/specs_data.hpp"
+
+namespace dpma::models {
+
+std::string_view rpc_untimed_spec() { return specs_detail::kRpcUntimed; }
+
+std::string_view rpc_revised_markov_spec() { return specs_detail::kRpcRevisedMarkov; }
+
+std::string_view streaming_markov_spec() { return specs_detail::kStreamingMarkov; }
+
+std::string_view rpc_general_spec() { return specs_detail::kRpcGeneral; }
+
+std::string_view disk_markov_spec() { return specs_detail::kDiskMarkov; }
+
+std::string_view rpc_measures_spec() { return specs_detail::kRpcMeasures; }
+
+}  // namespace dpma::models

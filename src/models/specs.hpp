@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file specs.hpp
+/// The case-study models in the Æmilia *surface syntax*, embedded at build
+/// time from the authoritative files in specs/.  They demonstrate the
+/// parser end-to-end and are cross-checked against the programmatic
+/// builders in the test suite (strong bisimilarity for the untimed spec,
+/// measure agreement for the Markovian ones).
+
+#include <string_view>
+
+namespace dpma::models {
+
+/// Sect. 2.3: the simplified rpc system, untimed (fails noninterference).
+[[nodiscard]] std::string_view rpc_untimed_spec();
+
+/// Sect. 3.1/4.1: the revised rpc system with Markovian rates (timeout 5 ms).
+[[nodiscard]] std::string_view rpc_revised_markov_spec();
+
+/// Sect. 2.2/4.2: the streaming system with Markovian rates (awake 100 ms).
+[[nodiscard]] std::string_view streaming_markov_spec();
+
+/// Sect. 5.2: the revised rpc system with general (det/normal) delays.
+[[nodiscard]] std::string_view rpc_general_spec();
+
+/// The disk case study with Markovian rates (idle timeout 500 ms).
+[[nodiscard]] std::string_view disk_markov_spec();
+
+/// Sect. 4.1: the rpc measure definitions in the companion language.
+[[nodiscard]] std::string_view rpc_measures_spec();
+
+}  // namespace dpma::models

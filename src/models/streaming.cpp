@@ -1,0 +1,320 @@
+#include "models/streaming.hpp"
+
+#include "core/error.hpp"
+#include "models/builder.hpp"
+
+namespace dpma::models::streaming {
+namespace {
+
+adl::ElemType video_server(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Video_Server_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Generating_Server", {},
+            {alt({act("generate_frame",
+                      r.timed(p.service_time, Dist::deterministic(p.service_time)))},
+                 "Sending_Server")}},
+        adl::BehaviorDef{"Sending_Server", {},
+            {alt({act("send_frame", r.immediate())}, "Generating_Server")}},
+    };
+    type.input_interactions = {};
+    type.output_interactions = {"send_frame"};
+    return type;
+}
+
+/// Access point with an internal buffer of the given capacity.  Always
+/// accepts incoming frames (dropping on overflow) and pushes buffered
+/// frames into the radio channel as soon as it is free.  Emits
+/// notify_occupied / notify_empty edge events for the DPM.
+adl::ElemType access_point(const RateGen& r) {
+    adl::ElemType type;
+    type.name = "Access_Point_Type";
+    adl::BehaviorDef buffer{"AP_Buffer", {"n", "cap"}, {}};
+    const auto n = [] { return pvar(0, "n"); };
+    const auto cap = [] { return pvar(1, "cap"); };
+
+    // Receive into the empty buffer: report the 0 -> 1 edge to the DPM.
+    buffer.alternatives.push_back(
+        alt({act("receive_frame", RateGen::passive()),
+             act("notify_occupied", r.immediate())},
+            "AP_Buffer", {lit(1), cap()}, cmp_eq(n(), lit(0))));
+    // Receive with room.
+    buffer.alternatives.push_back(
+        alt({act("receive_frame", RateGen::passive())}, "AP_Buffer",
+            {plus(n(), lit(1)), cap()},
+            adl::BoolExpr::conj(cmp_gt(n(), lit(0)), cmp_lt(n(), cap()))));
+    // Receive when full: the frame is dropped (buffer-full loss).
+    buffer.alternatives.push_back(
+        alt({act("receive_frame", RateGen::passive()),
+             act("drop_frame", r.immediate())},
+            "AP_Buffer", {n(), cap()}, cmp_eq(n(), cap())));
+    // Transmit a buffered frame; report the 1 -> 0 edge to the DPM.
+    buffer.alternatives.push_back(
+        alt({act("send_to_channel", r.immediate()),
+             act("notify_empty", r.immediate())},
+            "AP_Buffer", {lit(0), cap()}, cmp_eq(n(), lit(1))));
+    buffer.alternatives.push_back(
+        alt({act("send_to_channel", r.immediate())}, "AP_Buffer",
+            {minus(n(), lit(1)), cap()}, cmp_gt(n(), lit(1))));
+
+    type.behaviors = {std::move(buffer)};
+    type.input_interactions = {"receive_frame"};
+    type.output_interactions = {"send_to_channel", "notify_occupied", "notify_empty"};
+    return type;
+}
+
+/// Radio channel between AP and NIC (same Gaussian model as rpc, Sect. 5.3).
+adl::ElemType radio_channel(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Radio_Channel_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Radio_Channel", {},
+            {alt({act("get_packet", RateGen::passive())}, "Propagating_Channel")}},
+        adl::BehaviorDef{"Propagating_Channel", {},
+            {alt({act("propagate_packet",
+                      r.timed(p.propagation_time,
+                              Dist::normal(p.propagation_time, p.propagation_stddev)))},
+                 "Deciding_Channel")}},
+        adl::BehaviorDef{"Deciding_Channel", {},
+            {alt({act("keep_packet", r.immediate(1, 1.0 - p.loss_probability)),
+                  act("deliver_packet", r.immediate())},
+                 "Radio_Channel"),
+             alt({act("lose_packet", r.immediate(1, p.loss_probability))},
+                 "Radio_Channel")}},
+    };
+    type.input_interactions = {"get_packet"};
+    type.output_interactions = {"deliver_packet"};
+    return type;
+}
+
+/// 802.11b NIC with MAC-level power management (PSP): receives frames while
+/// awake and forwards them to the client buffer; doze mode is entered on a
+/// DPM shutdown and left on a DPM wakeup, through a wake-up transient and a
+/// synchronisation check (Sect. 2.2 / 4.2).
+adl::ElemType nic(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "NIC_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"NIC_Awake", {},
+            {alt({act("receive_frame", RateGen::passive()),
+                  act("forward_frame", r.immediate())},
+                 "NIC_Awake"),
+             alt({act("receive_shutdown", RateGen::passive())}, "NIC_Doze")}},
+        adl::BehaviorDef{"NIC_Doze", {},
+            {alt({act("receive_wakeup", RateGen::passive())}, "NIC_WakingUp")}},
+        adl::BehaviorDef{"NIC_WakingUp", {},
+            {alt({act("awake_nic",
+                      r.timed(p.nic_wakeup_time, Dist::deterministic(p.nic_wakeup_time)))},
+                 "NIC_Checking")}},
+        adl::BehaviorDef{"NIC_Checking", {},
+            {alt({act("check_ap",
+                      r.timed(p.check_time, Dist::deterministic(p.check_time)))},
+                 "NIC_Awake")}},
+    };
+    type.input_interactions = {"receive_frame", "receive_shutdown", "receive_wakeup"};
+    type.output_interactions = {"forward_frame"};
+    return type;
+}
+
+/// Client-side frame buffer.  Serves a frame when non-empty and a miss
+/// (real-time violation) when empty, as two mutually exclusive passive
+/// interactions, so no priority mechanism is needed in any phase.
+adl::ElemType client_buffer(const RateGen& r) {
+    adl::ElemType type;
+    type.name = "Client_Buffer_Type";
+    adl::BehaviorDef buffer{"B_Buffer", {"n", "cap"}, {}};
+    const auto n = [] { return pvar(0, "n"); };
+    const auto cap = [] { return pvar(1, "cap"); };
+
+    buffer.alternatives.push_back(
+        alt({act("receive_frame", RateGen::passive())}, "B_Buffer",
+            {plus(n(), lit(1)), cap()}, cmp_lt(n(), cap())));
+    buffer.alternatives.push_back(
+        alt({act("receive_frame", RateGen::passive()),
+             act("drop_frame", r.immediate())},
+            "B_Buffer", {n(), cap()}, cmp_eq(n(), cap())));
+    buffer.alternatives.push_back(
+        alt({act("serve_frame", RateGen::passive())}, "B_Buffer",
+            {minus(n(), lit(1)), cap()}, cmp_gt(n(), lit(0))));
+    buffer.alternatives.push_back(
+        alt({act("serve_miss", RateGen::passive())}, "B_Buffer", {n(), cap()},
+            cmp_eq(n(), lit(0))));
+
+    type.behaviors = {std::move(buffer)};
+    type.input_interactions = {"receive_frame", "serve_frame", "serve_miss"};
+    type.output_interactions = {};
+    return type;
+}
+
+/// Non-blocking renderer: after the prebuffering delay it requests one
+/// frame per rendering period; the fetch resolves to a hit or a miss
+/// depending on the buffer.
+adl::ElemType render_client(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "Render_Client_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"Delaying_Client", {},
+            {alt({act("initial_delay",
+                      r.timed(p.initial_delay, Dist::deterministic(p.initial_delay)))},
+                 "Rendering_Client")}},
+        adl::BehaviorDef{"Rendering_Client", {},
+            {alt({act("render_frame",
+                      r.timed(p.render_time, Dist::deterministic(p.render_time)))},
+                 "Fetching_Client")}},
+        adl::BehaviorDef{"Fetching_Client", {},
+            {alt({act("get_frame", r.immediate())}, "Rendering_Client"),
+             alt({act("get_miss", r.immediate())}, "Rendering_Client")}},
+    };
+    type.input_interactions = {};
+    type.output_interactions = {"get_frame", "get_miss"};
+    return type;
+}
+
+lts::Rate period_rate(const RateGen& r, double period) {
+    if (period <= 0.0) return r.immediate();
+    return r.timed(period, Dist::deterministic(period));
+}
+
+/// PSP power manager (Sect. 2.2): tracks the AP buffer via edge
+/// notifications; arms a shutdown when the NIC is awake and the buffer is
+/// empty; wakes the NIC up periodically while it dozes.
+adl::ElemType psp_dpm(const RateGen& r, const Params& p) {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"DPM_AwakeEmpty", {},
+            {alt({act("send_shutdown", period_rate(r, p.shutdown_delay))},
+                 "DPM_DozeEmpty"),
+             alt({act("receive_occupied_notice", RateGen::passive())}, "DPM_AwakeBusy")}},
+        adl::BehaviorDef{"DPM_AwakeBusy", {},
+            {alt({act("receive_empty_notice", RateGen::passive())}, "DPM_AwakeEmpty")}},
+        adl::BehaviorDef{"DPM_DozeEmpty", {},
+            {alt({act("send_wakeup", period_rate(r, p.awake_period))}, "DPM_AwakeEmpty"),
+             alt({act("receive_occupied_notice", RateGen::passive())}, "DPM_DozeBusy")}},
+        adl::BehaviorDef{"DPM_DozeBusy", {},
+            {alt({act("send_wakeup", period_rate(r, p.awake_period))}, "DPM_AwakeBusy"),
+             alt({act("receive_empty_notice", RateGen::passive())}, "DPM_DozeEmpty")}},
+    };
+    type.input_interactions = {"receive_occupied_notice", "receive_empty_notice"};
+    type.output_interactions = {"send_shutdown", "send_wakeup"};
+    return type;
+}
+
+/// Null DPM for the "without DPM" configurations: absorbs the AP buffer
+/// notifications, never commands the NIC.
+adl::ElemType null_dpm() {
+    adl::ElemType type;
+    type.name = "DPM_Type";
+    type.behaviors = {
+        adl::BehaviorDef{"DPM_Empty", {},
+            {alt({act("receive_occupied_notice", RateGen::passive())}, "DPM_Busy")}},
+        adl::BehaviorDef{"DPM_Busy", {},
+            {alt({act("receive_empty_notice", RateGen::passive())}, "DPM_Empty")}},
+    };
+    type.input_interactions = {"receive_occupied_notice", "receive_empty_notice"};
+    type.output_interactions = {};
+    return type;
+}
+
+}  // namespace
+
+Config functional(long buffer_capacity) {
+    Config config;
+    config.phase = Phase::Functional;
+    config.with_dpm = true;
+    config.params.ap_capacity = buffer_capacity;
+    config.params.b_capacity = buffer_capacity;
+    return config;
+}
+
+Config markovian(double awake_period, bool dpm) {
+    Config config;
+    config.phase = Phase::Markovian;
+    config.with_dpm = dpm;
+    config.params.awake_period = awake_period;
+    return config;
+}
+
+Config general(double awake_period, bool dpm) {
+    Config config = markovian(awake_period, dpm);
+    config.phase = Phase::General;
+    return config;
+}
+
+adl::ArchiType build(const Config& config) {
+    const RateGen r(config.phase);
+    const Params& p = config.params;
+    DPMA_REQUIRE(p.ap_capacity >= 1 && p.b_capacity >= 1, "buffer capacities must be >= 1");
+
+    adl::ArchiType archi;
+    archi.name = "Streaming_DPM";
+    archi.elem_types = {
+        video_server(r, p), access_point(r), radio_channel(r, p), nic(r, p),
+        client_buffer(r), render_client(r, p),
+        config.with_dpm ? psp_dpm(r, p) : null_dpm(),
+    };
+    archi.instances = {
+        adl::Instance{"S", "Video_Server_Type", {}},
+        adl::Instance{"AP", "Access_Point_Type", {0, p.ap_capacity}},
+        adl::Instance{"RSC", "Radio_Channel_Type", {}},
+        adl::Instance{"NIC", "NIC_Type", {}},
+        adl::Instance{"B", "Client_Buffer_Type", {0, p.b_capacity}},
+        adl::Instance{"C", "Render_Client_Type", {}},
+        adl::Instance{"DPM", "DPM_Type", {}},
+    };
+    archi.attachments = {
+        adl::Attachment{"S", "send_frame", "AP", "receive_frame"},
+        adl::Attachment{"AP", "send_to_channel", "RSC", "get_packet"},
+        adl::Attachment{"RSC", "deliver_packet", "NIC", "receive_frame"},
+        adl::Attachment{"NIC", "forward_frame", "B", "receive_frame"},
+        adl::Attachment{"C", "get_frame", "B", "serve_frame"},
+        adl::Attachment{"C", "get_miss", "B", "serve_miss"},
+        adl::Attachment{"AP", "notify_occupied", "DPM", "receive_occupied_notice"},
+        adl::Attachment{"AP", "notify_empty", "DPM", "receive_empty_notice"},
+    };
+    if (config.with_dpm) {
+        archi.attachments.push_back(
+            adl::Attachment{"DPM", "send_shutdown", "NIC", "receive_shutdown"});
+        archi.attachments.push_back(
+            adl::Attachment{"DPM", "send_wakeup", "NIC", "receive_wakeup"});
+    }
+    return archi;
+}
+
+adl::ComposedModel compose(const Config& config, bool record_state_names) {
+    adl::ComposeOptions options;
+    options.record_state_names = record_state_names;
+    return adl::compose(build(config), options);
+}
+
+std::vector<std::string> high_action_labels() {
+    return {"DPM.send_shutdown#NIC.receive_shutdown",
+            "DPM.send_wakeup#NIC.receive_wakeup"};
+}
+
+std::vector<adl::Measure> measures() {
+    Params defaults;
+    std::vector<adl::Measure> out(kNumMeasures);
+    out[kEnergyRate].name = "nic_energy";
+    out[kEnergyRate].clauses = {
+        adl::state_reward_in("NIC", "NIC_Awake", defaults.power_awake),
+        adl::state_reward_in("NIC", "NIC_Doze", defaults.power_doze),
+        adl::state_reward_in("NIC", "NIC_WakingUp", defaults.power_waking),
+        adl::state_reward_in("NIC", "NIC_Checking", defaults.power_checking),
+    };
+    out[kFramesReceived].name = "frames_received";
+    out[kFramesReceived].clauses = {adl::trans_reward("NIC", "receive_frame", 1.0)};
+    out[kApLoss].name = "ap_loss";
+    out[kApLoss].clauses = {adl::trans_reward("AP", "drop_frame", 1.0)};
+    out[kBLoss].name = "b_loss";
+    out[kBLoss].clauses = {adl::trans_reward("B", "drop_frame", 1.0)};
+    out[kMiss].name = "miss";
+    out[kMiss].clauses = {adl::trans_reward("C", "get_miss", 1.0)};
+    out[kHits].name = "hits";
+    out[kHits].clauses = {adl::trans_reward("C", "get_frame", 1.0)};
+    out[kGenerated].name = "generated";
+    out[kGenerated].clauses = {adl::trans_reward("S", "generate_frame", 1.0)};
+    return out;
+}
+
+}  // namespace dpma::models::streaming

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file streaming.hpp
+/// The paper's second case study (Sect. 2.2 / Fig. 2.b): a streaming video
+/// server S sending frames through an access point AP (with an internal
+/// buffer) and a half-duplex radio channel RSC to a power-manageable
+/// 802.11b network interface card NIC, which stores them in the client-side
+/// buffer B; the non-blocking client C renders frames at a fixed rate.  The
+/// DPM implements the PSP policy: it shuts the NIC down (doze mode) as soon
+/// as the AP buffer becomes empty and wakes it up periodically (the *awake
+/// period*, the swept parameter of Fig. 4 / Fig. 6).
+///
+/// Frame requests that find B empty violate the real-time constraint
+/// (*miss*); frames arriving at a full buffer are dropped (*loss*, at the
+/// AP or at B).  The client fetch is modelled as two mutually exclusive
+/// synchronisations (B.serve_frame when non-empty, B.serve_miss when
+/// empty), so the functional phase needs no priorities to express "miss
+/// only when the buffer is empty".
+
+#include <string>
+#include <vector>
+
+#include "adl/compose.hpp"
+#include "adl/measure.hpp"
+#include "adl/model.hpp"
+#include "models/phase.hpp"
+
+namespace dpma::models::streaming {
+
+/// Timing parameters (milliseconds), defaults from Sect. 4.2; the general
+/// phase replaces the exponential delays by deterministic ones (the paper
+/// characterised them from iPAQ 3600 + Cisco Aironet 350 measurements; see
+/// DESIGN.md for the substitution note) and the channel by the same Gaussian
+/// model used for rpc.
+struct Params {
+    double service_time = 67.0;      ///< frame generation period at the server
+    double propagation_time = 4.0;   ///< radio channel hop
+    double propagation_stddev = 0.1725;  ///< general phase (same relative width as rpc)
+    double loss_probability = 0.02;  ///< radio channel loss
+    double check_time = 5.0;         ///< NIC post-wakeup synchronisation check
+    double nic_wakeup_time = 15.0;   ///< doze -> awake transient
+    double initial_delay = 684.0;    ///< client prebuffering delay
+    double render_time = 67.0;       ///< client frame period
+    double shutdown_delay = 5.0;     ///< DPM reaction to an empty AP buffer
+    double awake_period = 100.0;     ///< PSP periodic wakeup (swept 0..800)
+    long ap_capacity = 10;
+    long b_capacity = 10;
+
+    /// NIC power levels (reward units; Sect. 4.2 uses unitless energy).
+    double power_awake = 1.0;
+    double power_doze = 0.05;
+    double power_waking = 1.5;
+    double power_checking = 1.0;
+};
+
+struct Config {
+    Phase phase = Phase::Functional;
+    bool with_dpm = true;
+    Params params;
+};
+
+/// Functional configuration for the noninterference check of Sect. 3.2.
+/// Buffer capacities are reduced (default 3) to keep the weak-bisimulation
+/// state space small; capacity does not affect the functional argument.
+[[nodiscard]] Config functional(long buffer_capacity = 3);
+[[nodiscard]] Config markovian(double awake_period, bool dpm);  // Sect. 4.2 / Fig. 4
+[[nodiscard]] Config general(double awake_period, bool dpm);    // Sect. 5.3 / Fig. 6
+
+[[nodiscard]] adl::ArchiType build(const Config& config);
+[[nodiscard]] adl::ComposedModel compose(const Config& config,
+                                         bool record_state_names = false);
+
+/// High actions: the DPM power commands to the NIC.
+[[nodiscard]] std::vector<std::string> high_action_labels();
+
+enum MeasureIndex : std::size_t {
+    kEnergyRate = 0,      ///< NIC power (reward units per msec)
+    kFramesReceived = 1,  ///< frames delivered to the NIC per msec
+    kApLoss = 2,          ///< frames dropped at the AP buffer per msec
+    kBLoss = 3,           ///< frames dropped at the client buffer per msec
+    kMiss = 4,            ///< real-time violations per msec
+    kHits = 5,            ///< frames delivered to the renderer in time per msec
+    kGenerated = 6,       ///< frames produced by the server per msec
+    kNumMeasures = 7,
+};
+
+/// The four metrics of Sect. 4.2 are derived from these primitive measures:
+/// energy per frame = energy / frames received; loss = (AP + B drops) /
+/// generated; miss = misses / (misses + hits); quality = hits / (misses +
+/// hits).
+[[nodiscard]] std::vector<adl::Measure> measures();
+
+}  // namespace dpma::models::streaming

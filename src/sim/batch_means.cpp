@@ -1,0 +1,58 @@
+#include "sim/batch_means.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/stats_math.hpp"
+
+namespace dpma::sim {
+
+std::vector<BatchEstimate> batch_means_impl(const Simulator& simulator,
+                                            const BatchOptions& options) {
+    DPMA_REQUIRE(options.batch_length > 0.0, "batch length must be positive");
+    DPMA_REQUIRE(options.num_batches >= 2, "need at least two batches");
+
+    const std::size_t num_measures = simulator.measures().size();
+    Simulator::BatchSink sink;
+    sink.length = options.batch_length;
+    sink.totals.assign(options.num_batches, std::vector<double>(num_measures, 0.0));
+
+    SimOptions run_options;
+    run_options.warmup = options.warmup;
+    run_options.horizon =
+        options.batch_length * static_cast<double>(options.num_batches);
+    run_options.seed = options.seed;
+    (void)simulator.run_impl(run_options, nullptr, nullptr, nullptr, nullptr, &sink);
+
+    std::vector<BatchEstimate> estimates(num_measures);
+    for (std::size_t m = 0; m < num_measures; ++m) {
+        std::vector<double> means;
+        means.reserve(options.num_batches);
+        for (const auto& batch : sink.totals) {
+            means.push_back(batch[m] / options.batch_length);
+        }
+        estimates[m].mean = mean_of(means);
+        estimates[m].half_width = confidence_half_width(means, options.confidence);
+
+        // Lag-1 autocorrelation of the batch means.
+        RunningMoments moments;
+        for (double v : means) moments.add(v);
+        const double variance = moments.variance();
+        if (variance > 0.0) {
+            double cov = 0.0;
+            for (std::size_t i = 0; i + 1 < means.size(); ++i) {
+                cov += (means[i] - estimates[m].mean) * (means[i + 1] - estimates[m].mean);
+            }
+            cov /= static_cast<double>(means.size() - 1);
+            estimates[m].lag1_autocorrelation = cov / variance;
+        }
+    }
+    return estimates;
+}
+
+std::vector<BatchEstimate> batch_means(const Simulator& simulator,
+                                       const BatchOptions& options) {
+    return batch_means_impl(simulator, options);
+}
+
+}  // namespace dpma::sim

@@ -1,0 +1,381 @@
+#include "sim/gsmp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/stats_math.hpp"
+
+namespace dpma::sim {
+namespace {
+
+/// Chooses among the enabled immediate transitions of a state following
+/// maximal progress (highest priority, then weight-proportional choice).
+/// Returns the transition index or -1 when the state has no immediates.
+int choose_immediate(const adl::ComposedModel& model, lts::StateId state, Rng& rng) {
+    int best_priority = std::numeric_limits<int>::min();
+    double total_weight = 0.0;
+    const auto out = model.graph.out(state);
+    for (const lts::Transition& t : out) {
+        if (const auto* imm = std::get_if<lts::RateImmediate>(&t.rate)) {
+            if (imm->priority > best_priority) {
+                best_priority = imm->priority;
+                total_weight = 0.0;
+            }
+            if (imm->priority == best_priority) total_weight += imm->weight;
+        }
+    }
+    if (total_weight <= 0.0) return -1;
+    double pick = rng.uniform01() * total_weight;
+    int fallback = -1;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+        if (const auto* imm = std::get_if<lts::RateImmediate>(&out[k].rate)) {
+            if (imm->priority != best_priority || imm->weight <= 0.0) continue;
+            fallback = static_cast<int>(k);
+            pick -= imm->weight;
+            if (pick <= 0.0) return static_cast<int>(k);
+        }
+    }
+    return fallback;  // numerical slack: last candidate
+}
+
+Dist dist_of(const lts::Rate& rate) {
+    if (const auto* exp_rate = std::get_if<lts::RateExp>(&rate)) {
+        return Dist::exponential(exp_rate->rate);
+    }
+    if (const auto* gen = std::get_if<lts::RateGeneral>(&rate)) {
+        return gen->dist;
+    }
+    throw ModelError("transition without a timed rate reached the scheduler");
+}
+
+}  // namespace
+
+Simulator::Simulator(const adl::ComposedModel& model, std::vector<adl::Measure> measures)
+    : model_(model), measures_(std::move(measures)) {
+    // Sanity: reject functional or passive leftovers early.
+    for (lts::StateId s = 0; s < model_.graph.num_states(); ++s) {
+        for (const lts::Transition& t : model_.graph.out(s)) {
+            if (std::holds_alternative<lts::RateUnspecified>(t.rate)) {
+                throw ModelError("functional model cannot be simulated: action " +
+                                 model_.graph.actions()->name(t.action) + " has no rate");
+            }
+            if (lts::is_passive(t.rate)) {
+                throw ModelError("passive transition survived composition: " +
+                                 model_.graph.actions()->name(t.action));
+            }
+        }
+    }
+
+    const std::size_t num_states = model_.graph.num_states();
+    const std::size_t num_actions = model_.graph.actions()->size();
+    state_reward_rate_.assign(measures_.size(), {});
+    action_reward_.assign(measures_.size(), {});
+    for (std::size_t m = 0; m < measures_.size(); ++m) {
+        state_reward_rate_[m].assign(num_states, 0.0);
+        action_reward_[m].assign(num_actions, 0.0);
+        for (const adl::RewardClause& clause : measures_[m].clauses) {
+            if (clause.target == adl::RewardClause::Target::State) {
+                const auto mask = adl::state_mask(model_, clause.predicate);
+                for (lts::StateId s = 0; s < num_states; ++s) {
+                    if (mask[s]) state_reward_rate_[m][s] += clause.reward;
+                }
+            } else {
+                const auto mask = adl::action_mask(model_, clause.predicate);
+                for (Symbol a = 0; a < num_actions; ++a) {
+                    if (mask[a]) action_reward_[m][a] += clause.reward;
+                }
+            }
+        }
+    }
+}
+
+RunResult Simulator::run(const SimOptions& options, std::vector<TraceEvent>* trace) const {
+    RunResult result = run_impl(options, nullptr, trace, nullptr, nullptr);
+    for (double& v : result.values) v /= options.horizon;
+    return result;
+}
+
+DepletionResult Simulator::run_until(std::size_t measure_index, double threshold,
+                                     const SimOptions& options) const {
+    DPMA_REQUIRE(measure_index < measures_.size(), "measure index out of range");
+    DPMA_REQUIRE(threshold > 0.0, "threshold must be positive");
+    DPMA_REQUIRE(options.warmup == 0.0, "run_until accumulates from time zero");
+    const StopSpec stop{measure_index, threshold};
+    DepletionResult out;
+    out.time = options.warmup + options.horizon;
+    const RunResult raw =
+        run_impl(options, &stop, nullptr, &out.time, &out.depleted);
+    out.totals = raw.values;
+    return out;
+}
+
+RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
+                              std::vector<TraceEvent>* trace, double* stop_time,
+                              bool* depleted, BatchSink* batches) const {
+    DPMA_REQUIRE(options.horizon > 0.0, "simulation horizon must be positive");
+    DPMA_REQUIRE(options.warmup >= 0.0, "negative warmup");
+    Rng rng(options.seed);
+
+    const double t_begin = options.warmup;
+    const double t_end = options.warmup + options.horizon;
+
+    lts::StateId state = model_.graph.initial();
+    DPMA_REQUIRE(state != lts::kNoState, "model has no initial state");
+
+    double now = 0.0;
+    std::uint64_t events = 0;
+    bool finished = false;
+
+    std::vector<KahanSum> totals(measures_.size());
+
+    // Clocks keyed by action label (enabling memory).
+    std::unordered_map<lts::ActionId, double> clocks;
+    std::unordered_map<lts::ActionId, double> next_clocks;
+
+    // Distributes a state-residence reward interval over the batch buckets
+    // (intervals may span several batch boundaries).
+    const auto batch_state_time = [&](lts::StateId s, double lo, double hi) {
+        if (batches == nullptr) return;
+        double from = lo;
+        while (from < hi) {
+            const auto index = static_cast<std::size_t>((from - t_begin) / batches->length);
+            if (index >= batches->totals.size()) break;
+            const double boundary = t_begin + (index + 1) * batches->length;
+            const double to = std::min(hi, boundary);
+            for (std::size_t m = 0; m < totals.size(); ++m) {
+                const double rate = state_reward_rate_[m][s];
+                if (rate != 0.0) batches->totals[index][m] += rate * (to - from);
+            }
+            from = to;
+        }
+    };
+
+    // Accumulates state rewards over [from, to) in `s`.  Returns the stop
+    // crossing time if the stop measure crosses its threshold inside the
+    // interval (its reward accrues linearly), NaN otherwise.
+    const auto accumulate_state_time = [&](lts::StateId s, double from,
+                                           double to) -> double {
+        const double lo = std::max(from, t_begin);
+        const double hi = std::min(to, t_end);
+        if (hi <= lo) return std::numeric_limits<double>::quiet_NaN();
+        const double dt = hi - lo;
+        double crossing = std::numeric_limits<double>::quiet_NaN();
+        if (stop != nullptr) {
+            const double rate = state_reward_rate_[stop->measure][s];
+            const double current = totals[stop->measure].value();
+            if (rate > 0.0 && current + rate * dt >= stop->threshold) {
+                crossing = lo + (stop->threshold - current) / rate;
+            }
+        }
+        for (std::size_t m = 0; m < totals.size(); ++m) {
+            const double rate = state_reward_rate_[m][s];
+            if (rate != 0.0) totals[m].add(rate * dt);
+        }
+        batch_state_time(s, lo, hi);
+        return crossing;
+    };
+
+    const auto accumulate_firing = [&](lts::ActionId action, double at) {
+        if (at < t_begin || at > t_end) return;
+        for (std::size_t m = 0; m < totals.size(); ++m) {
+            const double reward = action_reward_[m][action];
+            if (reward != 0.0) totals[m].add(reward);
+        }
+        if (batches != nullptr && at > t_begin) {
+            const auto index =
+                static_cast<std::size_t>((at - t_begin) / batches->length);
+            if (index < batches->totals.size()) {
+                for (std::size_t m = 0; m < totals.size(); ++m) {
+                    const double reward = action_reward_[m][action];
+                    if (reward != 0.0) batches->totals[index][m] += reward;
+                }
+            }
+        }
+    };
+
+    const auto stop_reached = [&]() {
+        return stop != nullptr && totals[stop->measure].value() >= stop->threshold;
+    };
+
+    std::uint64_t immediate_burst = 0;
+    while (now < t_end) {
+        // Maximal progress: drain immediate transitions without advancing time.
+        const int imm = choose_immediate(model_, state, rng);
+        if (imm >= 0) {
+            if (++immediate_burst > options.max_immediate_burst) {
+                throw NumericalError(
+                    "immediate-action livelock: over " +
+                    std::to_string(options.max_immediate_burst) +
+                    " immediate firings without time advancing");
+            }
+            const lts::Transition& t = model_.graph.out(state)[static_cast<std::size_t>(imm)];
+            accumulate_firing(t.action, now);
+            if (now >= t_begin) {
+                ++events;
+                if (trace != nullptr) trace->push_back(TraceEvent{now, t.action, t.target});
+            }
+            state = t.target;
+            if (stop_reached()) {
+                if (stop_time != nullptr) *stop_time = now;
+                if (depleted != nullptr) *depleted = true;
+                finished = true;
+                break;
+            }
+            continue;
+        }
+        immediate_burst = 0;
+
+        // Schedule timed transitions of the current state.
+        const auto out = model_.graph.out(state);
+        if (out.empty()) {
+            // Deadlock: the remaining time is spent here.
+            const double crossing = accumulate_state_time(state, now, t_end);
+            if (!std::isnan(crossing)) {
+                if (stop_time != nullptr) *stop_time = crossing;
+                if (depleted != nullptr) *depleted = true;
+                finished = true;
+            }
+            now = t_end;
+            break;
+        }
+        next_clocks.clear();
+        double min_remaining = std::numeric_limits<double>::infinity();
+        for (const lts::Transition& t : out) {
+            if (next_clocks.contains(t.action)) continue;  // same-label transitions share a clock
+            double remaining;
+            if (auto it = clocks.find(t.action); it != clocks.end()) {
+                remaining = it->second;
+            } else {
+                remaining = rng.sample(dist_of(t.rate));
+            }
+            next_clocks.emplace(t.action, remaining);
+            min_remaining = std::min(min_remaining, remaining);
+        }
+        clocks.swap(next_clocks);
+
+        // Advance time to the earliest expiry.
+        const double fire_time = now + min_remaining;
+        const double crossing =
+            accumulate_state_time(state, now, std::min(fire_time, t_end));
+        if (!std::isnan(crossing)) {
+            if (stop_time != nullptr) *stop_time = crossing;
+            if (depleted != nullptr) *depleted = true;
+            // Roll the overshoot back so the totals reflect the stop instant.
+            const double overshoot = std::min(fire_time, t_end) - crossing;
+            for (std::size_t m = 0; m < totals.size(); ++m) {
+                const double rate = state_reward_rate_[m][state];
+                if (rate != 0.0) totals[m].add(-rate * overshoot);
+            }
+            finished = true;
+            now = crossing;
+            break;
+        }
+        if (fire_time >= t_end) {
+            now = t_end;
+            break;
+        }
+        now = fire_time;
+
+        // Identify the expiring label (ties: collect all minimal labels and
+        // pick uniformly).
+        lts::ActionId fired_label = kNoSymbol;
+        std::uint32_t minimal = 0;
+        for (auto& [label, remaining] : clocks) {
+            remaining -= min_remaining;
+            if (remaining <= 1e-15) {
+                ++minimal;
+                if (fired_label == kNoSymbol || rng.below(minimal) == 0) {
+                    fired_label = label;
+                }
+            }
+        }
+        DPMA_ASSERT(fired_label != kNoSymbol, "no clock expired at the minimum");
+
+        // Among transitions carrying the fired label, choose uniformly.
+        std::uint32_t candidates = 0;
+        const lts::Transition* chosen = nullptr;
+        for (const lts::Transition& t : out) {
+            if (t.action != fired_label) continue;
+            ++candidates;
+            if (rng.below(candidates) == 0) chosen = &t;
+        }
+        DPMA_ASSERT(chosen != nullptr, "fired label has no transition");
+
+        accumulate_firing(fired_label, now);
+        if (now >= t_begin) {
+            ++events;
+            if (trace != nullptr) {
+                trace->push_back(TraceEvent{now, fired_label, chosen->target});
+            }
+        }
+        clocks.erase(fired_label);
+        state = chosen->target;
+        if (stop_reached()) {
+            if (stop_time != nullptr) *stop_time = now;
+            if (depleted != nullptr) *depleted = true;
+            finished = true;
+            break;
+        }
+    }
+    (void)finished;
+
+    RunResult result;
+    result.events = events;
+    result.values.reserve(measures_.size());
+    for (std::size_t m = 0; m < measures_.size(); ++m) {
+        result.values.push_back(totals[m].value());
+    }
+    return result;
+}
+
+std::vector<Estimate> simulate_replications(const Simulator& simulator,
+                                            const SimOptions& options, int replications,
+                                            double confidence) {
+    DPMA_REQUIRE(replications >= 1, "need at least one replication");
+    const std::size_t num_measures = simulator.measures().size();
+    std::vector<Estimate> estimates(num_measures);
+    for (std::size_t m = 0; m < num_measures; ++m) {
+        estimates[m].samples.reserve(static_cast<std::size_t>(replications));
+    }
+    for (int r = 0; r < replications; ++r) {
+        SimOptions rep = options;
+        rep.seed = Rng::derive_seed(options.seed, static_cast<std::uint64_t>(r));
+        const RunResult run = simulator.run(rep);
+        for (std::size_t m = 0; m < num_measures; ++m) {
+            estimates[m].samples.push_back(run.values[m]);
+        }
+    }
+    for (std::size_t m = 0; m < num_measures; ++m) {
+        estimates[m].mean = mean_of(estimates[m].samples);
+        estimates[m].half_width = confidence_half_width(estimates[m].samples, confidence);
+    }
+    return estimates;
+}
+
+Estimate simulate_depletion(const Simulator& simulator, std::size_t measure_index,
+                            double threshold, const SimOptions& options,
+                            int replications, double confidence) {
+    DPMA_REQUIRE(replications >= 1, "need at least one replication");
+    Estimate estimate;
+    estimate.samples.reserve(static_cast<std::size_t>(replications));
+    for (int r = 0; r < replications; ++r) {
+        SimOptions rep = options;
+        rep.seed = Rng::derive_seed(options.seed, static_cast<std::uint64_t>(r) + 7777);
+        const DepletionResult result =
+            simulator.run_until(measure_index, threshold, rep);
+        if (!result.depleted) {
+            throw NumericalError(
+                "depletion horizon too short: threshold not reached; raise "
+                "SimOptions::horizon");
+        }
+        estimate.samples.push_back(result.time);
+    }
+    estimate.mean = mean_of(estimate.samples);
+    estimate.half_width = confidence_half_width(estimate.samples, confidence);
+    return estimate;
+}
+
+}  // namespace dpma::sim

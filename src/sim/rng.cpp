@@ -1,0 +1,67 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dpma::sim {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+    DPMA_REQUIRE(bound > 0, "empty range");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t x;
+    do {
+        x = engine_();
+    } while (x >= limit);
+    return x % bound;
+}
+
+double Rng::standard_normal() {
+    // Box–Muller; no caching of the second variate to keep replay simple.
+    const double u1 = uniform01_open();
+    const double u2 = uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::sample(const Dist& dist) {
+    switch (dist.kind()) {
+        case DistKind::Exponential:
+            return -std::log(uniform01_open()) / dist.a();
+        case DistKind::Deterministic:
+            return dist.a();
+        case DistKind::Uniform:
+            return dist.a() + (dist.b() - dist.a()) * uniform01();
+        case DistKind::Normal: {
+            // Truncate at zero by resampling; the delay models used here
+            // have stddev << mean, so rejections are astronomically rare.
+            for (int i = 0; i < 64; ++i) {
+                const double x = dist.a() + dist.b() * standard_normal();
+                if (x >= 0.0) return x;
+            }
+            return 0.0;
+        }
+        case DistKind::Erlang: {
+            double sum = 0.0;
+            for (int i = 0; i < dist.phases(); ++i) {
+                sum += -std::log(uniform01_open()) / dist.a();
+            }
+            return sum;
+        }
+        case DistKind::Weibull:
+            return dist.b() * std::pow(-std::log(uniform01_open()), 1.0 / dist.a());
+        case DistKind::LogNormal:
+            return std::exp(dist.a() + dist.b() * standard_normal());
+    }
+    throw Error("unknown distribution kind");
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t index) {
+    // splitmix64 over base ^ golden-ratio-scrambled index.
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace dpma::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file rng.hpp
+/// Random number generation for the simulator.  The engine is std::mt19937_64
+/// (its output sequence is fully specified by the standard, so runs are
+/// reproducible given a seed); all variate transformations are implemented
+/// here rather than with std:: distributions, whose algorithms are
+/// implementation-defined.
+
+#include <cstdint>
+#include <random>
+
+#include "core/dist.hpp"
+
+namespace dpma::sim {
+
+/// Reproducible random source.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform in [0, 1) with 53 random bits.
+    [[nodiscard]] double uniform01() {
+        return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform in [0, 1) bounded away from 0 (safe for log()).
+    [[nodiscard]] double uniform01_open() {
+        const double u = uniform01();
+        return u > 0.0 ? u : 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound).
+    [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+    /// Standard normal via Box–Muller.
+    [[nodiscard]] double standard_normal();
+
+    /// Draws a sample of \p dist (>= 0 by construction for every family;
+    /// the Normal family is truncated at zero by resampling).
+    [[nodiscard]] double sample(const Dist& dist);
+
+    /// Derives an independent stream for replication \p index (splitmix64 of
+    /// the base seed and the index).
+    [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace dpma::sim

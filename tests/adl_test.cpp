@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "adl/compose.hpp"
+#include "adl/expr.hpp"
+#include "adl/measure.hpp"
+#include "adl/model.hpp"
+#include "core/error.hpp"
+#include "lts/ops.hpp"
+#include "models/builder.hpp"
+
+namespace dpma::adl {
+namespace {
+
+using models::act;
+using models::alt;
+using models::cmp_eq;
+using models::cmp_gt;
+using models::cmp_lt;
+using models::lit;
+using models::minus;
+using models::plus;
+using models::pvar;
+
+TEST(Expr, EvaluatesArithmetic) {
+    const long params[] = {7, 3};
+    const auto e = Expr::binary(Expr::Kind::Add, Expr::param(0, "n"),
+                                Expr::binary(Expr::Kind::Mul, Expr::param(1, "m"),
+                                             Expr::constant(2)));
+    EXPECT_EQ(e->eval(params), 13);
+}
+
+TEST(Expr, DivisionAndModulo) {
+    const long params[] = {17};
+    const auto d = Expr::binary(Expr::Kind::Div, Expr::param(0, "n"), Expr::constant(5));
+    const auto m = Expr::binary(Expr::Kind::Mod, Expr::param(0, "n"), Expr::constant(5));
+    EXPECT_EQ(d->eval(params), 3);
+    EXPECT_EQ(m->eval(params), 2);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+    const auto e = Expr::binary(Expr::Kind::Div, Expr::constant(1), Expr::constant(0));
+    EXPECT_THROW((void)e->eval({}), Error);
+}
+
+TEST(Expr, ParamIndexOutOfRangeThrows) {
+    const auto e = Expr::param(3, "ghost");
+    const long params[] = {1};
+    EXPECT_THROW((void)e->eval(params), Error);
+}
+
+TEST(Expr, ToStringIsReadable) {
+    const auto e = Expr::binary(Expr::Kind::Sub, Expr::param(0, "n"), Expr::constant(1));
+    EXPECT_EQ(e->to_string(), "(n - 1)");
+}
+
+TEST(BoolExpr, ComparisonsAndConnectives) {
+    const long params[] = {5};
+    const auto lt5 = cmp_lt(pvar(), lit(5));
+    const auto eq5 = cmp_eq(pvar(), lit(5));
+    EXPECT_FALSE(lt5->eval(params));
+    EXPECT_TRUE(eq5->eval(params));
+    EXPECT_TRUE(BoolExpr::disj(lt5, eq5)->eval(params));
+    EXPECT_FALSE(BoolExpr::conj(lt5, eq5)->eval(params));
+    EXPECT_TRUE(BoolExpr::negate(lt5)->eval(params));
+    EXPECT_TRUE(BoolExpr::always_true()->eval(params));
+}
+
+lts::Rate RateGen_passive() { return lts::RatePassive{}; }
+
+/// A minimal two-component system: a producer handing items to a consumer.
+ArchiType producer_consumer(lts::Rate produce_rate, lts::Rate hand_rate) {
+    ArchiType archi;
+    archi.name = "ProdCons";
+
+    ElemType producer;
+    producer.name = "Producer_Type";
+    producer.behaviors = {
+        BehaviorDef{"Making", {}, {alt({act("produce", produce_rate)}, "Handing")}},
+        BehaviorDef{"Handing", {}, {alt({act("hand_over", hand_rate)}, "Making")}},
+    };
+    producer.output_interactions = {"hand_over"};
+
+    ElemType consumer;
+    consumer.name = "Consumer_Type";
+    consumer.behaviors = {
+        BehaviorDef{"Waiting", {}, {alt({act("take", RateGen_passive())}, "Waiting")}},
+    };
+    consumer.input_interactions = {"take"};
+
+    archi.elem_types = {producer, consumer};
+    archi.instances = {Instance{"P", "Producer_Type", {}}, Instance{"Q", "Consumer_Type", {}}};
+    archi.attachments = {Attachment{"P", "hand_over", "Q", "take"}};
+    return archi;
+}
+
+TEST(Validate, AcceptsWellFormedModel) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{1, 1.0});
+    EXPECT_NO_THROW(validate(archi));
+}
+
+TEST(Validate, RejectsUnknownBehaviourInvocation) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.elem_types[0].behaviors[0].alternatives[0].continuation.behavior = "Ghost";
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(Validate, RejectsArityMismatch) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.elem_types[0].behaviors[0].alternatives[0].continuation.args.push_back(lit(3));
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(Validate, RejectsUnknownInstanceType) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.instances[0].type = "Missing_Type";
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(Validate, RejectsAttachmentFromInputPort) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.attachments[0] = Attachment{"Q", "take", "P", "hand_over"};
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(Validate, RejectsDoubleAttachment) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.attachments.push_back(archi.attachments[0]);
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(Validate, RejectsDuplicateInstanceNames) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.instances.push_back(archi.instances[0]);
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(Validate, RejectsEmptyActionSequence) {
+    ArchiType archi = producer_consumer(lts::RateExp{1.0}, lts::RateImmediate{});
+    archi.elem_types[0].behaviors[0].alternatives[0].actions.clear();
+    EXPECT_THROW(validate(archi), ModelError);
+}
+
+TEST(LocalLts, UnfoldsParameterisedBuffer) {
+    ElemType buffer;
+    buffer.name = "Buffer_Type";
+    BehaviorDef def{"Buf", {"n", "cap"}, {}};
+    def.alternatives.push_back(alt({act("put", lts::RatePassive{})}, "Buf",
+                                   {plus(pvar(0, "n"), lit(1)), pvar(1, "cap")},
+                                   cmp_lt(pvar(0, "n"), pvar(1, "cap"))));
+    def.alternatives.push_back(alt({act("get", lts::RatePassive{})}, "Buf",
+                                   {minus(pvar(0, "n"), lit(1)), pvar(1, "cap")},
+                                   cmp_gt(pvar(0, "n"), lit(0))));
+    buffer.behaviors = {def};
+    buffer.input_interactions = {"put", "get"};
+
+    lts::ActionTable actions;
+    const long args[] = {0, 3};
+    const LocalLts local = build_local_lts(buffer, args, actions, 1000);
+    EXPECT_EQ(local.out.size(), 4u);  // occupancies 0..3
+    EXPECT_EQ(local.state_names[local.initial], "Buf(0,3)");
+    // Occupancy 0 has only "put"; occupancy 3 only "get"; middle both.
+    EXPECT_EQ(local.out[local.initial].size(), 1u);
+}
+
+TEST(LocalLts, GuardsAgainstUnboundedParameters) {
+    ElemType counter;
+    counter.name = "Counter_Type";
+    BehaviorDef def{"Count", {"n"}, {}};
+    def.alternatives.push_back(
+        alt({act("tick", lts::RateExp{1.0})}, "Count", {plus(pvar(0, "n"), lit(1))}));
+    counter.behaviors = {def};
+
+    lts::ActionTable actions;
+    const long args[] = {0};
+    EXPECT_THROW((void)build_local_lts(counter, args, actions, 50), ModelError);
+}
+
+TEST(Compose, SynchronisedLabelNamesBothParties) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel model = compose(archi);
+    EXPECT_NE(model.graph.actions()->find("P.hand_over#Q.take"), kNoSymbol);
+    EXPECT_NE(model.graph.actions()->find("P.produce"), kNoSymbol);
+}
+
+TEST(Compose, PassiveInheritsActiveRate) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateExp{7.0});
+    const ComposedModel model = compose(archi);
+    bool found = false;
+    for (lts::StateId s = 0; s < model.graph.num_states(); ++s) {
+        for (const lts::Transition& t : model.graph.out(s)) {
+            if (model.graph.actions()->name(t.action) == "P.hand_over#Q.take") {
+                const auto* rate = std::get_if<lts::RateExp>(&t.rate);
+                ASSERT_NE(rate, nullptr);
+                EXPECT_DOUBLE_EQ(rate->rate, 7.0);
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compose, TwoActivePartiesAreRejected) {
+    ArchiType archi = producer_consumer(lts::RateExp{2.0}, lts::RateExp{7.0});
+    // Make the consumer's take active as well.
+    archi.elem_types[1].behaviors[0].alternatives[0].actions[0].rate = lts::RateExp{1.0};
+    EXPECT_THROW((void)compose(archi), ModelError);
+}
+
+TEST(Compose, UnattachedInteractionIsBlocked) {
+    ArchiType archi = producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{});
+    archi.attachments.clear();
+    const ComposedModel model = compose(archi);
+    // P can produce, then is stuck in Handing (hand_over blocked).
+    EXPECT_EQ(model.graph.num_states(), 2u);
+    const auto deadlocks = lts::deadlock_states(model.graph);
+    ASSERT_EQ(deadlocks.size(), 1u);
+}
+
+TEST(Compose, TracksLocalStatesPerInstance) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel model = compose(archi, ComposeOptions{true, 1000});
+    ASSERT_EQ(model.instance_names.size(), 2u);
+    EXPECT_EQ(model.instance_index("P"), 0u);
+    EXPECT_EQ(model.instance_index("Q"), 1u);
+    EXPECT_EQ(model.local_state_name(model.graph.initial(), 0), "Making");
+    EXPECT_THROW((void)model.instance_index("Z"), ModelError);
+}
+
+TEST(Compose, RecordsGlobalStateNamesOnRequest) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel with_names = compose(archi, ComposeOptions{true, 1000});
+    EXPECT_NE(with_names.graph.state_name(0).find("P:Making"), std::string::npos);
+    const ComposedModel without = compose(archi, ComposeOptions{false, 1000});
+    EXPECT_TRUE(without.graph.state_name(0).empty());
+}
+
+TEST(Compose, StateLimitIsEnforced) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    EXPECT_THROW((void)compose(archi, ComposeOptions{false, 1}), ModelError);
+}
+
+TEST(Measure, StateMaskSelectsLocalStatesByPrefix) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel model = compose(archi);
+    const auto mask = state_mask(model, InStatePredicate{"P", "Making"});
+    ASSERT_EQ(mask.size(), model.graph.num_states());
+    EXPECT_TRUE(mask[model.graph.initial()]);
+}
+
+TEST(Measure, EnabledPredicateMatchesEitherParty) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel model = compose(archi);
+    const auto by_producer = action_mask(model, EnabledPredicate{"P", "hand_over"});
+    const auto by_consumer = action_mask(model, EnabledPredicate{"Q", "take"});
+    EXPECT_EQ(by_producer, by_consumer);
+}
+
+TEST(Measure, ActionMaskRejectsInStatePredicates) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel model = compose(archi);
+    EXPECT_THROW((void)action_mask(model, InStatePredicate{"P", "Making"}), Error);
+}
+
+TEST(Measure, ActionsOfInstanceCoversInternalAndSyncLabels) {
+    const ArchiType archi =
+        producer_consumer(lts::RateExp{2.0}, lts::RateImmediate{1, 1.0});
+    const ComposedModel model = compose(archi);
+    const auto actions = actions_of_instance(model, "P");
+    // P.produce and P.hand_over#Q.take.
+    EXPECT_EQ(actions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dpma::adl

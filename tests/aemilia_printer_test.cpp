@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "adl/compose.hpp"
+#include "aemilia/parser.hpp"
+#include "aemilia/printer.hpp"
+#include "aemilia/lexer.hpp"
+#include "bisim/equivalence.hpp"
+#include "core/error.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+
+namespace dpma::aemilia {
+namespace {
+
+/// parse(print(M)) must compose to a system strongly bisimilar to M's.
+void expect_roundtrip_bisimilar(const adl::ArchiType& archi) {
+    const std::string text = to_aemilia(archi);
+    const adl::ArchiType reparsed = parse_archi_type(text);
+    EXPECT_EQ(reparsed.name, archi.name);
+    const adl::ComposedModel original = adl::compose(archi);
+    const adl::ComposedModel round = adl::compose(reparsed);
+    EXPECT_EQ(original.graph.num_states(), round.graph.num_states());
+    EXPECT_TRUE(bisim::strongly_bisimilar(original.graph, round.graph).equivalent)
+        << text;
+}
+
+TEST(Printer, RpcSimplifiedFunctionalRoundTrips) {
+    expect_roundtrip_bisimilar(models::rpc::build(models::rpc::simplified_functional()));
+}
+
+TEST(Printer, RpcRevisedFunctionalRoundTrips) {
+    expect_roundtrip_bisimilar(models::rpc::build(models::rpc::revised_functional()));
+}
+
+TEST(Printer, RpcMarkovianRoundTrips) {
+    expect_roundtrip_bisimilar(models::rpc::build(models::rpc::markovian(5.0, true)));
+}
+
+TEST(Printer, RpcGeneralRoundTrips) {
+    expect_roundtrip_bisimilar(models::rpc::build(models::rpc::general(7.5, true)));
+}
+
+TEST(Printer, StreamingMarkovianRoundTrips) {
+    expect_roundtrip_bisimilar(
+        models::streaming::build(models::streaming::markovian(100.0, true)));
+}
+
+TEST(Printer, StreamingGeneralRoundTrips) {
+    expect_roundtrip_bisimilar(
+        models::streaming::build(models::streaming::general(50.0, false)));
+}
+
+TEST(Printer, RatesSurviveWithFullPrecision) {
+    // Compare solved measures of original and reparsed rpc Markov models;
+    // %.17g rate printing must make them bit-compatible (or very nearly).
+    const adl::ArchiType archi = models::rpc::build(models::rpc::markovian(5.0, true));
+    const adl::ArchiType reparsed = parse_archi_type(to_aemilia(archi));
+
+    const auto solve = [](const adl::ArchiType& a) {
+        const adl::ComposedModel model = adl::compose(a);
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        std::vector<double> out;
+        for (const auto& m : models::rpc::measures()) {
+            out.push_back(ctmc::evaluate_measure(markov, model, pi, m));
+        }
+        return out;
+    };
+    const auto a = solve(archi);
+    const auto b = solve(reparsed);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-12 * std::abs(a[i]) + 1e-15);
+    }
+}
+
+TEST(Printer, GuardsRoundTripThroughConcreteSyntax) {
+    // The streaming access point exercises ==, <, > and && in guards.
+    const adl::ArchiType archi =
+        models::streaming::build(models::streaming::functional(3));
+    const std::string text = to_aemilia(archi);
+    EXPECT_NE(text.find("cond("), std::string::npos);
+    EXPECT_NE(text.find("&&"), std::string::npos);
+    EXPECT_NO_THROW((void)parse_archi_type(text));
+}
+
+TEST(Printer, MeasuresRoundTrip) {
+    const auto original = models::streaming::measures();
+    const std::string text = to_measure_language(original);
+    const auto reparsed = parse_measures(text);
+    ASSERT_EQ(reparsed.size(), original.size());
+    for (std::size_t m = 0; m < original.size(); ++m) {
+        EXPECT_EQ(reparsed[m].name, original[m].name);
+        ASSERT_EQ(reparsed[m].clauses.size(), original[m].clauses.size());
+        for (std::size_t c = 0; c < original[m].clauses.size(); ++c) {
+            EXPECT_EQ(reparsed[m].clauses[c].target, original[m].clauses[c].target);
+            EXPECT_DOUBLE_EQ(reparsed[m].clauses[c].reward,
+                             original[m].clauses[c].reward);
+        }
+    }
+}
+
+TEST(Printer, ScientificNotationNumbersAreLexable) {
+    const auto tokens = tokenize("exp(1.0000000000000001e-05)");
+    ASSERT_GE(tokens.size(), 3u);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Number);
+    EXPECT_EQ(tokens[2].text, "1.0000000000000001e-05");
+}
+
+}  // namespace
+}  // namespace dpma::aemilia

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dist.hpp"
+#include "core/error.hpp"
+#include "core/intern.hpp"
+#include "core/stats_math.hpp"
+#include "core/text.hpp"
+
+namespace dpma {
+namespace {
+
+TEST(Interner, AssignsDenseIdsInOrder) {
+    StringInterner interner;
+    EXPECT_EQ(interner.intern("alpha"), 0u);
+    EXPECT_EQ(interner.intern("beta"), 1u);
+    EXPECT_EQ(interner.intern("gamma"), 2u);
+    EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(Interner, InternIsIdempotent) {
+    StringInterner interner;
+    const Symbol a = interner.intern("x");
+    EXPECT_EQ(interner.intern("x"), a);
+    EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(Interner, FindDoesNotInsert) {
+    StringInterner interner;
+    EXPECT_EQ(interner.find("missing"), kNoSymbol);
+    EXPECT_EQ(interner.size(), 0u);
+}
+
+TEST(Interner, RoundTripsText) {
+    StringInterner interner;
+    const Symbol a = interner.intern("some.label#with.parts");
+    EXPECT_EQ(interner.text(a), "some.label#with.parts");
+}
+
+TEST(Interner, TextOutOfRangeThrows) {
+    StringInterner interner;
+    EXPECT_THROW((void)interner.text(0), Error);
+}
+
+TEST(Interner, SurvivesRehashing) {
+    StringInterner interner;
+    for (int i = 0; i < 2000; ++i) {
+        interner.intern("key" + std::to_string(i));
+    }
+    // Views into the stored strings must remain valid after growth.
+    EXPECT_EQ(interner.find("key0"), 0u);
+    EXPECT_EQ(interner.find("key1999"), 1999u);
+    EXPECT_EQ(interner.text(1234), "key1234");
+}
+
+TEST(Text, TrimStripsBothEnds) {
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, SplitKeepsEmptyFields) {
+    const auto parts = split("a##b#", '#');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Text, JoinInvertsSplit) {
+    const std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(join(parts, "."), "x.y.z");
+    EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Text, FormatFixedIsLocaleIndependent) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(KahanSum, RecoversSmallAddendsLostByNaiveSummation) {
+    KahanSum sum;
+    sum.add(1e16);
+    for (int i = 0; i < 10; ++i) sum.add(1.0);
+    sum.add(-1e16);
+    EXPECT_DOUBLE_EQ(sum.value(), 10.0);
+}
+
+TEST(RunningMoments, MatchesClosedForm) {
+    RunningMoments m;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningMoments, VarianceOfFewerThanTwoSamplesIsZero) {
+    RunningMoments m;
+    EXPECT_EQ(m.variance(), 0.0);
+    m.add(3.0);
+    EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(StudentT, MatchesTabulatedValues) {
+    // Standard two-sided critical values.
+    EXPECT_NEAR(student_t_critical(29, 0.90), 1.699, 1e-3);
+    EXPECT_NEAR(student_t_critical(29, 0.95), 2.045, 1e-3);
+    EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-2);
+    EXPECT_NEAR(student_t_critical(10, 0.99), 3.169, 1e-3);
+    // Large df approaches the normal quantile.
+    EXPECT_NEAR(student_t_critical(100000, 0.95), 1.960, 1e-3);
+}
+
+TEST(StudentT, RejectsInvalidArguments) {
+    EXPECT_THROW((void)student_t_critical(0, 0.9), Error);
+    EXPECT_THROW((void)student_t_critical(5, 0.0), Error);
+    EXPECT_THROW((void)student_t_critical(5, 1.0), Error);
+}
+
+TEST(ConfidenceInterval, HalfWidthMatchesManualComputation) {
+    const std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+    const double s = std::sqrt(2.5);  // sample stddev
+    const double expected = student_t_critical(4, 0.95) * s / std::sqrt(5.0);
+    EXPECT_NEAR(confidence_half_width(samples, 0.95), expected, 1e-12);
+}
+
+TEST(ConfidenceInterval, DegenerateInputsGiveZeroWidth) {
+    EXPECT_EQ(confidence_half_width({}, 0.9), 0.0);
+    EXPECT_EQ(confidence_half_width({42.0}, 0.9), 0.0);
+}
+
+TEST(Dist, MeansMatchAnalyticFormulas) {
+    EXPECT_DOUBLE_EQ(Dist::exponential(4.0).mean(), 0.25);
+    EXPECT_DOUBLE_EQ(Dist::deterministic(3.5).mean(), 3.5);
+    EXPECT_DOUBLE_EQ(Dist::uniform(1.0, 3.0).mean(), 2.0);
+    EXPECT_DOUBLE_EQ(Dist::normal(0.8, 0.03).mean(), 0.8);
+    EXPECT_DOUBLE_EQ(Dist::erlang(4, 2.0).mean(), 2.0);
+    // Weibull with shape 1 is exponential with rate 1/scale.
+    EXPECT_NEAR(Dist::weibull(1.0, 5.0).mean(), 5.0, 1e-12);
+    EXPECT_NEAR(Dist::lognormal(0.0, 0.0).mean(), 1.0, 1e-12);
+}
+
+TEST(Dist, RejectsInvalidParameters) {
+    EXPECT_THROW((void)Dist::exponential(0.0), Error);
+    EXPECT_THROW((void)Dist::exponential(-1.0), Error);
+    EXPECT_THROW((void)Dist::deterministic(-0.1), Error);
+    EXPECT_THROW((void)Dist::uniform(2.0, 1.0), Error);
+    EXPECT_THROW((void)Dist::normal(0.0, 1.0), Error);
+    EXPECT_THROW((void)Dist::erlang(0, 1.0), Error);
+    EXPECT_THROW((void)Dist::weibull(-1.0, 1.0), Error);
+}
+
+TEST(Dist, ToStringNamesTheFamily) {
+    EXPECT_EQ(Dist::exponential(2.0).to_string().substr(0, 4), "exp(");
+    EXPECT_EQ(Dist::normal(4.0, 0.1).to_string().substr(0, 5), "norm(");
+}
+
+TEST(ErrorHierarchy, AllErrorsDeriveFromDpmaError) {
+    EXPECT_THROW(throw ModelError("m"), Error);
+    EXPECT_THROW(throw NumericalError("n"), Error);
+    EXPECT_THROW(throw ParseError("p", 1, 2), Error);
+}
+
+TEST(ErrorHierarchy, ParseErrorCarriesPosition) {
+    const ParseError e("bad token", 7, 12);
+    EXPECT_EQ(e.line(), 7);
+    EXPECT_EQ(e.column(), 12);
+}
+
+TEST(Assertions, AssertMacroThrowsWithContext) {
+    try {
+        DPMA_ASSERT(1 == 2, "math is broken");
+        FAIL() << "expected throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    }
+}
+
+}  // namespace
+}  // namespace dpma

@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adl/compose.hpp"
+#include "core/error.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "models/builder.hpp"
+
+namespace dpma::ctmc {
+namespace {
+
+using models::act;
+using models::alt;
+
+/// Birth-death chain of n states: up-rate lambda, down-rate mu.
+Ctmc birth_death(std::size_t n, double lambda, double mu) {
+    Ctmc chain(n);
+    for (TangibleId i = 0; i + 1 < n; ++i) {
+        chain.add_rate(i, i + 1, lambda);
+        chain.add_rate(i + 1, i, mu);
+    }
+    return chain;
+}
+
+/// Analytic M/M/1/K distribution: pi_i proportional to rho^i.
+std::vector<double> mm1k(std::size_t n, double rho) {
+    std::vector<double> pi(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        pi[i] = std::pow(rho, static_cast<double>(i));
+        total += pi[i];
+    }
+    for (double& p : pi) p /= total;
+    return pi;
+}
+
+TEST(Ctmc, AccumulatesParallelRates) {
+    Ctmc chain(2);
+    chain.add_rate(0, 1, 1.0);
+    chain.add_rate(0, 1, 2.5);
+    ASSERT_EQ(chain.row(0).size(), 1u);
+    EXPECT_DOUBLE_EQ(chain.row(0)[0].rate, 3.5);
+    EXPECT_DOUBLE_EQ(chain.exit_rate(0), 3.5);
+}
+
+TEST(Ctmc, IgnoresSelfLoops) {
+    Ctmc chain(1);
+    chain.add_rate(0, 0, 5.0);
+    EXPECT_TRUE(chain.row(0).empty());
+    EXPECT_DOUBLE_EQ(chain.exit_rate(0), 0.0);
+}
+
+TEST(Ctmc, RejectsNonPositiveRates) {
+    Ctmc chain(2);
+    EXPECT_THROW(chain.add_rate(0, 1, 0.0), Error);
+    EXPECT_THROW(chain.add_rate(0, 1, -1.0), Error);
+}
+
+TEST(SteadyState, TwoStateClosedForm) {
+    Ctmc chain(2);
+    chain.add_rate(0, 1, 3.0);
+    chain.add_rate(1, 0, 1.0);
+    const auto pi = steady_state(chain);
+    EXPECT_NEAR(pi[0], 0.25, 1e-12);
+    EXPECT_NEAR(pi[1], 0.75, 1e-12);
+}
+
+TEST(SteadyState, GthMatchesMm1kClosedForm) {
+    const double lambda = 2.0, mu = 3.0;
+    const auto pi = steady_state_gth(birth_death(8, lambda, mu));
+    const auto expect = mm1k(8, lambda / mu);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(pi[i], expect[i], 1e-12) << "state " << i;
+    }
+}
+
+TEST(SteadyState, GaussSeidelMatchesGth) {
+    const Ctmc chain = birth_death(25, 1.7, 1.1);
+    const auto a = steady_state_gth(chain);
+    const auto b = steady_state_gauss_seidel(chain);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-9);
+    }
+}
+
+TEST(SteadyState, PowerIterationMatchesGth) {
+    const Ctmc chain = birth_death(12, 0.9, 1.4);
+    const auto a = steady_state_gth(chain);
+    const auto b = steady_state_power(chain, SolveOptions{1e-14, 2'000'000, 1500});
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-8);
+    }
+}
+
+TEST(SteadyState, SumsToOne) {
+    const auto pi = steady_state(birth_death(40, 2.3, 2.3));
+    double total = 0.0;
+    for (double p : pi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SteadyState, SatisfiesGlobalBalance) {
+    const Ctmc chain = birth_death(10, 1.3, 0.8);
+    const auto pi = steady_state(chain);
+    // flow out == flow in for every state
+    std::vector<double> inflow(10, 0.0);
+    for (TangibleId s = 0; s < 10; ++s) {
+        for (const RateEntry& e : chain.row(s)) {
+            inflow[e.target] += pi[s] * e.rate;
+        }
+    }
+    for (TangibleId s = 0; s < 10; ++s) {
+        EXPECT_NEAR(inflow[s], pi[s] * chain.exit_rate(s), 1e-10) << "state " << s;
+    }
+}
+
+TEST(SteadyState, TransientPrefixGetsZeroMass) {
+    // 0 -> 1 <-> 2: state 0 is transient.
+    Ctmc chain(3);
+    chain.add_rate(0, 1, 1.0);
+    chain.add_rate(1, 2, 2.0);
+    chain.add_rate(2, 1, 2.0);
+    const auto pi = steady_state(chain);
+    EXPECT_DOUBLE_EQ(pi[0], 0.0);
+    EXPECT_NEAR(pi[1], 0.5, 1e-12);
+    EXPECT_NEAR(pi[2], 0.5, 1e-12);
+}
+
+TEST(SteadyState, TwoRecurrentClassesAreRejected) {
+    Ctmc chain(4);
+    chain.add_rate(0, 1, 1.0);  // class {1}
+    chain.add_rate(0, 2, 1.0);  // class {2,3}
+    chain.add_rate(2, 3, 1.0);
+    chain.add_rate(3, 2, 1.0);
+    EXPECT_THROW((void)steady_state(chain), NumericalError);
+}
+
+TEST(BottomSccs, IdentifiesRecurrentClasses) {
+    Ctmc chain(5);
+    chain.add_rate(0, 1, 1.0);
+    chain.add_rate(1, 2, 1.0);
+    chain.add_rate(2, 1, 1.0);  // {1,2} bottom
+    chain.add_rate(0, 3, 1.0);
+    chain.add_rate(3, 4, 1.0);
+    chain.add_rate(4, 3, 1.0);  // {3,4} bottom
+    const auto bottoms = bottom_sccs(chain);
+    EXPECT_EQ(bottoms.size(), 2u);
+}
+
+TEST(BottomSccs, AbsorbingStateIsItsOwnClass) {
+    Ctmc chain(2);
+    chain.add_rate(0, 1, 1.0);
+    const auto bottoms = bottom_sccs(chain);
+    ASSERT_EQ(bottoms.size(), 1u);
+    ASSERT_EQ(bottoms[0].size(), 1u);
+    EXPECT_EQ(bottoms[0][0], 1u);
+}
+
+TEST(Irreducibility, DetectsBothDirections) {
+    Ctmc ring(3);
+    ring.add_rate(0, 1, 1.0);
+    ring.add_rate(1, 2, 1.0);
+    ring.add_rate(2, 0, 1.0);
+    EXPECT_TRUE(is_irreducible(ring));
+
+    Ctmc line(3);
+    line.add_rate(0, 1, 1.0);
+    line.add_rate(1, 2, 1.0);
+    EXPECT_FALSE(is_irreducible(line));
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+    Ctmc chain(2);
+    chain.add_rate(0, 1, 1.0);
+    chain.add_rate(1, 0, 2.0);
+    const auto pi = transient(chain, {{0, 1.0}}, 200.0);
+    EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(pi[1], 1.0 / 3.0, 1e-9);
+}
+
+TEST(Transient, MatchesTwoStateClosedForm) {
+    // P(in 1 at t) = (lambda/(lambda+mu)) (1 - exp(-(lambda+mu) t))
+    const double lambda = 1.5, mu = 0.5, t = 0.7;
+    Ctmc chain(2);
+    chain.add_rate(0, 1, lambda);
+    chain.add_rate(1, 0, mu);
+    const auto pi = transient(chain, {{0, 1.0}}, t);
+    const double expect = lambda / (lambda + mu) * (1.0 - std::exp(-(lambda + mu) * t));
+    EXPECT_NEAR(pi[1], expect, 1e-9);
+}
+
+TEST(Transient, TimeZeroReturnsInitialDistribution) {
+    Ctmc chain(3);
+    chain.add_rate(0, 1, 1.0);
+    chain.add_rate(1, 2, 1.0);
+    chain.add_rate(2, 0, 1.0);
+    const auto pi = transient(chain, {{1, 0.4}, {2, 0.6}}, 0.0);
+    EXPECT_DOUBLE_EQ(pi[0], 0.0);
+    EXPECT_NEAR(pi[1], 0.4, 1e-12);
+    EXPECT_NEAR(pi[2], 0.6, 1e-12);
+}
+
+/// A small architecture exercising vanishing-state elimination: a timed
+/// step into an immediate probabilistic branch.
+adl::ArchiType vanishing_model(double p_left, int priority_right) {
+    adl::ArchiType archi;
+    archi.name = "Vanishing";
+    adl::ElemType t;
+    t.name = "T";
+    t.behaviors = {
+        adl::BehaviorDef{"Start", {},
+            {alt({act("step", lts::RateExp{1.0})}, "Choice")}},
+        adl::BehaviorDef{"Choice", {},
+            {alt({act("go_left", lts::RateImmediate{1, p_left})}, "Left"),
+             alt({act("go_right", lts::RateImmediate{priority_right, 1.0 - p_left})},
+                 "Right")}},
+        adl::BehaviorDef{"Left", {},
+            {alt({act("reset_l", lts::RateExp{2.0})}, "Start")}},
+        adl::BehaviorDef{"Right", {},
+            {alt({act("reset_r", lts::RateExp{4.0})}, "Start")}},
+    };
+    archi.elem_types = {t};
+    archi.instances = {adl::Instance{"X", "T", {}}};
+    return archi;
+}
+
+TEST(BuildMarkov, EliminatesVanishingStates) {
+    const adl::ComposedModel model = adl::compose(vanishing_model(0.25, 1));
+    const MarkovModel markov = build_markov(model);
+    // Tangible: Start, Left, Right; vanishing: Choice.
+    EXPECT_EQ(markov.chain.num_states(), 3u);
+    EXPECT_EQ(markov.vanishing_topo_order.size(), 1u);
+
+    const auto pi = steady_state(markov.chain);
+    // Mean cycle: 1 (Start) + 0.25 * 1/2 + 0.75 * 1/4  => check Start's
+    // probability equals its sojourn fraction.
+    const double cycle = 1.0 + 0.25 * 0.5 + 0.75 * 0.25;
+    const TangibleId start = markov.tangible_of[model.graph.initial()];
+    EXPECT_NEAR(pi[start], 1.0 / cycle, 1e-12);
+}
+
+TEST(BuildMarkov, MaximalProgressFiltersLowerPriority) {
+    // go_right has priority 5: go_left must never fire.
+    const adl::ComposedModel model = adl::compose(vanishing_model(0.25, 5));
+    const MarkovModel markov = build_markov(model);
+    const auto pi = steady_state(markov.chain);
+    const auto freq = action_frequencies(markov, model, pi);
+    const Symbol left = model.graph.actions()->find("X.go_left");
+    const Symbol right = model.graph.actions()->find("X.go_right");
+    ASSERT_NE(left, kNoSymbol);
+    ASSERT_NE(right, kNoSymbol);
+    EXPECT_DOUBLE_EQ(freq[left], 0.0);
+    EXPECT_GT(freq[right], 0.0);
+}
+
+TEST(BuildMarkov, ImmediateFrequenciesMatchBranchWeights) {
+    const adl::ComposedModel model = adl::compose(vanishing_model(0.25, 1));
+    const MarkovModel markov = build_markov(model);
+    const auto pi = steady_state(markov.chain);
+    const auto freq = action_frequencies(markov, model, pi);
+    const double f_step = freq[model.graph.actions()->find("X.step")];
+    const double f_left = freq[model.graph.actions()->find("X.go_left")];
+    const double f_right = freq[model.graph.actions()->find("X.go_right")];
+    EXPECT_NEAR(f_left, 0.25 * f_step, 1e-12);
+    EXPECT_NEAR(f_right, 0.75 * f_step, 1e-12);
+    // Flow conservation: everything that enters Choice leaves it.
+    EXPECT_NEAR(f_left + f_right, f_step, 1e-12);
+}
+
+TEST(BuildMarkov, RejectsFunctionalModels) {
+    adl::ArchiType archi = vanishing_model(0.5, 1);
+    archi.elem_types[0].behaviors[0].alternatives[0].actions[0].rate =
+        lts::RateUnspecified{};
+    const adl::ComposedModel model = adl::compose(archi);
+    EXPECT_THROW((void)build_markov(model), ModelError);
+}
+
+TEST(BuildMarkov, RejectsGeneralDistributions) {
+    adl::ArchiType archi = vanishing_model(0.5, 1);
+    archi.elem_types[0].behaviors[0].alternatives[0].actions[0].rate =
+        lts::RateGeneral{Dist::deterministic(1.0)};
+    const adl::ComposedModel model = adl::compose(archi);
+    EXPECT_THROW((void)build_markov(model), ModelError);
+}
+
+TEST(BuildMarkov, DetectsImmediateCycles) {
+    adl::ArchiType archi;
+    archi.name = "Livelock";
+    adl::ElemType t;
+    t.name = "T";
+    t.behaviors = {
+        adl::BehaviorDef{"A", {}, {alt({act("ping", lts::RateImmediate{}) }, "B")}},
+        adl::BehaviorDef{"B", {}, {alt({act("pong", lts::RateImmediate{}) }, "A")}},
+    };
+    archi.elem_types = {t};
+    archi.instances = {adl::Instance{"X", "T", {}}};
+    const adl::ComposedModel model = adl::compose(archi);
+    EXPECT_THROW((void)build_markov(model), NumericalError);
+}
+
+TEST(BuildMarkov, DetectsDeadlocks) {
+    adl::ArchiType archi;
+    archi.name = "Dead";
+    adl::ElemType t;
+    t.name = "T";
+    t.behaviors = {
+        adl::BehaviorDef{"A", {}, {alt({act("once", lts::RateExp{1.0})}, "B")}},
+        adl::BehaviorDef{"B", {}, {alt({act("blocked", lts::RatePassive{})}, "B")}},
+    };
+    t.input_interactions = {"blocked"};
+    archi.elem_types = {t};
+    archi.instances = {adl::Instance{"X", "T", {}}};
+    const adl::ComposedModel model = adl::compose(archi);
+    EXPECT_THROW((void)build_markov(model), ModelError);
+    EXPECT_NO_THROW((void)build_markov(model, /*allow_absorbing=*/true));
+}
+
+TEST(BuildMarkov, InitialDistributionPushedThroughVanishing) {
+    // Make the initial state vanishing by starting in Choice.
+    adl::ArchiType archi = vanishing_model(0.25, 1);
+    std::swap(archi.elem_types[0].behaviors[0], archi.elem_types[0].behaviors[1]);
+    const adl::ComposedModel model = adl::compose(archi);
+    const MarkovModel markov = build_markov(model);
+    double total = 0.0;
+    for (const auto& [state, p] : markov.initial_distribution) {
+        (void)state;
+        total += p;
+    }
+    EXPECT_EQ(markov.initial_distribution.size(), 2u);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Reward, StateProbabilityOfLocalState) {
+    const adl::ComposedModel model = adl::compose(vanishing_model(0.25, 1));
+    const MarkovModel markov = build_markov(model);
+    const auto pi = steady_state(markov.chain);
+    const double p_start =
+        state_probability(markov, model, pi, adl::InStatePredicate{"X", "Start"});
+    const double cycle = 1.0 + 0.25 * 0.5 + 0.75 * 0.25;
+    EXPECT_NEAR(p_start, 1.0 / cycle, 1e-12);
+}
+
+TEST(Reward, MeasureCombinesStateAndTransClauses) {
+    const adl::ComposedModel model = adl::compose(vanishing_model(0.25, 1));
+    const MarkovModel markov = build_markov(model);
+    const auto pi = steady_state(markov.chain);
+    adl::Measure m;
+    m.name = "mixed";
+    m.clauses = {adl::state_reward_in("X", "Start", 10.0),
+                 adl::trans_reward("X", "step", 3.0)};
+    const double value = evaluate_measure(markov, model, pi, m);
+    const double cycle = 1.0 + 0.25 * 0.5 + 0.75 * 0.25;
+    const double p_start = 1.0 / cycle;
+    // freq(step) = pi(Start) * 1.0
+    EXPECT_NEAR(value, 10.0 * p_start + 3.0 * p_start, 1e-12);
+}
+
+}  // namespace
+}  // namespace dpma::ctmc

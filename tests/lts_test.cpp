@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "lts/lts.hpp"
+#include "lts/ops.hpp"
+
+namespace dpma::lts {
+namespace {
+
+/// a -> b -> c with a tau detour.
+Lts make_chain() {
+    Lts m;
+    const StateId s0 = m.add_state("s0");
+    const StateId s1 = m.add_state("s1");
+    const StateId s2 = m.add_state("s2");
+    m.add_transition(s0, m.action("a"), s1);
+    m.add_transition(s1, m.action("b"), s2);
+    m.add_transition(s0, m.actions()->tau(), s2);
+    m.set_initial(s0);
+    return m;
+}
+
+TEST(ActionTable, TauIsPreInternedAsZero) {
+    ActionTable table;
+    EXPECT_EQ(table.tau(), 0u);
+    EXPECT_EQ(table.name(table.tau()), "tau");
+    EXPECT_EQ(table.intern("tau"), table.tau());
+}
+
+TEST(Lts, CountsStatesAndTransitions) {
+    const Lts m = make_chain();
+    EXPECT_EQ(m.num_states(), 3u);
+    EXPECT_EQ(m.num_transitions(), 3u);
+    EXPECT_EQ(m.initial(), 0u);
+    EXPECT_EQ(m.out(0).size(), 2u);
+    EXPECT_EQ(m.out(2).size(), 0u);
+}
+
+TEST(Lts, RejectsOutOfRangeEndpoints) {
+    Lts m;
+    const StateId s = m.add_state();
+    EXPECT_THROW(m.add_transition(s, m.action("a"), 5), Error);
+    EXPECT_THROW(m.set_initial(9), Error);
+    EXPECT_THROW((void)m.out(1), Error);
+}
+
+TEST(Lts, StateNamesAreStored) {
+    Lts m;
+    const StateId s = m.add_state("hello");
+    EXPECT_EQ(m.state_name(s), "hello");
+    m.set_state_name(s, "world");
+    EXPECT_EQ(m.state_name(s), "world");
+}
+
+TEST(Lts, SetRateReplacesAnnotation) {
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    m.add_transition(s0, m.action("a"), s1, RateExp{2.0});
+    m.set_rate(s0, 0, RateExp{5.0});
+    const auto* r = std::get_if<RateExp>(&m.out(s0)[0].rate);
+    ASSERT_NE(r, nullptr);
+    EXPECT_DOUBLE_EQ(r->rate, 5.0);
+}
+
+TEST(Lts, DumpMentionsActionsAndRates) {
+    Lts m;
+    const StateId s0 = m.add_state("start");
+    m.add_transition(s0, m.action("ping"), s0, RateExp{1.5});
+    m.set_initial(s0);
+    const std::string dump = m.dump();
+    EXPECT_NE(dump.find("ping"), std::string::npos);
+    EXPECT_NE(dump.find("start"), std::string::npos);
+}
+
+TEST(RatePredicates, ClassifyVariants) {
+    EXPECT_TRUE(is_passive(Rate{RatePassive{}}));
+    EXPECT_TRUE(is_immediate(Rate{RateImmediate{1, 2.0}}));
+    EXPECT_TRUE(is_exponential(Rate{RateExp{3.0}}));
+    EXPECT_TRUE(is_general(Rate{RateGeneral{Dist::deterministic(1.0)}}));
+    EXPECT_TRUE(is_timed(Rate{RateExp{3.0}}));
+    EXPECT_TRUE(is_timed(Rate{RateGeneral{Dist::deterministic(1.0)}}));
+    EXPECT_FALSE(is_timed(Rate{RateImmediate{}}));
+    EXPECT_FALSE(is_timed(Rate{RateUnspecified{}}));
+}
+
+TEST(Hide, RelabelsToTauAndKeepsRates) {
+    Lts m = make_chain();
+    const Lts hidden = hide(m, {m.actions()->find("a")});
+    EXPECT_EQ(hidden.out(0)[0].action, m.actions()->tau());
+    EXPECT_EQ(hidden.out(1)[0].action, m.actions()->find("b"));
+    EXPECT_EQ(hidden.num_transitions(), 3u);
+}
+
+TEST(Restrict, RemovesMatchingTransitions) {
+    Lts m = make_chain();
+    const Lts restricted = restrict_actions(m, {m.actions()->find("a")});
+    EXPECT_EQ(restricted.num_transitions(), 2u);
+    EXPECT_TRUE(restricted.out(0).size() == 1u);  // only the tau remains
+}
+
+TEST(ReachablePart, PrunesUnreachableStates) {
+    Lts m;
+    const StateId s0 = m.add_state("root");
+    const StateId s1 = m.add_state("child");
+    m.add_state("orphan");
+    m.add_transition(s0, m.action("a"), s1);
+    m.set_initial(s0);
+    const Lts pruned = reachable_part(m);
+    EXPECT_EQ(pruned.num_states(), 2u);
+    EXPECT_EQ(pruned.state_name(0), "root");
+    EXPECT_EQ(pruned.state_name(1), "child");
+}
+
+TEST(ReachablePart, KeepsAllTransitionsAmongReachable) {
+    Lts m = make_chain();
+    const Lts pruned = reachable_part(m);
+    EXPECT_EQ(pruned.num_states(), m.num_states());
+    EXPECT_EQ(pruned.num_transitions(), m.num_transitions());
+}
+
+TEST(DeadlockStates, FindsSinks) {
+    const Lts m = make_chain();
+    const auto sinks = deadlock_states(m);
+    ASSERT_EQ(sinks.size(), 1u);
+    EXPECT_EQ(sinks[0], 2u);
+}
+
+TEST(Saturate, AddsReflexiveTau) {
+    Lts m;
+    const StateId s0 = m.add_state();
+    m.set_initial(s0);
+    const Lts sat = saturate(m);
+    ASSERT_EQ(sat.out(s0).size(), 1u);
+    EXPECT_EQ(sat.out(s0)[0].action, m.actions()->tau());
+    EXPECT_EQ(sat.out(s0)[0].target, s0);
+}
+
+TEST(Saturate, ComputesWeakVisibleMoves) {
+    // s0 -tau-> s1 -a-> s2 -tau-> s3: s0 must get a weak a to both s2 and s3.
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    const StateId s2 = m.add_state();
+    const StateId s3 = m.add_state();
+    const ActionId tau = m.actions()->tau();
+    const ActionId a = m.action("a");
+    m.add_transition(s0, tau, s1);
+    m.add_transition(s1, a, s2);
+    m.add_transition(s2, tau, s3);
+    m.set_initial(s0);
+
+    const Lts sat = saturate(m);
+    bool weak_a_to_s2 = false;
+    bool weak_a_to_s3 = false;
+    for (const Transition& t : sat.out(s0)) {
+        if (t.action == a && t.target == s2) weak_a_to_s2 = true;
+        if (t.action == a && t.target == s3) weak_a_to_s3 = true;
+    }
+    EXPECT_TRUE(weak_a_to_s2);
+    EXPECT_TRUE(weak_a_to_s3);
+}
+
+TEST(Saturate, TauChainsBecomeDirectWeakTaus) {
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    const StateId s2 = m.add_state();
+    const ActionId tau = m.actions()->tau();
+    m.add_transition(s0, tau, s1);
+    m.add_transition(s1, tau, s2);
+    m.set_initial(s0);
+    const Lts sat = saturate(m);
+    bool direct = false;
+    for (const Transition& t : sat.out(s0)) {
+        if (t.action == tau && t.target == s2) direct = true;
+    }
+    EXPECT_TRUE(direct);
+}
+
+TEST(DisjointUnion, MergesActionTablesByName) {
+    Lts a;
+    const StateId a0 = a.add_state();
+    a.add_transition(a0, a.action("ping"), a0);
+    a.set_initial(a0);
+
+    Lts b;  // independent table: "pong" before "ping"
+    const StateId b0 = b.add_state();
+    b.add_transition(b0, b.action("pong"), b0);
+    b.add_transition(b0, b.action("ping"), b0);
+    b.set_initial(b0);
+
+    const UnionResult u = disjoint_union(a, b);
+    EXPECT_EQ(u.combined.num_states(), 2u);
+    EXPECT_EQ(u.initial_lhs, 0u);
+    EXPECT_EQ(u.initial_rhs, 1u);
+    // Both ping transitions must carry the same merged id.
+    EXPECT_EQ(u.combined.out(u.initial_lhs)[0].action,
+              u.combined.out(u.initial_rhs)[1].action);
+}
+
+TEST(MakeActionSet, InternsNames) {
+    Lts m = make_chain();
+    const ActionSet set = make_action_set(m, {"a", "brand_new"});
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(m.actions()->find("a")));
+    EXPECT_TRUE(set.contains(m.actions()->find("brand_new")));
+}
+
+}  // namespace
+}  // namespace dpma::lts

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "lts/ops.hpp"
+#include "models/disk.hpp"
+#include "noninterference/noninterference.hpp"
+#include "sim/gsmp.hpp"
+
+namespace dpma::models::disk {
+namespace {
+
+struct Solved {
+    std::vector<double> values;
+    [[nodiscard]] double power() const { return values[kPower]; }
+    [[nodiscard]] double completed() const { return values[kCompleted]; }
+    [[nodiscard]] double energy_per_request() const {
+        return values[kPower] / values[kCompleted];
+    }
+    /// Little's law: mean response time = mean queue length / throughput.
+    [[nodiscard]] double response_time() const {
+        return values[kQueueLength] / values[kCompleted];
+    }
+};
+
+Solved solve(const Config& config) {
+    const adl::ComposedModel model = compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    Solved out;
+    for (const adl::Measure& m : measures(config.params)) {
+        out.values.push_back(ctmc::evaluate_measure(markov, model, pi, m));
+    }
+    return out;
+}
+
+TEST(DiskStructure, ArchitectureValidates) {
+    EXPECT_NO_THROW(adl::validate(build(functional())));
+    EXPECT_NO_THROW(adl::validate(build(markovian(500.0, true))));
+}
+
+TEST(DiskStructure, ModelsAreDeadlockFree) {
+    EXPECT_TRUE(lts::deadlock_states(compose(functional()).graph).empty());
+    EXPECT_TRUE(lts::deadlock_states(compose(markovian(500.0, true)).graph).empty());
+    EXPECT_TRUE(lts::deadlock_states(compose(markovian(0.0, true)).graph).empty());
+}
+
+TEST(DiskNoninterference, IdleTimeoutDpmIsTransparentToTheSink) {
+    const adl::ComposedModel model = compose(functional());
+    const auto verdict = noninterference::check_dpm_transparency(
+        model, high_action_labels(), "SINK");
+    EXPECT_TRUE(verdict.noninterfering);
+}
+
+TEST(DiskMarkov, SolvableAndConservative) {
+    const Solved s = solve(markovian(500.0, true));
+    // Flow conservation: everything issued is eventually served or dropped.
+    EXPECT_NEAR(s.values[kIssued], s.values[kCompleted] + s.values[kDropped], 1e-9);
+    EXPECT_GT(s.completed(), 0.0);
+}
+
+TEST(DiskMarkov, DpmSavesPowerOnBurstyWorkloads) {
+    const Solved with = solve(markovian(500.0, true));
+    const Solved without = solve(markovian(500.0, false));
+    EXPECT_LT(with.power(), without.power());
+}
+
+TEST(DiskMarkov, SleepingCostsResponseTime) {
+    const Solved with = solve(markovian(200.0, true));
+    const Solved without = solve(markovian(200.0, false));
+    EXPECT_GT(with.response_time(), without.response_time());
+}
+
+TEST(DiskMarkov, ShorterTimeoutSleepsMore) {
+    const auto sleep_fraction = [](double timeout) {
+        const adl::ComposedModel model = compose(markovian(timeout, true));
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        return ctmc::state_probability(markov, model, pi,
+                                       adl::InStatePredicate{"D", "Sleeping_Disk"});
+    };
+    EXPECT_GT(sleep_fraction(100.0), sleep_fraction(1000.0));
+}
+
+TEST(DiskMarkov, BreakEvenTimeHasTheExpectedMagnitude) {
+    const Params p;
+    // T_be = 1600 * (3.0 - 0.9) / (0.9 - 0.13) ~ 4363 ms.
+    EXPECT_NEAR(p.break_even_time(), 1600.0 * 2.1 / 0.77, 1e-9);
+}
+
+TEST(DiskMarkov, QueueLengthMeasureIsWithinCapacity) {
+    const Solved s = solve(markovian(500.0, true));
+    EXPECT_GE(s.values[kQueueLength], 0.0);
+    EXPECT_LE(s.values[kQueueLength], 8.0);
+}
+
+TEST(DiskGeneral, SimulatesAndAgreesWithMarkovOnExponentialCopy) {
+    // Validation in the Sect. 5.1 style for the third case study.
+    const Config config = markovian(500.0, true);
+    adl::ComposedModel sim_model = compose(config);
+    for (lts::StateId s = 0; s < sim_model.graph.num_states(); ++s) {
+        const auto out = sim_model.graph.out(s);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            if (const auto* e = std::get_if<lts::RateExp>(&out[k].rate)) {
+                sim_model.graph.set_rate(s, k,
+                                         lts::RateGeneral{Dist::exponential(e->rate)});
+            }
+        }
+    }
+    const sim::Simulator simulator(sim_model, measures(config.params));
+    sim::SimOptions options;
+    options.warmup = 20000.0;
+    options.horizon = 400000.0;
+    options.seed = 31;
+    const auto estimates = sim::simulate_replications(simulator, options, 10, 0.90);
+
+    const Solved exact = solve(config);
+    EXPECT_NEAR(estimates[kPower].mean, exact.power(),
+                6 * estimates[kPower].half_width + 0.02 * exact.power());
+    EXPECT_NEAR(estimates[kCompleted].mean, exact.completed(),
+                6 * estimates[kCompleted].half_width + 0.02 * exact.completed());
+}
+
+TEST(DiskGeneral, DeterministicTimersShowThresholdBehaviour) {
+    // With deterministic timers, a timeout longer than the burst gaps but
+    // shorter than the quiet period sleeps once per quiet period only.
+    const adl::ComposedModel model = compose(general(500.0, true));
+    const sim::Simulator simulator(model, measures(Params{}));
+    sim::SimOptions options;
+    options.warmup = 10000.0;
+    options.horizon = 200000.0;
+    options.seed = 17;
+    const sim::RunResult run = simulator.run(options);
+    EXPECT_GT(run.values[kCompleted], 0.0);
+    EXPECT_LT(run.values[kPower], 2.5);  // strictly below always-active
+}
+
+}  // namespace
+}  // namespace dpma::models::disk

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "bisim/hml.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "lts/ops.hpp"
+#include "models/rpc.hpp"
+#include "noninterference/noninterference.hpp"
+
+namespace dpma::models::rpc {
+namespace {
+
+struct Solved {
+    double throughput;
+    double waiting;
+    double energy;
+};
+
+Solved solve(const Config& config) {
+    const adl::ComposedModel model = compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto ms = measures();
+    return Solved{
+        ctmc::evaluate_measure(markov, model, pi, ms[kThroughput]),
+        ctmc::evaluate_measure(markov, model, pi, ms[kWaitingProb]),
+        ctmc::evaluate_measure(markov, model, pi, ms[kEnergyRate]),
+    };
+}
+
+TEST(RpcStructure, SimplifiedArchitectureValidates) {
+    EXPECT_NO_THROW(adl::validate(build(simplified_functional())));
+}
+
+TEST(RpcStructure, RevisedArchitectureValidates) {
+    EXPECT_NO_THROW(adl::validate(build(revised_functional())));
+}
+
+TEST(RpcStructure, SimplifiedFunctionalModelHasDeadlocks) {
+    // The defect of Sect. 3.1: the DPM can kill an in-service request and
+    // the blocking client waits forever.  The deadlock is visible already
+    // in the raw state graph.
+    const adl::ComposedModel model = compose(simplified_functional());
+    EXPECT_FALSE(lts::deadlock_states(model.graph).empty());
+}
+
+TEST(RpcStructure, RevisedFunctionalModelIsDeadlockFree) {
+    const adl::ComposedModel model = compose(revised_functional());
+    EXPECT_TRUE(lts::deadlock_states(model.graph).empty());
+}
+
+TEST(RpcNoninterference, SimplifiedSystemFails) {
+    const adl::ComposedModel model = compose(simplified_functional());
+    const auto result = noninterference::check_dpm_transparency(
+        model, high_action_labels(), "C");
+    EXPECT_FALSE(result.noninterfering);
+    ASSERT_NE(result.formula, nullptr);
+    // The paper's diagnostic: a weak send after which no result can ever be
+    // received.  Check the formula mentions both synchronisations.
+    const std::string text = bisim::to_two_towers(result.formula);
+    EXPECT_NE(text.find("C.send_rpc_packet#RCS.get_packet"), std::string::npos);
+    EXPECT_NE(text.find("RSC.deliver_packet#C.receive_result_packet"),
+              std::string::npos);
+    EXPECT_NE(text.find("NOT("), std::string::npos);
+}
+
+TEST(RpcNoninterference, RevisedSystemPasses) {
+    const adl::ComposedModel model = compose(revised_functional());
+    const auto result = noninterference::check_dpm_transparency(
+        model, high_action_labels(), "C");
+    EXPECT_TRUE(result.noninterfering);
+}
+
+TEST(RpcNoninterference, RevisedWithTrivialDpmStillPasses) {
+    // The trivial DPM can only fire when the server listens (idle states),
+    // so the revised server remains transparent even under it.
+    Config config = revised_functional();
+    config.policy = DpmPolicy::Trivial;
+    const adl::ComposedModel model = compose(config);
+    const auto result = noninterference::check_dpm_transparency(
+        model, high_action_labels(), "C");
+    EXPECT_TRUE(result.noninterfering);
+}
+
+TEST(RpcMarkov, ChainIsModestAndSolvable) {
+    const adl::ComposedModel model = compose(markovian(5.0, true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    EXPECT_GT(markov.chain.num_states(), 10u);
+    EXPECT_LT(markov.chain.num_states(), 500u);
+    const auto pi = ctmc::steady_state(markov.chain);
+    double total = 0.0;
+    for (double p : pi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(RpcMarkov, ThroughputMatchesLittleLawBallpark) {
+    // Without DPM the request cycle is roughly send + 2 propagation hops +
+    // service + processing ~ 11.5 ms, so throughput ~ 0.087/ms.
+    const Solved s = solve(markovian(10.0, false));
+    EXPECT_GT(s.throughput, 0.07);
+    EXPECT_LT(s.throughput, 0.10);
+}
+
+TEST(RpcMarkov, DpmNeverCounterproductiveInEnergy) {
+    // Sect. 4.1: "the DPM is never counterproductive in terms of energy".
+    const Solved no_dpm = solve(markovian(10.0, false));
+    for (const double timeout : {0.0, 2.0, 5.0, 10.0, 25.0}) {
+        const Solved with = solve(markovian(timeout, true));
+        EXPECT_LE(with.energy / with.throughput,
+                  no_dpm.energy / no_dpm.throughput + 1e-9)
+            << "timeout " << timeout;
+    }
+}
+
+TEST(RpcMarkov, EnergySavingsArePaidInPerformance) {
+    // Sect. 4.1: energy savings always cost throughput and waiting time.
+    const Solved no_dpm = solve(markovian(10.0, false));
+    const Solved with = solve(markovian(2.0, true));
+    EXPECT_LT(with.throughput, no_dpm.throughput);
+    EXPECT_GT(with.waiting / with.throughput, no_dpm.waiting / no_dpm.throughput);
+}
+
+TEST(RpcMarkov, ShorterTimeoutMeansLargerImpact) {
+    // Monotone trend over the sweep: energy per request decreases as the
+    // shutdown timeout shrinks, throughput decreases as well.
+    const Solved t2 = solve(markovian(2.0, true));
+    const Solved t10 = solve(markovian(10.0, true));
+    const Solved t25 = solve(markovian(25.0, true));
+    EXPECT_LT(t2.energy / t2.throughput, t10.energy / t10.throughput);
+    EXPECT_LT(t10.energy / t10.throughput, t25.energy / t25.throughput);
+    EXPECT_LT(t2.throughput, t10.throughput);
+    EXPECT_LT(t10.throughput, t25.throughput);
+}
+
+TEST(RpcMarkov, NoDpmConfigurationIsTimeoutIndependent) {
+    const Solved a = solve(markovian(1.0, false));
+    const Solved b = solve(markovian(20.0, false));
+    EXPECT_NEAR(a.throughput, b.throughput, 1e-12);
+    EXPECT_NEAR(a.energy, b.energy, 1e-12);
+}
+
+TEST(RpcMarkov, ImmediateShutdownIsTheExtremeCase) {
+    // timeout = 0 (shutdown as soon as idle) gives the lowest energy and
+    // the highest waiting time of the sweep.
+    const Solved t0 = solve(markovian(0.0, true));
+    const Solved t5 = solve(markovian(5.0, true));
+    EXPECT_LT(t0.energy / t0.throughput, t5.energy / t5.throughput);
+    EXPECT_GT(t0.waiting / t0.throughput, t5.waiting / t5.throughput);
+}
+
+TEST(RpcMarkov, ServerStateProbabilitiesSumToOne) {
+    const adl::ComposedModel model = compose(markovian(5.0, true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    double total = 0.0;
+    for (const char* state :
+         {"Idle_Server", "Busy_Server", "Responding_Server", "Sleeping_Server",
+          "Awaking_Server"}) {
+        total += ctmc::state_probability(markov, model, pi,
+                                         adl::InStatePredicate{"S", state});
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(RpcMarkov, SleepFractionGrowsWithShorterTimeout) {
+    const adl::ComposedModel m2 = compose(markovian(2.0, true));
+    const ctmc::MarkovModel k2 = ctmc::build_markov(m2);
+    const auto pi2 = ctmc::steady_state(k2.chain);
+    const double sleep2 = ctmc::state_probability(
+        k2, m2, pi2, adl::InStatePredicate{"S", "Sleeping_Server"});
+
+    const adl::ComposedModel m20 = compose(markovian(20.0, true));
+    const ctmc::MarkovModel k20 = ctmc::build_markov(m20);
+    const auto pi20 = ctmc::steady_state(k20.chain);
+    const double sleep20 = ctmc::state_probability(
+        k20, m20, pi20, adl::InStatePredicate{"S", "Sleeping_Server"});
+
+    EXPECT_GT(sleep2, sleep20);
+    EXPECT_GT(sleep2, 0.0);
+}
+
+TEST(RpcGeneral, BuildsWithGeneralRates) {
+    const adl::ComposedModel model = compose(general(5.0, true));
+    bool has_general = false;
+    for (lts::StateId s = 0; s < model.graph.num_states(); ++s) {
+        for (const lts::Transition& t : model.graph.out(s)) {
+            if (lts::is_general(t.rate)) has_general = true;
+            EXPECT_FALSE(std::holds_alternative<lts::RateUnspecified>(t.rate));
+        }
+    }
+    EXPECT_TRUE(has_general);
+}
+
+TEST(RpcConfig, CanonicalConfigsHaveDocumentedShape) {
+    EXPECT_TRUE(simplified_functional().simplified);
+    EXPECT_EQ(simplified_functional().phase, Phase::Functional);
+    EXPECT_FALSE(revised_functional().simplified);
+    EXPECT_EQ(markovian(3.0, true).policy, DpmPolicy::IdleTimeout);
+    EXPECT_EQ(markovian(3.0, false).policy, DpmPolicy::None);
+    EXPECT_EQ(general(3.0, true).phase, Phase::General);
+    EXPECT_DOUBLE_EQ(markovian(7.5, true).params.shutdown_timeout, 7.5);
+}
+
+}  // namespace
+}  // namespace dpma::models::rpc

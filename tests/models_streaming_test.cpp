@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "lts/ops.hpp"
+#include "models/streaming.hpp"
+#include "noninterference/noninterference.hpp"
+
+namespace dpma::models::streaming {
+namespace {
+
+struct Solved {
+    std::vector<double> values;
+
+    [[nodiscard]] double energy_per_frame() const {
+        return values[kEnergyRate] / values[kFramesReceived];
+    }
+    [[nodiscard]] double loss() const {
+        return (values[kApLoss] + values[kBLoss]) / values[kGenerated];
+    }
+    [[nodiscard]] double miss() const {
+        return values[kMiss] / (values[kMiss] + values[kHits]);
+    }
+    [[nodiscard]] double quality() const {
+        return values[kHits] / (values[kMiss] + values[kHits]);
+    }
+};
+
+Solved solve(const Config& config) {
+    const adl::ComposedModel model = compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    Solved out;
+    for (const auto& m : measures()) {
+        out.values.push_back(ctmc::evaluate_measure(markov, model, pi, m));
+    }
+    return out;
+}
+
+TEST(StreamingStructure, ArchitectureValidates) {
+    EXPECT_NO_THROW(adl::validate(build(functional())));
+    EXPECT_NO_THROW(adl::validate(build(markovian(100.0, true))));
+}
+
+TEST(StreamingStructure, FunctionalModelIsDeadlockFree) {
+    const adl::ComposedModel model = compose(functional(2));
+    EXPECT_TRUE(lts::deadlock_states(model.graph).empty());
+}
+
+TEST(StreamingStructure, MarkovianModelIsDeadlockFree) {
+    const adl::ComposedModel model = compose(markovian(100.0, true));
+    EXPECT_TRUE(lts::deadlock_states(model.graph).empty());
+}
+
+TEST(StreamingStructure, BufferCapacityBoundsStateSpace) {
+    const adl::ComposedModel small = compose(functional(1));
+    const adl::ComposedModel large = compose(functional(3));
+    EXPECT_LT(small.graph.num_states(), large.graph.num_states());
+}
+
+TEST(StreamingStructure, RejectsNonPositiveCapacities) {
+    Config config = functional(0);
+    EXPECT_THROW((void)build(config), Error);
+}
+
+TEST(StreamingNoninterference, PspDpmIsTransparent) {
+    // Sect. 3.2: the streaming functional model satisfies noninterference.
+    const adl::ComposedModel model = compose(functional(2));
+    const auto result = noninterference::check_dpm_transparency(
+        model, high_action_labels(), "C");
+    EXPECT_TRUE(result.noninterfering);
+}
+
+TEST(StreamingNoninterference, TransparencyHoldsForLargerBuffers) {
+    const adl::ComposedModel model = compose(functional(3));
+    const auto result = noninterference::check_dpm_transparency(
+        model, high_action_labels(), "C");
+    EXPECT_TRUE(result.noninterfering);
+}
+
+TEST(StreamingMarkov, SolvableAndNormalised) {
+    const adl::ComposedModel model = compose(markovian(100.0, true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    double total = 0.0;
+    for (double p : pi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(StreamingMarkov, DpmSavesEnergy) {
+    const Solved no_dpm = solve(markovian(100.0, false));
+    const Solved with = solve(markovian(100.0, true));
+    EXPECT_LT(with.energy_per_frame(), no_dpm.energy_per_frame());
+}
+
+TEST(StreamingMarkov, LongerAwakePeriodSavesMoreEnergy) {
+    // Sect. 4.2: "the longer the awake period, the longer the sleep time of
+    // the NIC", with a beneficial impact on consumption...
+    const Solved p50 = solve(markovian(50.0, true));
+    const Solved p200 = solve(markovian(200.0, true));
+    const Solved p800 = solve(markovian(800.0, true));
+    EXPECT_GT(p50.energy_per_frame(), p200.energy_per_frame());
+    EXPECT_GT(p200.energy_per_frame(), p800.energy_per_frame());
+}
+
+TEST(StreamingMarkov, LongerAwakePeriodDegradesQuality) {
+    // ...and a negative effect on service quality.
+    const Solved p50 = solve(markovian(50.0, true));
+    const Solved p400 = solve(markovian(400.0, true));
+    EXPECT_LT(p400.quality(), p50.quality());
+    EXPECT_GT(p400.miss(), p50.miss());
+}
+
+TEST(StreamingMarkov, QualityAndMissAreComplementary) {
+    const Solved s = solve(markovian(100.0, true));
+    EXPECT_NEAR(s.quality() + s.miss(), 1.0, 1e-9);
+}
+
+TEST(StreamingMarkov, ModerateAwakePeriodSavesMostEnergyCheaply) {
+    // Sect. 4.2: around 50 ms the energy saving is large while the quality
+    // impact stays small.
+    const Solved no_dpm = solve(markovian(50.0, false));
+    const Solved with = solve(markovian(50.0, true));
+    const double saving =
+        1.0 - with.energy_per_frame() / no_dpm.energy_per_frame();
+    EXPECT_GT(saving, 0.35);
+    EXPECT_LT(no_dpm.quality() - with.quality(), 0.05);
+}
+
+TEST(StreamingMarkov, NoDpmIsPeriodIndependent) {
+    const Solved a = solve(markovian(50.0, false));
+    const Solved b = solve(markovian(700.0, false));
+    EXPECT_NEAR(a.energy_per_frame(), b.energy_per_frame(), 1e-9);
+    EXPECT_NEAR(a.quality(), b.quality(), 1e-9);
+}
+
+TEST(StreamingMarkov, FlowConservationAtTheNic) {
+    // Frames received by the NIC = frames forwarded to B (the NIC never
+    // drops), which in turn bounds the client's hit rate.
+    const adl::ComposedModel model = compose(markovian(100.0, true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto freq = ctmc::action_frequencies(markov, model, pi);
+    const auto& table = *model.graph.actions();
+    const double received = freq[table.find("RSC.deliver_packet#NIC.receive_frame")];
+    const double forwarded = freq[table.find("NIC.forward_frame#B.receive_frame")];
+    EXPECT_NEAR(received, forwarded, 1e-10);
+}
+
+TEST(StreamingMarkov, GeneratedSplitsIntoDeliveredAndLost) {
+    const adl::ComposedModel model = compose(markovian(200.0, true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto freq = ctmc::action_frequencies(markov, model, pi);
+    const auto& table = *model.graph.actions();
+    const double generated = freq[table.find("S.generate_frame")];
+    const double ap_drop = freq[table.find("AP.drop_frame")];
+    const double channel_lost = freq[table.find("RSC.lose_packet")];
+    const double b_drop = freq[table.find("B.drop_frame")];
+    const double served = freq[table.find("C.get_frame#B.serve_frame")];
+    // In steady state every generated frame is eventually dropped, lost or
+    // rendered.
+    EXPECT_NEAR(generated, ap_drop + channel_lost + b_drop + served, 1e-8);
+}
+
+TEST(StreamingGeneral, BuildsWithGeneralRates) {
+    const adl::ComposedModel model = compose(general(100.0, true));
+    bool has_general = false;
+    for (lts::StateId s = 0; s < model.graph.num_states(); ++s) {
+        for (const lts::Transition& t : model.graph.out(s)) {
+            if (lts::is_general(t.rate)) has_general = true;
+        }
+    }
+    EXPECT_TRUE(has_general);
+}
+
+TEST(StreamingConfig, CanonicalConfigsHaveDocumentedShape) {
+    EXPECT_EQ(functional().phase, Phase::Functional);
+    EXPECT_EQ(functional(4).params.ap_capacity, 4);
+    EXPECT_EQ(markovian(250.0, true).params.awake_period, 250.0);
+    EXPECT_FALSE(markovian(250.0, false).with_dpm);
+    EXPECT_EQ(general(250.0, true).phase, Phase::General);
+    // The performance models keep the paper's buffer capacity of 10.
+    EXPECT_EQ(markovian(100.0, true).params.ap_capacity, 10);
+    EXPECT_EQ(markovian(100.0, true).params.b_capacity, 10);
+}
+
+}  // namespace
+}  // namespace dpma::models::streaming

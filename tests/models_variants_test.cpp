@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "lts/ops.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+#include "bisim/hml.hpp"
+#include "noninterference/noninterference.hpp"
+#include "sim/gsmp.hpp"
+
+namespace dpma::models {
+namespace {
+
+/// The Sect. 2.1 variant: the revised server also accepts shutdowns while
+/// busy/responding, exercised through the trivial (free-running) DPM.
+
+rpc::Config busy_sensitive_config(double period) {
+    rpc::Config config = rpc::markovian(period, true);
+    config.policy = rpc::DpmPolicy::Trivial;
+    config.shutdown_when_busy = true;
+    return config;
+}
+
+TEST(ShutdownWhenBusy, ArchitectureValidatesAndIsDeadlockFree) {
+    const adl::ComposedModel model = rpc::compose(busy_sensitive_config(5.0));
+    // The revised client's resend timeout keeps the system live even though
+    // in-service requests can be killed.
+    EXPECT_TRUE(lts::deadlock_states(model.graph).empty());
+}
+
+TEST(ShutdownWhenBusy, ServerCanReachSleepFromBusy) {
+    const adl::ComposedModel model = rpc::compose(busy_sensitive_config(1.0));
+    // The busy -> sleeping transition must exist in the composed graph.
+    const Symbol shutdown =
+        model.graph.actions()->find("DPM.send_shutdown#S.receive_shutdown");
+    ASSERT_NE(shutdown, kNoSymbol);
+    const std::size_t server = model.instance_index("S");
+    bool killed_in_service = false;
+    for (lts::StateId s = 0; s < model.graph.num_states(); ++s) {
+        if (model.local_state_name(s, server).rfind("Busy_Server", 0) != 0) continue;
+        for (const lts::Transition& t : model.graph.out(s)) {
+            if (t.action == shutdown) killed_in_service = true;
+        }
+    }
+    EXPECT_TRUE(killed_in_service);
+}
+
+TEST(ShutdownWhenBusy, CostsThroughputForLittleEnergy) {
+    const auto solve = [](const rpc::Config& config) {
+        const adl::ComposedModel model = rpc::compose(config);
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        const auto ms = rpc::measures();
+        const double tput =
+            ctmc::evaluate_measure(markov, model, pi, ms[rpc::kThroughput]);
+        const double energy =
+            ctmc::evaluate_measure(markov, model, pi, ms[rpc::kEnergyRate]);
+        return std::make_pair(tput, energy);
+    };
+    rpc::Config idle_only = rpc::markovian(1.0, true);
+    idle_only.policy = rpc::DpmPolicy::Trivial;
+    const auto [tput_idle, energy_idle] = solve(idle_only);
+    const auto [tput_busy, energy_busy] = solve(busy_sensitive_config(1.0));
+    EXPECT_LT(tput_busy, tput_idle);
+    (void)energy_idle;
+    (void)energy_busy;
+}
+
+TEST(ShutdownWhenBusy, StaysObservableDespiteTheClientTimeout) {
+    // The client's resend timeout removes the *deadlock* of Sect. 2.3, but
+    // killing an in-service request is still observable: the number of
+    // results that can reach the client after a send/timeout/resend pattern
+    // differs between the hidden and the restricted view (the generated
+    // formula nests <<receive_result>> multiplicities under
+    // <<expire_timeout>>).  This substantiates the paper's second revision
+    // step — "the DPM cannot shut down the server while it is busy" — as
+    // *necessary* for transparency, not merely prudent.
+    rpc::Config config = rpc::revised_functional();
+    config.policy = rpc::DpmPolicy::Trivial;
+    config.shutdown_when_busy = true;
+    const adl::ComposedModel model = rpc::compose(config);
+    const auto verdict = noninterference::check_dpm_transparency(
+        model, rpc::high_action_labels(), "C");
+    EXPECT_FALSE(verdict.noninterfering);
+    ASSERT_NE(verdict.formula, nullptr);
+    // The witness involves the client's timeout capability.
+    EXPECT_NE(bisim::to_compact(verdict.formula).find("C.expire_timeout"),
+              std::string::npos);
+}
+
+TEST(ShutdownWhenBusy, FlagIsIgnoredUnderIdleTimeoutPolicy) {
+    // The idle-timeout DPM is disabled whenever the server is busy, so the
+    // extra transitions are never enabled: both models have the same
+    // steady-state measures.
+    rpc::Config plain = rpc::markovian(5.0, true);
+    rpc::Config flagged = plain;
+    flagged.shutdown_when_busy = true;
+    const auto solve = [](const rpc::Config& config) {
+        const adl::ComposedModel model = rpc::compose(config);
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        return ctmc::evaluate_measure(markov, model, pi,
+                                      rpc::measures()[rpc::kThroughput]);
+    };
+    EXPECT_NEAR(solve(plain), solve(flagged), 1e-12);
+}
+
+TEST(StreamingVariants, ZeroAwakePeriodBehavesLikeHighDutyCycle) {
+    // awake period 0: the DPM wakes the NIC immediately after shutdown; the
+    // wake-up/check transients dominate and energy per frame *exceeds* the
+    // always-on baseline (paper Fig. 4 leftmost point).
+    const auto epf = [](double period, bool dpm) {
+        const adl::ComposedModel model =
+            streaming::compose(streaming::markovian(period, dpm));
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        const auto ms = streaming::measures();
+        const double energy = ctmc::evaluate_measure(
+            markov, model, pi, ms[streaming::kEnergyRate]);
+        const double frames = ctmc::evaluate_measure(
+            markov, model, pi, ms[streaming::kFramesReceived]);
+        return energy / frames;
+    };
+    EXPECT_GT(epf(0.0, true), epf(100.0, false));
+}
+
+TEST(StreamingVariants, AsymmetricBufferCapacitiesCompose) {
+    streaming::Config config = streaming::markovian(100.0, true);
+    config.params.ap_capacity = 3;
+    config.params.b_capacity = 7;
+    const adl::ComposedModel model = streaming::compose(config);
+    EXPECT_TRUE(lts::deadlock_states(model.graph).empty());
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    double total = 0.0;
+    for (double p : pi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(StreamingVariants, GeneralPhaseSimulatesWithMixedDistributions) {
+    // The general streaming model mixes deterministic timers with the
+    // Gaussian channel; a short smoke simulation must produce sane values.
+    const adl::ComposedModel model =
+        streaming::compose(streaming::general(100.0, true));
+    const sim::Simulator simulator(model, streaming::measures());
+    sim::SimOptions options;
+    options.warmup = 2000.0;
+    options.horizon = 20000.0;
+    options.seed = 5;
+    const sim::RunResult run = simulator.run(options);
+    const double generated = run.values[streaming::kGenerated];
+    EXPECT_NEAR(generated, 1.0 / 67.0, 0.002);
+    EXPECT_GE(run.values[streaming::kMiss], 0.0);
+    EXPECT_GT(run.values[streaming::kHits], 0.0);
+}
+
+TEST(RpcVariants, LossProbabilityZeroRemovesChannelLoss) {
+    rpc::Config config = rpc::markovian(5.0, true);
+    config.params.loss_probability = 0.0;
+    const adl::ComposedModel model = rpc::compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto freq = ctmc::action_frequencies(markov, model, pi);
+    const Symbol lose_rcs = model.graph.actions()->find("RCS.lose_packet");
+    const Symbol lose_rsc = model.graph.actions()->find("RSC.lose_packet");
+    if (lose_rcs != kNoSymbol) {
+        EXPECT_DOUBLE_EQ(freq[lose_rcs], 0.0);
+    }
+    if (lose_rsc != kNoSymbol) {
+        EXPECT_DOUBLE_EQ(freq[lose_rsc], 0.0);
+    }
+}
+
+TEST(RpcVariants, FasterServerRaisesThroughput) {
+    const auto tput = [](double service) {
+        rpc::Config config = rpc::markovian(10.0, true);
+        config.params.service_time = service;
+        const adl::ComposedModel model = rpc::compose(config);
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        return ctmc::evaluate_measure(markov, model, pi,
+                                      rpc::measures()[rpc::kThroughput]);
+    };
+    EXPECT_GT(tput(0.1), tput(2.0));
+}
+
+}  // namespace
+}  // namespace dpma::models

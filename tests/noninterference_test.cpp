@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "bisim/hml.hpp"
+#include "bisim/hml_check.hpp"
+#include "lts/lts.hpp"
+#include "lts/ops.hpp"
+#include "noninterference/noninterference.hpp"
+
+namespace dpma::noninterference {
+namespace {
+
+using lts::Lts;
+using lts::StateId;
+
+/// A system where a high action changes what the low user can observe:
+///   s0 -low_a-> .   and   s0 -high-> s2 -low_b-> .
+/// Hiding high lets the low observer reach low_b (after a tau); removing
+/// high does not.  Classic interference.
+Lts interfering_system() {
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    const StateId s2 = m.add_state();
+    const StateId s3 = m.add_state();
+    m.add_transition(s0, m.action("low_a"), s1);
+    m.add_transition(s0, m.action("high"), s2);
+    m.add_transition(s2, m.action("low_b"), s3);
+    m.set_initial(s0);
+    return m;
+}
+
+/// The high action only causes internal rearrangement; the low view is
+/// unchanged: s0 -high-> s1, both states offer exactly low_a to the same
+/// continuation.
+Lts transparent_system() {
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    const StateId s2 = m.add_state();
+    m.add_transition(s0, m.action("high"), s1);
+    m.add_transition(s0, m.action("low_a"), s2);
+    m.add_transition(s1, m.action("low_a"), s2);
+    m.add_transition(s2, m.action("low_a"), s2);
+    m.set_initial(s0);
+    return m;
+}
+
+TEST(Noninterference, DetectsInterference) {
+    Lts m = interfering_system();
+    const Result r = check(m, lts::make_action_set(m, {"high"}));
+    EXPECT_FALSE(r.noninterfering);
+    ASSERT_NE(r.formula, nullptr);
+    // The diagnostic must mention the capability the restricted system lacks.
+    EXPECT_NE(bisim::to_compact(r.formula).find("low_b"), std::string::npos);
+}
+
+TEST(Noninterference, AcceptsTransparentHighActions) {
+    Lts m = transparent_system();
+    const Result r = check(m, lts::make_action_set(m, {"high"}));
+    EXPECT_TRUE(r.noninterfering);
+    EXPECT_EQ(r.formula, nullptr);
+}
+
+TEST(Noninterference, ReportsStateCounts) {
+    Lts m = interfering_system();
+    const Result r = check(m, lts::make_action_set(m, {"high"}));
+    EXPECT_EQ(r.hidden_states, 4u);     // all states reachable when hidden
+    EXPECT_EQ(r.restricted_states, 2u); // s2/s3 unreachable when restricted
+}
+
+TEST(Noninterference, ObserverRelativeCheckHidesThirdParties) {
+    // A "server" action distinguishes the two sides unless it is hidden as
+    // non-low: s0 -high-> s1 -server-> s2 -low_a-> ...; without high the
+    // low view is just low_a as well (via another path).
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    const StateId s2 = m.add_state();
+    m.add_transition(s0, m.action("high"), s1);
+    m.add_transition(s1, m.action("server_work"), s2);
+    m.add_transition(s0, m.action("low_a"), s2);
+    m.add_transition(s1, m.action("low_a"), s2);
+    m.add_transition(s2, m.action("low_a"), s2);
+    m.set_initial(s0);
+
+    const auto high = lts::make_action_set(m, {"high"});
+    const auto low = lts::make_action_set(m, {"low_a"});
+    // Classic check fails: the hidden side exposes server_work.
+    EXPECT_FALSE(check(m, high).noninterfering);
+    // The observer-relative check passes: server_work is not low-visible.
+    EXPECT_TRUE(check(m, high, low).noninterfering);
+}
+
+TEST(Noninterference, FormulaDistinguishesTheTwoViews) {
+    Lts m = interfering_system();
+    const auto high = lts::make_action_set(m, {"high"});
+    const Result r = check(m, high);
+    ASSERT_FALSE(r.noninterfering);
+    // Re-create the two views exactly as the checker does and verify the
+    // formula's verdict on both.
+    const Lts hidden = lts::reachable_part(lts::hide(m, high));
+    const Lts restricted = lts::reachable_part(lts::restrict_actions(m, high));
+    const lts::UnionResult u = lts::disjoint_union(hidden, restricted);
+    EXPECT_TRUE(bisim::satisfies(u.combined, u.initial_lhs, r.formula));
+    EXPECT_FALSE(bisim::satisfies(u.combined, u.initial_rhs, r.formula));
+}
+
+}  // namespace
+}  // namespace dpma::noninterference

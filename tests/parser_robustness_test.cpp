@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "aemilia/parser.hpp"
+#include "core/error.hpp"
+#include "models/specs.hpp"
+
+namespace dpma::aemilia {
+namespace {
+
+/// Mutation robustness: corrupting a valid specification at a random
+/// position must either still parse (benign mutation, e.g. inside a
+/// comment) or raise dpma::Error — never crash, hang or accept garbage
+/// silently with an exception type outside the library's hierarchy.
+class ParserMutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserMutation, CorruptedSpecificationsFailGracefully) {
+    const std::string pristine{models::rpc_untimed_spec()};
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 99);
+    std::uniform_int_distribution<std::size_t> position(0, pristine.size() - 1);
+    const char garbage[] = {'@', '$', '(', ')', '<', '.', ';', 'x', '0', '}'};
+    std::uniform_int_distribution<std::size_t> pick(0, sizeof garbage - 1);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        std::string mutated = pristine;
+        const std::size_t pos = position(rng);
+        switch (trial % 3) {
+            case 0: mutated[pos] = garbage[pick(rng)]; break;              // replace
+            case 1: mutated.erase(pos, 1); break;                          // delete
+            case 2: mutated.insert(pos, 1, garbage[pick(rng)]); break;     // insert
+        }
+        try {
+            (void)parse_archi_type(mutated);
+        } catch (const Error&) {
+            // expected for most mutations
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserMutation, ::testing::Range(0, 6));
+
+TEST(ParserRobustness, TruncationsOfTheSpecFailGracefully) {
+    const std::string pristine{models::rpc_untimed_spec()};
+    for (std::size_t cut = 0; cut < pristine.size(); cut += 97) {
+        try {
+            (void)parse_archi_type(pristine.substr(0, cut));
+        } catch (const Error&) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(ParserRobustness, EmptyAndWhitespaceInputs) {
+    EXPECT_THROW((void)parse_archi_type(""), Error);
+    EXPECT_THROW((void)parse_archi_type("   \n\t // just a comment\n"), Error);
+    EXPECT_THROW((void)parse_measures(""), Error);
+}
+
+TEST(ParserRobustness, DeeplyNestedExpressionsDoNotOverflow) {
+    // 200 nested parentheses in a behaviour argument.
+    std::string nested = "n";
+    for (int i = 0; i < 200; ++i) nested = "(" + nested + " + 1)";
+    const std::string spec = R"(
+ARCHI_TYPE Deep(void)
+ARCHI_ELEM_TYPES
+ELEM_TYPE T(void)
+  BEHAVIOR
+    A(integer n; void) = <a, _> . A()" + nested + R"()
+  INPUT_INTERACTIONS UNI a
+  OUTPUT_INTERACTIONS void
+ARCHI_TOPOLOGY
+  ARCHI_ELEM_INSTANCES
+    X : T(0)
+END
+)";
+    // The model diverges (parameter grows without bound), but *parsing*
+    // must succeed; composition rejects it via the state limit.
+    adl::ArchiType archi;
+    EXPECT_NO_THROW(archi = parse_archi_type(spec));
+    adl::ComposeOptions options;
+    options.max_states = 100;
+    EXPECT_THROW((void)adl::compose(archi, options), ModelError);
+}
+
+TEST(ParserRobustness, LongIdentifiersAndManyBehaviours) {
+    std::string spec = "ARCHI_TYPE Wide(void)\nARCHI_ELEM_TYPES\nELEM_TYPE T(void)\n  BEHAVIOR\n";
+    const std::string long_name(200, 'b');
+    for (int i = 0; i < 50; ++i) {
+        spec += "    " + long_name + std::to_string(i) + "(void; void) = <a, _> . " +
+                long_name + std::to_string((i + 1) % 50) + "();\n";
+    }
+    spec.erase(spec.rfind(';'), 1);
+    spec += "  INPUT_INTERACTIONS UNI a\n  OUTPUT_INTERACTIONS void\n";
+    spec += "ARCHI_TOPOLOGY\n  ARCHI_ELEM_INSTANCES\n    X : T()\nEND\n";
+    const adl::ArchiType archi = parse_archi_type(spec);
+    EXPECT_EQ(archi.elem_types[0].behaviors.size(), 50u);
+}
+
+}  // namespace
+}  // namespace dpma::aemilia

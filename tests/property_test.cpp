@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "adl/compose.hpp"
+#include "bisim/equivalence.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "lts/ops.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+#include "noninterference/noninterference.hpp"
+
+namespace dpma {
+namespace {
+
+// ---------------------------------------------------------------- solvers
+
+class RandomChainSolvers : public ::testing::TestWithParam<int> {};
+
+ctmc::Ctmc random_irreducible_chain(int seed, std::size_t n) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+    std::uniform_real_distribution<double> rate(0.1, 5.0);
+    std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+    ctmc::Ctmc chain(n);
+    // A ring guarantees irreducibility; extra random edges add structure.
+    for (std::size_t i = 0; i < n; ++i) {
+        chain.add_rate(static_cast<ctmc::TangibleId>(i),
+                       static_cast<ctmc::TangibleId>((i + 1) % n), rate(rng));
+    }
+    for (std::size_t e = 0; e < 3 * n; ++e) {
+        const std::size_t from = pick(rng);
+        const std::size_t to = pick(rng);
+        if (from != to) {
+            chain.add_rate(static_cast<ctmc::TangibleId>(from),
+                           static_cast<ctmc::TangibleId>(to), rate(rng));
+        }
+    }
+    return chain;
+}
+
+TEST_P(RandomChainSolvers, AllThreeSolversAgree) {
+    const ctmc::Ctmc chain = random_irreducible_chain(GetParam(), 20 + GetParam() % 17);
+    ASSERT_TRUE(ctmc::is_irreducible(chain));
+    const auto gth = ctmc::steady_state_gth(chain);
+    const auto gs = ctmc::steady_state_gauss_seidel(chain);
+    const auto power =
+        ctmc::steady_state_power(chain, ctmc::SolveOptions{1e-14, 2'000'000, 1500});
+    for (std::size_t i = 0; i < gth.size(); ++i) {
+        EXPECT_NEAR(gth[i], gs[i], 1e-8) << "state " << i;
+        EXPECT_NEAR(gth[i], power[i], 1e-7) << "state " << i;
+    }
+}
+
+TEST_P(RandomChainSolvers, SteadyStateSatisfiesBalanceEquations) {
+    const ctmc::Ctmc chain = random_irreducible_chain(GetParam(), 25);
+    const auto pi = ctmc::steady_state(chain);
+    double total = 0.0;
+    std::vector<double> inflow(chain.num_states(), 0.0);
+    for (ctmc::TangibleId s = 0; s < chain.num_states(); ++s) {
+        total += pi[s];
+        for (const ctmc::RateEntry& e : chain.row(s)) {
+            inflow[e.target] += pi[s] * e.rate;
+        }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    for (ctmc::TangibleId s = 0; s < chain.num_states(); ++s) {
+        EXPECT_NEAR(inflow[s], pi[s] * chain.exit_rate(s), 1e-9) << "state " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainSolvers, ::testing::Range(0, 12));
+
+// ------------------------------------------------------------ weak bisim
+
+class RandomLtsProperties : public ::testing::TestWithParam<int> {};
+
+lts::Lts random_lts(int seed, int n) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+    std::uniform_int_distribution<int> pick_state(0, n - 1);
+    std::uniform_int_distribution<int> pick_action(0, 3);
+    const char* names[] = {"tau", "a", "b", "c"};
+    lts::Lts m;
+    for (int i = 0; i < n; ++i) m.add_state();
+    for (int e = 0; e < 3 * n; ++e) {
+        m.add_transition(static_cast<lts::StateId>(pick_state(rng)),
+                         m.action(names[pick_action(rng)]),
+                         static_cast<lts::StateId>(pick_state(rng)));
+    }
+    m.set_initial(0);
+    return m;
+}
+
+TEST_P(RandomLtsProperties, TauSccCollapsePreservesWeakBisimilarity) {
+    const lts::Lts m = random_lts(GetParam(), 8 + GetParam() % 9);
+    const lts::TauCollapseResult collapsed = lts::collapse_tau_sccs(m);
+    EXPECT_TRUE(bisim::weakly_bisimilar(m, collapsed.collapsed).equivalent)
+        << "seed " << GetParam();
+}
+
+TEST_P(RandomLtsProperties, SaturationPreservesWeakBisimilarity) {
+    // Adding weakly derivable transitions must not change the weak
+    // equivalence class.
+    const lts::Lts m = random_lts(GetParam(), 7 + GetParam() % 6);
+    const lts::Lts saturated = lts::saturate(m);
+    EXPECT_TRUE(bisim::weakly_bisimilar(m, saturated).equivalent)
+        << "seed " << GetParam();
+}
+
+TEST_P(RandomLtsProperties, HidingEverythingYieldsTheTrivialProcess) {
+    lts::Lts m = random_lts(GetParam(), 6 + GetParam() % 7);
+    lts::ActionSet all;
+    for (Symbol a = 0; a < m.actions()->size(); ++a) all.insert(a);
+    const lts::Lts hidden = lts::hide(m, all);
+    lts::Lts trivial;
+    trivial.set_initial(trivial.add_state());
+    EXPECT_TRUE(bisim::weakly_bisimilar(hidden, trivial).equivalent)
+        << "seed " << GetParam();
+}
+
+TEST_P(RandomLtsProperties, WeakBisimilarityIsReflexiveUnderRenumbering) {
+    const lts::Lts m = random_lts(GetParam(), 10);
+    const lts::Lts pruned = lts::reachable_part(m);
+    // The reachable part has the same behaviour from the initial state.
+    EXPECT_TRUE(bisim::weakly_bisimilar(m, pruned).equivalent);
+    EXPECT_TRUE(bisim::strongly_bisimilar(m, pruned).equivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLtsProperties, ::testing::Range(0, 15));
+
+// ----------------------------------------------------- model-level sweeps
+
+class RpcTimeoutSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RpcTimeoutSweep, DpmSavesEnergyAndNeverGainsThroughput) {
+    const double timeout = GetParam();
+    const auto solve = [](const models::rpc::Config& config) {
+        const adl::ComposedModel model = models::rpc::compose(config);
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        const auto ms = models::rpc::measures();
+        const double tput = ctmc::evaluate_measure(markov, model, pi,
+                                                   ms[models::rpc::kThroughput]);
+        const double energy = ctmc::evaluate_measure(markov, model, pi,
+                                                     ms[models::rpc::kEnergyRate]);
+        return std::make_pair(tput, energy / tput);
+    };
+    const auto [tput_dpm, epr_dpm] = solve(models::rpc::markovian(timeout, true));
+    const auto [tput_base, epr_base] = solve(models::rpc::markovian(timeout, false));
+    EXPECT_LT(epr_dpm, epr_base) << "timeout " << timeout;
+    EXPECT_LT(tput_dpm, tput_base) << "timeout " << timeout;
+}
+
+TEST_P(RpcTimeoutSweep, ChainIsIrreducibleAfterTransientRemoval) {
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::markovian(GetParam(), true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto bottoms = ctmc::bottom_sccs(markov.chain);
+    EXPECT_EQ(bottoms.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timeouts, RpcTimeoutSweep,
+                         ::testing::Values(0.5, 1.0, 3.0, 7.0, 12.0, 18.0, 25.0));
+
+class StreamingCapacitySweep : public ::testing::TestWithParam<long> {};
+
+TEST_P(StreamingCapacitySweep, NoninterferenceHoldsAtEveryCapacity) {
+    const adl::ComposedModel model =
+        models::streaming::compose(models::streaming::functional(GetParam()));
+    const auto verdict = noninterference::check_dpm_transparency(
+        model, models::streaming::high_action_labels(), "C");
+    EXPECT_TRUE(verdict.noninterfering) << "capacity " << GetParam();
+}
+
+TEST_P(StreamingCapacitySweep, ModelsAreDeadlockFreeAtEveryCapacity) {
+    const adl::ComposedModel functional =
+        models::streaming::compose(models::streaming::functional(GetParam()));
+    EXPECT_TRUE(lts::deadlock_states(functional.graph).empty());
+
+    models::streaming::Config markov = models::streaming::markovian(100.0, true);
+    markov.params.ap_capacity = GetParam();
+    markov.params.b_capacity = GetParam();
+    const adl::ComposedModel timed = models::streaming::compose(markov);
+    EXPECT_TRUE(lts::deadlock_states(timed.graph).empty());
+}
+
+TEST_P(StreamingCapacitySweep, LargerClientBufferNeverHurtsQuality) {
+    models::streaming::Config small = models::streaming::markovian(200.0, true);
+    small.params.b_capacity = GetParam();
+    models::streaming::Config large = small;
+    large.params.b_capacity = GetParam() + 2;
+
+    const auto quality = [](const models::streaming::Config& config) {
+        const adl::ComposedModel model = models::streaming::compose(config);
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        const auto ms = models::streaming::measures();
+        const double hits = ctmc::evaluate_measure(markov, model, pi,
+                                                   ms[models::streaming::kHits]);
+        const double miss = ctmc::evaluate_measure(markov, model, pi,
+                                                   ms[models::streaming::kMiss]);
+        return hits / (hits + miss);
+    };
+    EXPECT_LE(quality(small), quality(large) + 1e-9) << "capacity " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, StreamingCapacitySweep,
+                         ::testing::Values(1L, 2L, 3L, 4L));
+
+// --------------------------------------------- composed-model invariants
+
+TEST(ComposedInvariants, VanishingEliminationConservesProbabilityFlow) {
+    // For every tangible state, the outgoing rates of the eliminated chain
+    // must sum to the state's total timed rate in the raw graph (probability
+    // is only redistributed, never created or destroyed).
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::markovian(5.0, true));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    for (ctmc::TangibleId t = 0; t < markov.chain.num_states(); ++t) {
+        const lts::StateId s = markov.orig_of[t];
+        double raw = 0.0;
+        for (const lts::Transition& tr : model.graph.out(s)) {
+            if (const auto* e = std::get_if<lts::RateExp>(&tr.rate)) raw += e->rate;
+        }
+        double eliminated = markov.chain.exit_rate(t);
+        // Self-loops created by elimination (tangible -> vanishing -> same
+        // tangible) are dropped by the Ctmc; account for them separately.
+        double self_loop = raw;
+        for (const ctmc::RateEntry& e : markov.chain.row(t)) self_loop -= e.rate;
+        EXPECT_GE(self_loop, -1e-9);
+        EXPECT_LE(eliminated, raw + 1e-9);
+    }
+}
+
+TEST(ComposedInvariants, EveryGlobalActionInvolvesDeclaredInstances) {
+    const adl::ComposedModel model =
+        models::streaming::compose(models::streaming::markovian(100.0, true));
+    const auto& table = *model.graph.actions();
+    for (Symbol a = 1; a < table.size(); ++a) {  // 0 is tau
+        const std::string& label = table.name(a);
+        if (label.find('.') == std::string::npos) continue;  // bare action names
+        const std::string owner = label.substr(0, label.find('.'));
+        bool known = false;
+        for (const std::string& inst : model.instance_names) {
+            if (inst == owner) known = true;
+        }
+        EXPECT_TRUE(known) << label;
+    }
+}
+
+}  // namespace
+}  // namespace dpma

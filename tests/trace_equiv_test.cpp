@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "bisim/equivalence.hpp"
+#include "bisim/trace_equiv.hpp"
+#include "core/error.hpp"
+#include "lts/ops.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+#include "noninterference/noninterference.hpp"
+
+namespace dpma::bisim {
+namespace {
+
+using lts::Lts;
+using lts::StateId;
+
+Lts single_action(const char* name) {
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    m.add_transition(s0, m.action(name), s1);
+    m.set_initial(s0);
+    return m;
+}
+
+TEST(TraceEquiv, IdenticalSystemsAreEquivalent) {
+    const Lts a = single_action("x");
+    const Lts b = single_action("x");
+    const auto result = weakly_trace_equivalent(a, b);
+    EXPECT_TRUE(result.equivalent);
+    EXPECT_TRUE(result.distinguishing_trace.empty());
+}
+
+TEST(TraceEquiv, DifferentActionsAreDistinguished) {
+    const auto result = weakly_trace_equivalent(single_action("x"), single_action("y"));
+    EXPECT_FALSE(result.equivalent);
+    ASSERT_EQ(result.distinguishing_trace.size(), 1u);
+    // Either side's unique action works as a witness.
+    EXPECT_TRUE(result.distinguishing_trace[0] == "x" ||
+                result.distinguishing_trace[0] == "y");
+}
+
+TEST(TraceEquiv, TauIsInvisible) {
+    // tau.a vs a.
+    Lts lhs;
+    const StateId l0 = lhs.add_state();
+    const StateId l1 = lhs.add_state();
+    const StateId l2 = lhs.add_state();
+    lhs.add_transition(l0, lhs.actions()->tau(), l1);
+    lhs.add_transition(l1, lhs.action("a"), l2);
+    lhs.set_initial(l0);
+    EXPECT_TRUE(weakly_trace_equivalent(lhs, single_action("a")).equivalent);
+}
+
+TEST(TraceEquiv, BranchingStructureIsIgnored) {
+    // a.(b + c) vs a.b + a.c: NOT bisimilar, but trace equivalent — the
+    // canonical separation of the two equivalences.
+    Lts late;
+    {
+        const StateId s0 = late.add_state();
+        const StateId s1 = late.add_state();
+        const StateId s2 = late.add_state();
+        const StateId s3 = late.add_state();
+        late.add_transition(s0, late.action("a"), s1);
+        late.add_transition(s1, late.action("b"), s2);
+        late.add_transition(s1, late.action("c"), s3);
+        late.set_initial(s0);
+    }
+    Lts early;
+    {
+        const StateId s0 = early.add_state();
+        const StateId s1 = early.add_state();
+        const StateId s2 = early.add_state();
+        const StateId s3 = early.add_state();
+        const StateId s4 = early.add_state();
+        early.add_transition(s0, early.action("a"), s1);
+        early.add_transition(s0, early.action("a"), s2);
+        early.add_transition(s1, early.action("b"), s3);
+        early.add_transition(s2, early.action("c"), s4);
+        early.set_initial(s0);
+    }
+    EXPECT_TRUE(weakly_trace_equivalent(late, early).equivalent);
+    EXPECT_FALSE(strongly_bisimilar(late, early).equivalent);
+    EXPECT_FALSE(weakly_bisimilar(late, early).equivalent);
+}
+
+TEST(TraceEquiv, FindsShortestDistinguishingTrace) {
+    // Left: a.b.c ; right: a.b (c only after a longer detour is absent).
+    Lts lhs;
+    {
+        StateId s = lhs.add_state();
+        lhs.set_initial(s);
+        for (const char* name : {"a", "b", "c"}) {
+            const StateId next = lhs.add_state();
+            lhs.add_transition(s, lhs.action(name), next);
+            s = next;
+        }
+    }
+    Lts rhs;
+    {
+        StateId s = rhs.add_state();
+        rhs.set_initial(s);
+        for (const char* name : {"a", "b"}) {
+            const StateId next = rhs.add_state();
+            rhs.add_transition(s, rhs.action(name), next);
+            s = next;
+        }
+    }
+    const auto result = weakly_trace_equivalent(lhs, rhs);
+    ASSERT_FALSE(result.equivalent);
+    EXPECT_TRUE(result.lhs_has_trace);
+    ASSERT_EQ(result.distinguishing_trace.size(), 3u);
+    EXPECT_EQ(result.distinguishing_trace[0], "a");
+    EXPECT_EQ(result.distinguishing_trace[1], "b");
+    EXPECT_EQ(result.distinguishing_trace[2], "c");
+}
+
+TEST(TraceEquiv, DeadlockIsInvisibleToTraces) {
+    // a.b vs a.b + a.DEADLOCK: trace equivalent (prefix-closed languages
+    // coincide) yet not weakly bisimilar.
+    Lts safe;
+    {
+        const StateId s0 = safe.add_state();
+        const StateId s1 = safe.add_state();
+        const StateId s2 = safe.add_state();
+        safe.add_transition(s0, safe.action("a"), s1);
+        safe.add_transition(s1, safe.action("b"), s2);
+        safe.set_initial(s0);
+    }
+    Lts risky;
+    {
+        const StateId s0 = risky.add_state();
+        const StateId s1 = risky.add_state();
+        const StateId s2 = risky.add_state();
+        const StateId dead = risky.add_state();
+        risky.add_transition(s0, risky.action("a"), s1);
+        risky.add_transition(s0, risky.action("a"), dead);
+        risky.add_transition(s1, risky.action("b"), s2);
+        risky.set_initial(s0);
+    }
+    EXPECT_TRUE(weakly_trace_equivalent(safe, risky).equivalent);
+    EXPECT_FALSE(weakly_bisimilar(safe, risky).equivalent);
+}
+
+TEST(TraceEquiv, PairBudgetIsEnforced) {
+    const Lts a = single_action("x");
+    const Lts b = single_action("x");
+    EXPECT_THROW((void)weakly_trace_equivalent(a, b, 1), NumericalError);
+}
+
+TEST(Snni, SimplifiedRpcPassesTraceCheckButFailsBisimulationCheck) {
+    // The headline separation: the DPM-induced deadlock of Sect. 3.1 is a
+    // branching-time phenomenon.  The trace-based SNNI property is blind to
+    // it; the paper's weak-bisimulation check catches it.
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::simplified_functional());
+    const auto bisim_verdict = noninterference::check_dpm_transparency(
+        model, models::rpc::high_action_labels(), "C");
+    const auto trace_verdict = noninterference::check_dpm_trace_transparency(
+        model, models::rpc::high_action_labels(), "C");
+    EXPECT_FALSE(bisim_verdict.noninterfering);
+    EXPECT_TRUE(trace_verdict.noninterfering);
+}
+
+TEST(Snni, RevisedRpcPassesBothChecks) {
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::revised_functional());
+    EXPECT_TRUE(noninterference::check_dpm_transparency(
+                    model, models::rpc::high_action_labels(), "C")
+                    .noninterfering);
+    EXPECT_TRUE(noninterference::check_dpm_trace_transparency(
+                    model, models::rpc::high_action_labels(), "C")
+                    .noninterfering);
+}
+
+TEST(Snni, StreamingPassesBothChecks) {
+    const adl::ComposedModel model =
+        models::streaming::compose(models::streaming::functional(2));
+    EXPECT_TRUE(noninterference::check_dpm_transparency(
+                    model, models::streaming::high_action_labels(), "C")
+                    .noninterfering);
+    EXPECT_TRUE(noninterference::check_dpm_trace_transparency(
+                    model, models::streaming::high_action_labels(), "C")
+                    .noninterfering);
+}
+
+TEST(Snni, TraceCheckStillCatchesNewLowBehaviour) {
+    // A high action that unlocks a *new* low action is caught by both
+    // properties (the interference is a trace, not just a deadlock).
+    Lts m;
+    const StateId s0 = m.add_state();
+    const StateId s1 = m.add_state();
+    const StateId s2 = m.add_state();
+    m.add_transition(s0, m.action("low_a"), s1);
+    m.add_transition(s0, m.action("high"), s2);
+    m.add_transition(s2, m.action("low_b"), s1);
+    m.set_initial(s0);
+    const auto high = lts::make_action_set(m, {"high"});
+    const auto low = lts::make_action_set(m, {"low_a", "low_b"});
+    const auto verdict = noninterference::check_traces(m, high, low);
+    EXPECT_FALSE(verdict.noninterfering);
+    ASSERT_FALSE(verdict.distinguishing_trace.empty());
+    EXPECT_EQ(verdict.distinguishing_trace.back(), "low_b");
+}
+
+}  // namespace
+}  // namespace dpma::bisim

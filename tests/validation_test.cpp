@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adl/compose.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+#include "sim/gsmp.hpp"
+
+namespace dpma {
+namespace {
+
+/// Replaces exponential rates by general exponential distributions, so the
+/// GSMP simulator runs a distribution-for-distribution copy of the CTMC
+/// (the cross-validation of Sect. 5.1).
+adl::ComposedModel exponentialized(adl::ComposedModel model) {
+    for (lts::StateId s = 0; s < model.graph.num_states(); ++s) {
+        const auto out = model.graph.out(s);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            if (const auto* e = std::get_if<lts::RateExp>(&out[k].rate)) {
+                model.graph.set_rate(s, k,
+                                     lts::RateGeneral{Dist::exponential(e->rate)});
+            }
+        }
+    }
+    return model;
+}
+
+TEST(Validation, RpcSimulatorReproducesMarkovMeasures) {
+    // Fig. 5 as a test: all three rpc measures, simulated with exponential
+    // distributions, must match the exact CTMC values.
+    const auto config = models::rpc::markovian(5.0, true);
+    const adl::ComposedModel exact_model = models::rpc::compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(exact_model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto measures = models::rpc::measures();
+
+    const adl::ComposedModel sim_model = exponentialized(models::rpc::compose(config));
+    const sim::Simulator simulator(sim_model, measures);
+    sim::SimOptions options;
+    options.warmup = 500.0;
+    options.horizon = 15000.0;
+    options.seed = 1234;
+    const auto estimates = sim::simulate_replications(simulator, options, 30, 0.90);
+
+    for (std::size_t m = 0; m < measures.size(); ++m) {
+        const double exact =
+            ctmc::evaluate_measure(markov, exact_model, pi, measures[m]);
+        EXPECT_NEAR(estimates[m].mean, exact,
+                    5.0 * estimates[m].half_width + 0.002 * std::abs(exact) + 1e-6)
+            << measures[m].name;
+    }
+}
+
+TEST(Validation, StreamingSimulatorReproducesMarkovMeasures) {
+    const auto config = models::streaming::markovian(100.0, true);
+    const adl::ComposedModel exact_model = models::streaming::compose(config);
+    const ctmc::MarkovModel markov = ctmc::build_markov(exact_model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    const auto measures = models::streaming::measures();
+
+    const adl::ComposedModel sim_model =
+        exponentialized(models::streaming::compose(config));
+    const sim::Simulator simulator(sim_model, measures);
+    sim::SimOptions options;
+    options.warmup = 5000.0;
+    options.horizon = 150000.0;
+    options.seed = 77;
+    const auto estimates = sim::simulate_replications(simulator, options, 12, 0.90);
+
+    for (std::size_t m = 0; m < measures.size(); ++m) {
+        const double exact =
+            ctmc::evaluate_measure(markov, exact_model, pi, measures[m]);
+        EXPECT_NEAR(estimates[m].mean, exact,
+                    6.0 * estimates[m].half_width + 0.01 * std::abs(exact) + 1e-5)
+            << measures[m].name;
+    }
+}
+
+// --- regression pins for the paper-shape claims -------------------------
+
+struct RpcDerived {
+    double throughput;
+    double wait_per_req;
+    double energy_per_req;
+};
+
+RpcDerived simulate_rpc_general(double timeout, bool dpm) {
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::general(timeout, dpm));
+    const sim::Simulator simulator(model, models::rpc::measures());
+    sim::SimOptions options;
+    options.warmup = 500.0;
+    options.horizon = 15000.0;
+    options.seed = 4321 + static_cast<std::uint64_t>(timeout * 10);
+    const auto est = sim::simulate_replications(simulator, options, 10, 0.90);
+    const double tput = est[models::rpc::kThroughput].mean;
+    return RpcDerived{tput, est[models::rpc::kWaitingProb].mean / tput,
+                      est[models::rpc::kEnergyRate].mean / tput};
+}
+
+TEST(PaperShapes, RpcGeneralIsBimodalAroundTheIdlePeriod) {
+    // Sect. 5.2: below the ~11.3 ms idle period, throughput flat and energy
+    // rising linearly with the timeout; above, no DPM effect.
+    const RpcDerived base = simulate_rpc_general(10.0, false);
+    const RpcDerived t4 = simulate_rpc_general(4.0, true);
+    const RpcDerived t8 = simulate_rpc_general(8.0, true);
+    const RpcDerived t20 = simulate_rpc_general(20.0, true);
+
+    // Flat throughput below the idle period.
+    EXPECT_NEAR(t4.throughput, t8.throughput, 0.002);
+    // Energy grows roughly linearly with the timeout below the idle period.
+    EXPECT_GT(t8.energy_per_req, t4.energy_per_req + 2.0);
+    // Above the idle period the DPM has no effect.
+    EXPECT_NEAR(t20.throughput, base.throughput, 0.002);
+    EXPECT_NEAR(t20.energy_per_req, base.energy_per_req, 0.5);
+}
+
+TEST(PaperShapes, RpcGeneralDpmCounterproductiveNearIdlePeriod) {
+    // Sect. 5.2 (i): a timeout close to the actual idle period wakes the
+    // server right after every shutdown — worse than no DPM in energy AND
+    // performance.
+    const RpcDerived base = simulate_rpc_general(10.0, false);
+    const RpcDerived near = simulate_rpc_general(10.0, true);
+    EXPECT_GT(near.energy_per_req, base.energy_per_req);
+    EXPECT_GT(near.wait_per_req, base.wait_per_req);
+    EXPECT_LT(near.throughput, base.throughput);
+}
+
+TEST(PaperShapes, StreamingGeneralTransparentAt100ms) {
+    // Sect. 5.3: awake period 100 ms saves >50% NIC energy with no extra
+    // frame loss and no extra misses relative to NO-DPM.
+    const auto run = [](bool dpm) {
+        const adl::ComposedModel model =
+            models::streaming::compose(models::streaming::general(100.0, dpm));
+        const sim::Simulator simulator(model, models::streaming::measures());
+        sim::SimOptions options;
+        options.warmup = 3000.0;
+        options.horizon = 80000.0;
+        options.seed = 5150;
+        const auto est = sim::simulate_replications(simulator, options, 8, 0.90);
+        std::vector<double> v;
+        for (const auto& e : est) v.push_back(e.mean);
+        return v;
+    };
+    const auto base = run(false);
+    const auto with = run(true);
+    namespace ms = models::streaming;
+
+    const double epf_base = base[ms::kEnergyRate] / base[ms::kFramesReceived];
+    const double epf_with = with[ms::kEnergyRate] / with[ms::kFramesReceived];
+    EXPECT_LT(epf_with, 0.5 * epf_base);  // >50% saving
+
+    const double loss_with = (with[ms::kApLoss] + with[ms::kBLoss]) / with[ms::kGenerated];
+    EXPECT_LT(loss_with, 1e-4);  // no loss at 100 ms
+
+    const double miss_base = base[ms::kMiss] / (base[ms::kMiss] + base[ms::kHits]);
+    const double miss_with = with[ms::kMiss] / (with[ms::kMiss] + with[ms::kHits]);
+    EXPECT_LT(miss_with, miss_base + 0.01);  // no extra misses
+}
+
+TEST(PaperShapes, StreamingMarkovEnergyFallsAndQualityDegrades) {
+    // Fig. 4 monotonicity pins on the exact CTMC solution.
+    const auto solve = [](double period) {
+        const adl::ComposedModel model =
+            models::streaming::compose(models::streaming::markovian(period, true));
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        std::vector<double> v;
+        for (const auto& m : models::streaming::measures()) {
+            v.push_back(ctmc::evaluate_measure(markov, model, pi, m));
+        }
+        return v;
+    };
+    namespace ms = models::streaming;
+    const auto p25 = solve(25.0);
+    const auto p100 = solve(100.0);
+    const auto p400 = solve(400.0);
+    const auto epf = [](const std::vector<double>& v) {
+        return v[ms::kEnergyRate] / v[ms::kFramesReceived];
+    };
+    const auto quality = [](const std::vector<double>& v) {
+        return v[ms::kHits] / (v[ms::kHits] + v[ms::kMiss]);
+    };
+    EXPECT_GT(epf(p25), epf(p100));
+    EXPECT_GT(epf(p100), epf(p400));
+    EXPECT_GT(quality(p25), quality(p100));
+    EXPECT_GT(quality(p100), quality(p400));
+}
+
+}  // namespace
+}  // namespace dpma

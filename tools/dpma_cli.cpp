@@ -1,0 +1,239 @@
+/// \file dpma_cli.cpp
+/// Command-line front end of the toolchain — the TwoTowers-like workflow on
+/// Æmilia files, no C++ required:
+///
+///   dpma_cli info     model.aem
+///   dpma_cli dot      model.aem                       > model.dot
+///   dpma_cli check    model.aem --high L1,L2 --low C  [--traces]
+///   dpma_cli solve    model.aem measures.msr
+///   dpma_cli simulate model.aem measures.msr [--horizon H] [--warmup W]
+///                     [--reps N] [--seed S] [--confidence C]
+///
+/// `check` runs the paper's noninterference analysis: --high lists the
+/// global action labels of the power-management commands (as printed by
+/// `info`), --low names the observing instance.  Exit status: 0 = check
+/// passed / command succeeded, 1 = check failed, 2 = usage or input error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adl/compose.hpp"
+#include "aemilia/parser.hpp"
+#include "bisim/hml.hpp"
+#include "core/error.hpp"
+#include "core/text.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "lts/dot.hpp"
+#include "lts/ops.hpp"
+#include "noninterference/noninterference.hpp"
+#include "sim/gsmp.hpp"
+
+namespace {
+
+using namespace dpma;
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  dpma_cli info     <model.aem>\n"
+                 "  dpma_cli dot      <model.aem>\n"
+                 "  dpma_cli check    <model.aem> --high L1,L2,... --low INSTANCE "
+                 "[--traces]\n"
+                 "  dpma_cli solve    <model.aem> <measures.msr>\n"
+                 "  dpma_cli simulate <model.aem> <measures.msr> [--horizon H] "
+                 "[--warmup W] [--reps N] [--seed S] [--confidence C]\n");
+    std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error("cannot open " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+adl::ComposedModel load_model(const std::string& path) {
+    return adl::compose(aemilia::parse_archi_type(read_file(path)));
+}
+
+/// Pulls `--name value` out of the argument list; returns fallback when absent.
+std::string option(std::vector<std::string>& args, const std::string& name,
+                   const std::string& fallback) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == name) {
+            const std::string value = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return value;
+        }
+    }
+    return fallback;
+}
+
+bool flag(std::vector<std::string>& args, const std::string& name) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == name) {
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+int cmd_info(const std::string& path) {
+    const adl::ComposedModel model = load_model(path);
+    std::printf("architecture: %zu instances, %zu states, %zu transitions\n",
+                model.instance_names.size(), model.graph.num_states(),
+                model.graph.num_transitions());
+    std::printf("instances:");
+    for (const std::string& name : model.instance_names) std::printf(" %s", name.c_str());
+    std::printf("\n");
+    const auto deadlocks = lts::deadlock_states(model.graph);
+    std::printf("deadlock states: %zu\n", deadlocks.size());
+    std::printf("action labels:\n");
+    const auto& table = *model.graph.actions();
+    for (Symbol a = 1; a < table.size(); ++a) {
+        // Show only labels that actually occur on transitions.
+        bool used = false;
+        for (lts::StateId s = 0; s < model.graph.num_states() && !used; ++s) {
+            for (const lts::Transition& t : model.graph.out(s)) {
+                if (t.action == a) {
+                    used = true;
+                    break;
+                }
+            }
+        }
+        if (used) std::printf("  %s\n", table.name(a).c_str());
+    }
+    return 0;
+}
+
+int cmd_dot(const std::string& path) {
+    const adl::ComposedModel model = load_model(path);
+    lts::DotOptions options;
+    options.max_states = 2000;
+    std::fputs(lts::to_dot(model.graph, options).c_str(), stdout);
+    return 0;
+}
+
+int cmd_check(const std::string& path, std::vector<std::string> args) {
+    const std::string high = option(args, "--high", "");
+    const std::string low = option(args, "--low", "");
+    const bool traces = flag(args, "--traces");
+    if (high.empty() || low.empty() || !args.empty()) usage();
+
+    const adl::ComposedModel model = load_model(path);
+    std::vector<std::string> high_labels;
+    for (const std::string& label : split(high, ',')) {
+        high_labels.emplace_back(trim(label));
+    }
+
+    if (traces) {
+        const auto verdict =
+            noninterference::check_dpm_trace_transparency(model, high_labels, low);
+        std::printf("trace-based noninterference (SNNI): %s\n",
+                    verdict.noninterfering ? "PASS" : "FAIL");
+        if (!verdict.noninterfering) {
+            std::printf("distinguishing trace:");
+            for (const std::string& a : verdict.distinguishing_trace) {
+                std::printf(" %s", a.c_str());
+            }
+            std::printf("\n");
+        }
+        return verdict.noninterfering ? 0 : 1;
+    }
+
+    const auto verdict =
+        noninterference::check_dpm_transparency(model, high_labels, low);
+    std::printf("noninterference (weak bisimulation): %s\n",
+                verdict.noninterfering ? "PASS" : "FAIL");
+    if (!verdict.noninterfering) {
+        std::printf("distinguishing formula:\n%s\n",
+                    bisim::to_two_towers(verdict.formula).c_str());
+    }
+    return verdict.noninterfering ? 0 : 1;
+}
+
+int cmd_solve(const std::string& model_path, const std::string& measures_path) {
+    const adl::ComposedModel model = load_model(model_path);
+    const auto measures = aemilia::parse_measures(read_file(measures_path));
+    const ctmc::MarkovModel markov = ctmc::build_markov(model);
+    const auto pi = ctmc::steady_state(markov.chain);
+    std::printf("CTMC: %zu tangible states\n", markov.chain.num_states());
+    for (const adl::Measure& m : measures) {
+        std::printf("%-24s = %.12g\n", m.name.c_str(),
+                    ctmc::evaluate_measure(markov, model, pi, m));
+    }
+    return 0;
+}
+
+int cmd_simulate(const std::string& model_path, const std::string& measures_path,
+                 std::vector<std::string> args) {
+    const double horizon = std::strtod(option(args, "--horizon", "10000").c_str(), nullptr);
+    const double warmup = std::strtod(option(args, "--warmup", "0").c_str(), nullptr);
+    const int reps = std::atoi(option(args, "--reps", "10").c_str());
+    const auto seed =
+        static_cast<std::uint64_t>(std::strtoull(option(args, "--seed", "1").c_str(),
+                                                 nullptr, 10));
+    const double confidence =
+        std::strtod(option(args, "--confidence", "0.90").c_str(), nullptr);
+    if (!args.empty()) usage();
+
+    const adl::ComposedModel model = load_model(model_path);
+    const auto measures = aemilia::parse_measures(read_file(measures_path));
+    const sim::Simulator simulator(model, measures);
+    sim::SimOptions options;
+    options.horizon = horizon;
+    options.warmup = warmup;
+    options.seed = seed;
+    const auto estimates = sim::simulate_replications(simulator, options, reps, confidence);
+    std::printf("simulated %d replications of horizon %g (warmup %g), %.0f%% CIs\n",
+                reps, horizon, warmup, confidence * 100.0);
+    for (std::size_t m = 0; m < measures.size(); ++m) {
+        std::printf("%-24s = %.8g ± %.3g\n", measures[m].name.c_str(),
+                    estimates[m].mean, estimates[m].half_width);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) usage();
+    const std::string command = argv[1];
+    const std::string model_path = argv[2];
+    std::vector<std::string> rest;
+    for (int i = 3; i < argc; ++i) rest.emplace_back(argv[i]);
+
+    try {
+        if (command == "info" && rest.empty()) return cmd_info(model_path);
+        if (command == "dot" && rest.empty()) return cmd_dot(model_path);
+        if (command == "check") return cmd_check(model_path, std::move(rest));
+        if (command == "solve" && rest.size() == 1) {
+            return cmd_solve(model_path, rest[0]);
+        }
+        if (command == "simulate" && !rest.empty()) {
+            const std::string measures_path = rest[0];
+            rest.erase(rest.begin());
+            return cmd_simulate(model_path, measures_path, std::move(rest));
+        }
+        usage();
+    } catch (const ParseError& e) {
+        std::fprintf(stderr, "parse error at %d:%d: %s\n", e.line(), e.column(),
+                     e.what());
+        return 2;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}
