@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_breakeven.dir/bench_disk_breakeven.cpp.o"
+  "CMakeFiles/bench_disk_breakeven.dir/bench_disk_breakeven.cpp.o.d"
+  "bench_disk_breakeven"
+  "bench_disk_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

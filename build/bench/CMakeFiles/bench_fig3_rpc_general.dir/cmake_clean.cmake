@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rpc_general.dir/bench_fig3_rpc_general.cpp.o"
+  "CMakeFiles/bench_fig3_rpc_general.dir/bench_fig3_rpc_general.cpp.o.d"
+  "bench_fig3_rpc_general"
+  "bench_fig3_rpc_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rpc_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

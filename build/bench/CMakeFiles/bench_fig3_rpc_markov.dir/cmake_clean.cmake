@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rpc_markov.dir/bench_fig3_rpc_markov.cpp.o"
+  "CMakeFiles/bench_fig3_rpc_markov.dir/bench_fig3_rpc_markov.cpp.o.d"
+  "bench_fig3_rpc_markov"
+  "bench_fig3_rpc_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rpc_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_streaming_markov.dir/bench_fig4_streaming_markov.cpp.o"
+  "CMakeFiles/bench_fig4_streaming_markov.dir/bench_fig4_streaming_markov.cpp.o.d"
+  "bench_fig4_streaming_markov"
+  "bench_fig4_streaming_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_streaming_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

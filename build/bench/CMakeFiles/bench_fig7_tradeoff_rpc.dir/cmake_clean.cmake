@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tradeoff_rpc.dir/bench_fig7_tradeoff_rpc.cpp.o"
+  "CMakeFiles/bench_fig7_tradeoff_rpc.dir/bench_fig7_tradeoff_rpc.cpp.o.d"
+  "bench_fig7_tradeoff_rpc"
+  "bench_fig7_tradeoff_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tradeoff_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dpma_bench_harness.dir/harness.cpp.o.d"
+  "libdpma_bench_harness.a"
+  "libdpma_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

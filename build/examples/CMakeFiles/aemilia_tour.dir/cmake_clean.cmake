@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aemilia_tour.dir/aemilia_tour.cpp.o"
+  "CMakeFiles/aemilia_tour.dir/aemilia_tour.cpp.o.d"
+  "aemilia_tour"
+  "aemilia_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aemilia_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dpm_policy.dir/custom_dpm_policy.cpp.o"
+  "CMakeFiles/custom_dpm_policy.dir/custom_dpm_policy.cpp.o.d"
+  "custom_dpm_policy"
+  "custom_dpm_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dpm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

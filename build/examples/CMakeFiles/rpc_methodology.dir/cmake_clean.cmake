@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_methodology.dir/rpc_methodology.cpp.o"
+  "CMakeFiles/rpc_methodology.dir/rpc_methodology.cpp.o.d"
+  "rpc_methodology"
+  "rpc_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

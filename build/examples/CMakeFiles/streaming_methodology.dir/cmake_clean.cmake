@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_methodology.dir/streaming_methodology.cpp.o"
+  "CMakeFiles/streaming_methodology.dir/streaming_methodology.cpp.o.d"
+  "streaming_methodology"
+  "streaming_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/compose.cpp" "src/adl/CMakeFiles/dpma_adl.dir/compose.cpp.o" "gcc" "src/adl/CMakeFiles/dpma_adl.dir/compose.cpp.o.d"
+  "/root/repo/src/adl/expr.cpp" "src/adl/CMakeFiles/dpma_adl.dir/expr.cpp.o" "gcc" "src/adl/CMakeFiles/dpma_adl.dir/expr.cpp.o.d"
+  "/root/repo/src/adl/measure.cpp" "src/adl/CMakeFiles/dpma_adl.dir/measure.cpp.o" "gcc" "src/adl/CMakeFiles/dpma_adl.dir/measure.cpp.o.d"
+  "/root/repo/src/adl/model.cpp" "src/adl/CMakeFiles/dpma_adl.dir/model.cpp.o" "gcc" "src/adl/CMakeFiles/dpma_adl.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lts/CMakeFiles/dpma_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpma_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

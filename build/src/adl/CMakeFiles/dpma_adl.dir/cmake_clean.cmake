@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_adl.dir/compose.cpp.o"
+  "CMakeFiles/dpma_adl.dir/compose.cpp.o.d"
+  "CMakeFiles/dpma_adl.dir/expr.cpp.o"
+  "CMakeFiles/dpma_adl.dir/expr.cpp.o.d"
+  "CMakeFiles/dpma_adl.dir/measure.cpp.o"
+  "CMakeFiles/dpma_adl.dir/measure.cpp.o.d"
+  "CMakeFiles/dpma_adl.dir/model.cpp.o"
+  "CMakeFiles/dpma_adl.dir/model.cpp.o.d"
+  "libdpma_adl.a"
+  "libdpma_adl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_adl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_aemilia.dir/lexer.cpp.o"
+  "CMakeFiles/dpma_aemilia.dir/lexer.cpp.o.d"
+  "CMakeFiles/dpma_aemilia.dir/parser.cpp.o"
+  "CMakeFiles/dpma_aemilia.dir/parser.cpp.o.d"
+  "CMakeFiles/dpma_aemilia.dir/printer.cpp.o"
+  "CMakeFiles/dpma_aemilia.dir/printer.cpp.o.d"
+  "libdpma_aemilia.a"
+  "libdpma_aemilia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_aemilia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpma_aemilia.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bisim/equivalence.cpp" "src/bisim/CMakeFiles/dpma_bisim.dir/equivalence.cpp.o" "gcc" "src/bisim/CMakeFiles/dpma_bisim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/bisim/hml.cpp" "src/bisim/CMakeFiles/dpma_bisim.dir/hml.cpp.o" "gcc" "src/bisim/CMakeFiles/dpma_bisim.dir/hml.cpp.o.d"
+  "/root/repo/src/bisim/hml_check.cpp" "src/bisim/CMakeFiles/dpma_bisim.dir/hml_check.cpp.o" "gcc" "src/bisim/CMakeFiles/dpma_bisim.dir/hml_check.cpp.o.d"
+  "/root/repo/src/bisim/partition.cpp" "src/bisim/CMakeFiles/dpma_bisim.dir/partition.cpp.o" "gcc" "src/bisim/CMakeFiles/dpma_bisim.dir/partition.cpp.o.d"
+  "/root/repo/src/bisim/trace_equiv.cpp" "src/bisim/CMakeFiles/dpma_bisim.dir/trace_equiv.cpp.o" "gcc" "src/bisim/CMakeFiles/dpma_bisim.dir/trace_equiv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lts/CMakeFiles/dpma_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpma_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_bisim.dir/equivalence.cpp.o"
+  "CMakeFiles/dpma_bisim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/dpma_bisim.dir/hml.cpp.o"
+  "CMakeFiles/dpma_bisim.dir/hml.cpp.o.d"
+  "CMakeFiles/dpma_bisim.dir/hml_check.cpp.o"
+  "CMakeFiles/dpma_bisim.dir/hml_check.cpp.o.d"
+  "CMakeFiles/dpma_bisim.dir/partition.cpp.o"
+  "CMakeFiles/dpma_bisim.dir/partition.cpp.o.d"
+  "CMakeFiles/dpma_bisim.dir/trace_equiv.cpp.o"
+  "CMakeFiles/dpma_bisim.dir/trace_equiv.cpp.o.d"
+  "libdpma_bisim.a"
+  "libdpma_bisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_bisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dist.cpp" "src/core/CMakeFiles/dpma_core.dir/dist.cpp.o" "gcc" "src/core/CMakeFiles/dpma_core.dir/dist.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "src/core/CMakeFiles/dpma_core.dir/error.cpp.o" "gcc" "src/core/CMakeFiles/dpma_core.dir/error.cpp.o.d"
+  "/root/repo/src/core/intern.cpp" "src/core/CMakeFiles/dpma_core.dir/intern.cpp.o" "gcc" "src/core/CMakeFiles/dpma_core.dir/intern.cpp.o.d"
+  "/root/repo/src/core/stats_math.cpp" "src/core/CMakeFiles/dpma_core.dir/stats_math.cpp.o" "gcc" "src/core/CMakeFiles/dpma_core.dir/stats_math.cpp.o.d"
+  "/root/repo/src/core/text.cpp" "src/core/CMakeFiles/dpma_core.dir/text.cpp.o" "gcc" "src/core/CMakeFiles/dpma_core.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

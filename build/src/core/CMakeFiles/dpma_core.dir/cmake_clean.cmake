@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_core.dir/dist.cpp.o"
+  "CMakeFiles/dpma_core.dir/dist.cpp.o.d"
+  "CMakeFiles/dpma_core.dir/error.cpp.o"
+  "CMakeFiles/dpma_core.dir/error.cpp.o.d"
+  "CMakeFiles/dpma_core.dir/intern.cpp.o"
+  "CMakeFiles/dpma_core.dir/intern.cpp.o.d"
+  "CMakeFiles/dpma_core.dir/stats_math.cpp.o"
+  "CMakeFiles/dpma_core.dir/stats_math.cpp.o.d"
+  "CMakeFiles/dpma_core.dir/text.cpp.o"
+  "CMakeFiles/dpma_core.dir/text.cpp.o.d"
+  "libdpma_core.a"
+  "libdpma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

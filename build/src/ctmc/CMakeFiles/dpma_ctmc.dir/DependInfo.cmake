@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctmc/absorption.cpp" "src/ctmc/CMakeFiles/dpma_ctmc.dir/absorption.cpp.o" "gcc" "src/ctmc/CMakeFiles/dpma_ctmc.dir/absorption.cpp.o.d"
+  "/root/repo/src/ctmc/ctmc.cpp" "src/ctmc/CMakeFiles/dpma_ctmc.dir/ctmc.cpp.o" "gcc" "src/ctmc/CMakeFiles/dpma_ctmc.dir/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/lump.cpp" "src/ctmc/CMakeFiles/dpma_ctmc.dir/lump.cpp.o" "gcc" "src/ctmc/CMakeFiles/dpma_ctmc.dir/lump.cpp.o.d"
+  "/root/repo/src/ctmc/reward.cpp" "src/ctmc/CMakeFiles/dpma_ctmc.dir/reward.cpp.o" "gcc" "src/ctmc/CMakeFiles/dpma_ctmc.dir/reward.cpp.o.d"
+  "/root/repo/src/ctmc/solve.cpp" "src/ctmc/CMakeFiles/dpma_ctmc.dir/solve.cpp.o" "gcc" "src/ctmc/CMakeFiles/dpma_ctmc.dir/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adl/CMakeFiles/dpma_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/dpma_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpma_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_ctmc.dir/absorption.cpp.o"
+  "CMakeFiles/dpma_ctmc.dir/absorption.cpp.o.d"
+  "CMakeFiles/dpma_ctmc.dir/ctmc.cpp.o"
+  "CMakeFiles/dpma_ctmc.dir/ctmc.cpp.o.d"
+  "CMakeFiles/dpma_ctmc.dir/lump.cpp.o"
+  "CMakeFiles/dpma_ctmc.dir/lump.cpp.o.d"
+  "CMakeFiles/dpma_ctmc.dir/reward.cpp.o"
+  "CMakeFiles/dpma_ctmc.dir/reward.cpp.o.d"
+  "CMakeFiles/dpma_ctmc.dir/solve.cpp.o"
+  "CMakeFiles/dpma_ctmc.dir/solve.cpp.o.d"
+  "libdpma_ctmc.a"
+  "libdpma_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lts/dot.cpp" "src/lts/CMakeFiles/dpma_lts.dir/dot.cpp.o" "gcc" "src/lts/CMakeFiles/dpma_lts.dir/dot.cpp.o.d"
+  "/root/repo/src/lts/lts.cpp" "src/lts/CMakeFiles/dpma_lts.dir/lts.cpp.o" "gcc" "src/lts/CMakeFiles/dpma_lts.dir/lts.cpp.o.d"
+  "/root/repo/src/lts/ops.cpp" "src/lts/CMakeFiles/dpma_lts.dir/ops.cpp.o" "gcc" "src/lts/CMakeFiles/dpma_lts.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpma_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_lts.dir/dot.cpp.o"
+  "CMakeFiles/dpma_lts.dir/dot.cpp.o.d"
+  "CMakeFiles/dpma_lts.dir/lts.cpp.o"
+  "CMakeFiles/dpma_lts.dir/lts.cpp.o.d"
+  "CMakeFiles/dpma_lts.dir/ops.cpp.o"
+  "CMakeFiles/dpma_lts.dir/ops.cpp.o.d"
+  "libdpma_lts.a"
+  "libdpma_lts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_lts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dpma_lts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_models.dir/disk.cpp.o"
+  "CMakeFiles/dpma_models.dir/disk.cpp.o.d"
+  "CMakeFiles/dpma_models.dir/rpc.cpp.o"
+  "CMakeFiles/dpma_models.dir/rpc.cpp.o.d"
+  "CMakeFiles/dpma_models.dir/specs.cpp.o"
+  "CMakeFiles/dpma_models.dir/specs.cpp.o.d"
+  "CMakeFiles/dpma_models.dir/streaming.cpp.o"
+  "CMakeFiles/dpma_models.dir/streaming.cpp.o.d"
+  "libdpma_models.a"
+  "libdpma_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

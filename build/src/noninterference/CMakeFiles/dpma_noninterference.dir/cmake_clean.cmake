@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_noninterference.dir/noninterference.cpp.o"
+  "CMakeFiles/dpma_noninterference.dir/noninterference.cpp.o.d"
+  "libdpma_noninterference.a"
+  "libdpma_noninterference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_noninterference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

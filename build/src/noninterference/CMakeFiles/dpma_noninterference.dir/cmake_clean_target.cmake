@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpma_noninterference.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/batch_means.cpp" "src/sim/CMakeFiles/dpma_sim.dir/batch_means.cpp.o" "gcc" "src/sim/CMakeFiles/dpma_sim.dir/batch_means.cpp.o.d"
+  "/root/repo/src/sim/gsmp.cpp" "src/sim/CMakeFiles/dpma_sim.dir/gsmp.cpp.o" "gcc" "src/sim/CMakeFiles/dpma_sim.dir/gsmp.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/dpma_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/dpma_sim.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adl/CMakeFiles/dpma_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/dpma_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpma_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_sim.dir/batch_means.cpp.o"
+  "CMakeFiles/dpma_sim.dir/batch_means.cpp.o.d"
+  "CMakeFiles/dpma_sim.dir/gsmp.cpp.o"
+  "CMakeFiles/dpma_sim.dir/gsmp.cpp.o.d"
+  "CMakeFiles/dpma_sim.dir/rng.cpp.o"
+  "CMakeFiles/dpma_sim.dir/rng.cpp.o.d"
+  "libdpma_sim.a"
+  "libdpma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absorption_test.dir/absorption_test.cpp.o"
+  "CMakeFiles/absorption_test.dir/absorption_test.cpp.o.d"
+  "absorption_test"
+  "absorption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absorption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

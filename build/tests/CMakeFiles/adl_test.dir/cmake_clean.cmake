@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_test.dir/adl_test.cpp.o"
+  "CMakeFiles/adl_test.dir/adl_test.cpp.o.d"
+  "adl_test"
+  "adl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

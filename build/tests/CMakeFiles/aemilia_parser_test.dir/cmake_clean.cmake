@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aemilia_parser_test.dir/aemilia_parser_test.cpp.o"
+  "CMakeFiles/aemilia_parser_test.dir/aemilia_parser_test.cpp.o.d"
+  "aemilia_parser_test"
+  "aemilia_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aemilia_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aemilia_printer_test.dir/aemilia_printer_test.cpp.o"
+  "CMakeFiles/aemilia_printer_test.dir/aemilia_printer_test.cpp.o.d"
+  "aemilia_printer_test"
+  "aemilia_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aemilia_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_means_test.dir/batch_means_test.cpp.o"
+  "CMakeFiles/batch_means_test.dir/batch_means_test.cpp.o.d"
+  "batch_means_test"
+  "batch_means_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_means_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harness_test.dir/bench_harness_test.cpp.o"
+  "CMakeFiles/bench_harness_test.dir/bench_harness_test.cpp.o.d"
+  "bench_harness_test"
+  "bench_harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ctmc_test.cpp" "tests/CMakeFiles/ctmc_test.dir/ctmc_test.cpp.o" "gcc" "tests/CMakeFiles/ctmc_test.dir/ctmc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/dpma_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/aemilia/CMakeFiles/dpma_aemilia.dir/DependInfo.cmake"
+  "/root/repo/build/src/noninterference/CMakeFiles/dpma_noninterference.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctmc/CMakeFiles/dpma_ctmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisim/CMakeFiles/dpma_bisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adl/CMakeFiles/dpma_adl.dir/DependInfo.cmake"
+  "/root/repo/build/src/lts/CMakeFiles/dpma_lts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpma_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

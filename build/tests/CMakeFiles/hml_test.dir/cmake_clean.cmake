@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hml_test.dir/hml_test.cpp.o"
+  "CMakeFiles/hml_test.dir/hml_test.cpp.o.d"
+  "hml_test"
+  "hml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

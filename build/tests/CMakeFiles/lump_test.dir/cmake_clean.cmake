@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lump_test.dir/lump_test.cpp.o"
+  "CMakeFiles/lump_test.dir/lump_test.cpp.o.d"
+  "lump_test"
+  "lump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_disk_test.dir/models_disk_test.cpp.o"
+  "CMakeFiles/models_disk_test.dir/models_disk_test.cpp.o.d"
+  "models_disk_test"
+  "models_disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

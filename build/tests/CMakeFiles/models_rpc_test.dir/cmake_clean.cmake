@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_rpc_test.dir/models_rpc_test.cpp.o"
+  "CMakeFiles/models_rpc_test.dir/models_rpc_test.cpp.o.d"
+  "models_rpc_test"
+  "models_rpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_streaming_test.dir/models_streaming_test.cpp.o"
+  "CMakeFiles/models_streaming_test.dir/models_streaming_test.cpp.o.d"
+  "models_streaming_test"
+  "models_streaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_variants_test.dir/models_variants_test.cpp.o"
+  "CMakeFiles/models_variants_test.dir/models_variants_test.cpp.o.d"
+  "models_variants_test"
+  "models_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_extras_test.dir/sim_extras_test.cpp.o"
+  "CMakeFiles/sim_extras_test.dir/sim_extras_test.cpp.o.d"
+  "sim_extras_test"
+  "sim_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_equiv_test.dir/trace_equiv_test.cpp.o"
+  "CMakeFiles/trace_equiv_test.dir/trace_equiv_test.cpp.o.d"
+  "trace_equiv_test"
+  "trace_equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpma_cli.dir/dpma_cli.cpp.o"
+  "CMakeFiles/dpma_cli.dir/dpma_cli.cpp.o.d"
+  "dpma_cli"
+  "dpma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/dpma_cli" "info" "/root/repo/specs/rpc_revised_markov.aem")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_solve "/root/repo/build/tools/dpma_cli" "solve" "/root/repo/specs/rpc_revised_markov.aem" "/root/repo/specs/rpc_measures.msr")
+set_tests_properties(cli_solve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_check_passes "/root/repo/build/tools/dpma_cli" "check" "/root/repo/specs/rpc_revised_markov.aem" "--high" "DPM.send_shutdown#S.receive_shutdown" "--low" "C")
+set_tests_properties(cli_check_passes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_check_fails "/root/repo/build/tools/dpma_cli" "check" "/root/repo/specs/rpc_untimed.aem" "--high" "DPM.send_shutdown#S.receive_shutdown" "--low" "C")
+set_tests_properties(cli_check_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/dpma_cli" "simulate" "/root/repo/specs/rpc_revised_markov.aem" "/root/repo/specs/rpc_measures.msr" "--horizon" "2000" "--reps" "3")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_solve_disk "/root/repo/build/tools/dpma_cli" "solve" "/root/repo/specs/disk_markov.aem" "/root/repo/specs/disk_measures.msr")
+set_tests_properties(cli_solve_disk PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
