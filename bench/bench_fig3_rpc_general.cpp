@@ -4,6 +4,11 @@
 /// shutdown delays, normally distributed channel delay), estimated by
 /// simulation (Sect. 5.2).
 ///
+/// Runs on the experiment engine: sweep points and, within each point, the
+/// 30 simulation replications execute as independent jobs on the pool
+/// (DPMA_JOBS); seeds derive from (base_seed, point_index, replication), so
+/// any jobs count reproduces the same numbers.
+///
 /// Paper shapes to observe — the bi-modal dependence on the shutdown
 /// timeout around the actual idle period (~11.3 ms):
 ///  * below it, energy per request grows linearly with the timeout while
@@ -13,40 +18,65 @@
 ///  * near the idle period the DPM is *counterproductive* (wakes up right
 ///    after every shutdown).
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "exp/runner.hpp"
 
 int main() {
     using namespace dpma::bench;
+    namespace exp = dpma::exp;
     std::printf("== Fig. 3 (right): rpc general model, DPM vs NO-DPM ==\n");
     std::printf("(30 replications, 90%% CI half-widths on throughput)\n");
 
     const int reps = 30;
     const double horizon = 30000.0;  // msec, scaled by DPMA_BENCH_SCALE
 
-    const RpcPoint base = rpc_general_point(10.0, false, reps, horizon, 101);
+    const std::vector<double> timeouts = {0.0,  2.0,  4.0,  6.0,  8.0,
+                                          10.0, 10.5, 11.0, 11.3, 11.6,
+                                          12.0, 13.0, 15.0, 20.0, 25.0};
+
+    const auto started = std::chrono::steady_clock::now();
+    exp::RunOptions options;
+    options.base_seed = 101;
+    const exp::ResultSet sweep =
+        exp::run(rpc_general_experiment(timeouts, true, reps, horizon), options);
+    const exp::ResultSet no_dpm =
+        exp::run(rpc_general_experiment({10.0}, false, reps, horizon), options);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+
+    const RpcPoint base =
+        rpc_point_from(no_dpm.at(0).result.values, no_dpm.at(0).result.half_widths);
 
     Table table("rpc / general: sweep of the deterministic shutdown timeout",
                 {"timeout_ms", "tput_dpm", "tput_hw", "tput_nodpm", "wait_dpm",
                  "wait_nodpm", "epr_dpm", "epr_nodpm"});
-    for (const double timeout : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 10.5, 11.0, 11.3,
-                                 11.6, 12.0, 13.0, 15.0, 20.0, 25.0}) {
-        const RpcPoint dpm = rpc_general_point(timeout, true, reps, horizon,
-                                               1000 + static_cast<int>(timeout * 10));
-        table.add_row({timeout, dpm.throughput, dpm.throughput_hw, base.throughput,
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const RpcPoint dpm =
+            rpc_point_from(sweep.at(i).result.values, sweep.at(i).result.half_widths);
+        table.add_row({timeouts[i], dpm.throughput, dpm.throughput_hw, base.throughput,
                        dpm.waiting_per_request, base.waiting_per_request,
                        dpm.energy_per_request, base.energy_per_request});
     }
     table.print();
 
-    const RpcPoint below = rpc_general_point(5.0, true, reps, horizon, 77);
-    const RpcPoint near = rpc_general_point(11.3, true, reps, horizon, 78);
-    const RpcPoint above = rpc_general_point(20.0, true, reps, horizon, 79);
+    // Representative points of the three regimes, straight from the sweep:
+    // t=4 (below the idle period), t=11.3 (counterproductive), t=20 (inert).
+    const RpcPoint below = rpc_point_from(sweep.at(2).result.values, {});
+    const RpcPoint near = rpc_point_from(sweep.at(8).result.values, {});
+    const RpcPoint above = rpc_point_from(sweep.at(13).result.values, {});
     std::printf(
-        "\nsummary: energy/request %.3f (t=5) < %.3f (t=11.3, counterproductive "
+        "\nsummary: energy/request %.3f (t=4) < %.3f (t=11.3, counterproductive "
         "region) ; t=20 matches NO-DPM (%.3f vs %.3f)\n",
         below.energy_per_request, near.energy_per_request, above.energy_per_request,
         base.energy_per_request);
+
+    const exp::ModelCache::Stats stats = figure_cache().stats();
+    std::printf("engine: %zu points x %d reps, jobs=%zu, cache hits=%llu misses=%llu, "
+                "%.3fs\n",
+                sweep.size() + no_dpm.size(), reps, exp::default_jobs(),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), elapsed.count());
     return 0;
 }

@@ -4,6 +4,10 @@
 /// shutdown timeout (0..25 ms), from the exact steady-state solution of the
 /// Markovian model (Sect. 4.1).
 ///
+/// Runs on the experiment engine: the sweep is a declarative grid executed
+/// over a thread pool (DPMA_JOBS), and the composed state space is built
+/// once and rate-patched per point (see bench::figure_cache()).
+///
 /// Paper shapes to observe:
 ///  * the shorter the timeout, the larger the DPM impact;
 ///  * the DPM is never counterproductive in energy;
@@ -11,30 +15,41 @@
 ///    not performance-transparent;
 ///  * the NO-DPM series is flat.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "exp/runner.hpp"
 
 int main() {
     using namespace dpma::bench;
+    namespace exp = dpma::exp;
     std::printf("== Fig. 3 (left): rpc Markovian model, DPM vs NO-DPM ==\n");
 
-    const RpcPoint base = rpc_markov_point(10.0, false);
+    const std::vector<double> timeouts = {0.0,  1.0,  2.0,  3.0,  5.0,  7.5, 10.0,
+                                          12.5, 15.0, 17.5, 20.0, 22.5, 25.0};
+
+    const auto started = std::chrono::steady_clock::now();
+    exp::RunOptions options;  // jobs from DPMA_JOBS / hardware_concurrency
+    const exp::ResultSet sweep = exp::run(rpc_markov_experiment(timeouts, true), options);
+    const exp::ResultSet no_dpm = exp::run(rpc_markov_experiment({10.0}, false), options);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+
+    const RpcPoint base = rpc_point_from(no_dpm.at(0).result.values, {});
 
     Table table("rpc / Markov: sweep of the DPM shutdown timeout",
                 {"timeout_ms", "tput_dpm", "tput_nodpm", "wait_dpm", "wait_nodpm",
                  "epr_dpm", "epr_nodpm"});
-    for (const double timeout :
-         {0.0, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0}) {
-        const RpcPoint dpm = rpc_markov_point(timeout, true);
-        table.add_row({timeout, dpm.throughput, base.throughput,
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const RpcPoint dpm = rpc_point_from(sweep.at(i).result.values, {});
+        table.add_row({timeouts[i], dpm.throughput, base.throughput,
                        dpm.waiting_per_request, base.waiting_per_request,
                        dpm.energy_per_request, base.energy_per_request});
     }
     table.print();
 
-    const RpcPoint t0 = rpc_markov_point(0.0, true);
-    const RpcPoint t25 = rpc_markov_point(25.0, true);
+    const RpcPoint t0 = rpc_point_from(sweep.at(0).result.values, {});
+    const RpcPoint t25 = rpc_point_from(sweep.at(sweep.size() - 1).result.values, {});
     std::printf(
         "\nsummary: timeout=0 saves %.1f%% energy/request at %.1f%% lower "
         "throughput; timeout=25 saves %.1f%% at %.1f%% lower throughput\n",
@@ -42,5 +57,11 @@ int main() {
         100.0 * (1.0 - t0.throughput / base.throughput),
         100.0 * (1.0 - t25.energy_per_request / base.energy_per_request),
         100.0 * (1.0 - t25.throughput / base.throughput));
+
+    const exp::ModelCache::Stats stats = figure_cache().stats();
+    std::printf("engine: %zu points, jobs=%zu, cache hits=%llu misses=%llu, %.3fs\n",
+                sweep.size() + no_dpm.size(), exp::default_jobs(),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), elapsed.count());
     return 0;
 }

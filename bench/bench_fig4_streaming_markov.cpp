@@ -3,6 +3,10 @@
 /// probability and quality of the streaming system as functions of the PSP
 /// awake period (0..800 ms), from the Markovian model (Sect. 4.2).
 ///
+/// Runs on the experiment engine: the awake-period axis is a declarative
+/// grid, points execute on the pool (DPMA_JOBS) and the composed streaming
+/// state space is built once and rate-patched per point.
+///
 /// Paper shapes to observe:
 ///  * the DPM impact grows with the awake period;
 ///  * energy per frame falls steeply up to ~100 ms, then flattens
@@ -11,32 +15,46 @@
 ///    (client-buffer pressure vs AP-buffer pressure);
 ///  * around 50 ms: large energy saving at negligible quality cost.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "exp/runner.hpp"
 
 int main() {
     using namespace dpma::bench;
+    namespace exp = dpma::exp;
     std::printf("== Fig. 4: streaming Markovian model, DPM vs NO-DPM ==\n");
 
-    const StreamingPoint base = streaming_markov_point(100.0, false);
+    const std::vector<double> periods = {0.0,   10.0,  25.0,  50.0,  75.0,
+                                         100.0, 150.0, 200.0, 300.0, 400.0,
+                                         500.0, 600.0, 700.0, 800.0};
+
+    const auto started = std::chrono::steady_clock::now();
+    exp::RunOptions options;
+    const exp::ResultSet no_dpm =
+        exp::run(streaming_markov_experiment({100.0}, false), options);
+    const exp::ResultSet sweep =
+        exp::run(streaming_markov_experiment(periods, true), options);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+
+    const StreamingPoint base = streaming_point_from(no_dpm.at(0).result.values, {});
     std::printf("NO-DPM baseline: energy/frame=%.2f loss=%.4f miss=%.4f quality=%.4f\n",
                 base.energy_per_frame, base.loss, base.miss, base.quality);
 
     Table table("streaming / Markov: sweep of the PSP awake period",
                 {"awake_ms", "epf_dpm", "epf_nodpm", "loss_dpm", "loss_nodpm",
                  "miss_dpm", "miss_nodpm", "qual_dpm", "qual_nodpm"});
-    for (const double period : {0.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0,
-                                300.0, 400.0, 500.0, 600.0, 700.0, 800.0}) {
-        const StreamingPoint dpm = streaming_markov_point(period, true);
-        table.add_row({period, dpm.energy_per_frame, base.energy_per_frame, dpm.loss,
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const StreamingPoint dpm = streaming_point_from(sweep.at(i).result.values, {});
+        table.add_row({periods[i], dpm.energy_per_frame, base.energy_per_frame, dpm.loss,
                        base.loss, dpm.miss, base.miss, dpm.quality, base.quality});
     }
     table.print();
 
-    const StreamingPoint p50 = streaming_markov_point(50.0, true);
-    const StreamingPoint p100 = streaming_markov_point(100.0, true);
-    const StreamingPoint p200 = streaming_markov_point(200.0, true);
+    const StreamingPoint p50 = streaming_point_from(sweep.at(3).result.values, {});
+    const StreamingPoint p100 = streaming_point_from(sweep.at(5).result.values, {});
+    const StreamingPoint p200 = streaming_point_from(sweep.at(7).result.values, {});
     std::printf(
         "\nsummary: awake=50ms saves %.0f%% energy/frame at %.3f quality drop; "
         "100->200ms adds only %.0f%% more saving but drops quality by %.3f\n",
@@ -45,5 +63,11 @@ int main() {
         100.0 * (p100.energy_per_frame - p200.energy_per_frame) /
             base.energy_per_frame,
         p100.quality - p200.quality);
+
+    const exp::ModelCache::Stats stats = figure_cache().stats();
+    std::printf("engine: %zu points, jobs=%zu, cache hits=%llu misses=%llu, %.3fs\n",
+                sweep.size() + no_dpm.size(), exp::default_jobs(),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), elapsed.count());
     return 0;
 }

@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
 #include "core/text.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/reward.hpp"
 #include "ctmc/solve.hpp"
+#include "exp/pool.hpp"
+#include "exp/runner.hpp"
 #include "sim/gsmp.hpp"
 
 namespace dpma::bench {
 namespace {
+
+/// Reference rate point the cached sweep skeletons are composed at; any
+/// strictly positive value works, each point overwrites the rate anyway.
+constexpr double kSkeletonTimeout = 1.0;
 
 /// Replaces every exponential rate of the composed graph by an explicitly
 /// general exponential distribution: the Fig. 5 cross-validation runs the
@@ -26,44 +31,6 @@ void exponentialize(adl::ComposedModel& model) {
             }
         }
     }
-}
-
-RpcPoint derive_rpc(const std::vector<double>& values,
-                    const std::vector<double>& half_widths) {
-    RpcPoint point;
-    point.throughput = values[models::rpc::kThroughput];
-    point.energy_rate = values[models::rpc::kEnergyRate];
-    if (point.throughput > 0.0) {
-        point.waiting_per_request = values[models::rpc::kWaitingProb] / point.throughput;
-        point.energy_per_request = point.energy_rate / point.throughput;
-    }
-    if (!half_widths.empty()) {
-        point.throughput_hw = half_widths[models::rpc::kThroughput];
-        point.energy_rate_hw = half_widths[models::rpc::kEnergyRate];
-    }
-    return point;
-}
-
-StreamingPoint derive_streaming(const std::vector<double>& values,
-                                const std::vector<double>& half_widths) {
-    namespace ms = models::streaming;
-    StreamingPoint point;
-    const double fetches = values[ms::kMiss] + values[ms::kHits];
-    if (values[ms::kFramesReceived] > 0.0) {
-        point.energy_per_frame = values[ms::kEnergyRate] / values[ms::kFramesReceived];
-        if (!half_widths.empty()) {
-            point.energy_per_frame_hw =
-                half_widths[ms::kEnergyRate] / values[ms::kFramesReceived];
-        }
-    }
-    if (values[ms::kGenerated] > 0.0) {
-        point.loss = (values[ms::kApLoss] + values[ms::kBLoss]) / values[ms::kGenerated];
-    }
-    if (fetches > 0.0) {
-        point.miss = values[ms::kMiss] / fetches;
-        point.quality = values[ms::kHits] / fetches;
-    }
-    return point;
 }
 
 std::vector<double> solve_measures(const adl::ComposedModel& model,
@@ -102,14 +69,60 @@ SimulatedValues simulate_measures(const adl::ComposedModel& model,
     return out;
 }
 
+std::vector<std::string> measure_names(const std::vector<adl::Measure>& measures) {
+    std::vector<std::string> names;
+    names.reserve(measures.size());
+    for (const adl::Measure& m : measures) names.push_back(m.name);
+    return names;
+}
+
+std::string point_key(const char* family, bool dpm, double value) {
+    return std::string(family) + (dpm ? "/dpm/" : "/nodpm/") + format_fixed(value, 6);
+}
+
+/// Composed rpc model for one sweep point, via the cached skeleton when the
+/// timeout only changes a rate (timeout > 0 with DPM) and from scratch —
+/// also cached — when it changes the structure (immediate shutdown) or when
+/// the family ignores it (NO-DPM).
+std::shared_ptr<const adl::ComposedModel> rpc_point_model(bool general, bool dpm,
+                                                          double timeout) {
+    const char* family = general ? "rpc/general" : "rpc/markov";
+    const std::string key =
+        dpm ? point_key(family, true, timeout) : std::string(family) + "/nodpm";
+    return figure_cache().composed(key, [&] {
+        const auto config = general ? models::rpc::general(timeout, dpm)
+                                    : models::rpc::markovian(timeout, dpm);
+        if (!dpm || timeout <= 0.0) return models::rpc::compose(config);
+        const auto skeleton = figure_cache().composed(
+            std::string(family) + "/skeleton", [&] {
+                return models::rpc::compose(general
+                                                ? models::rpc::general(kSkeletonTimeout, true)
+                                                : models::rpc::markovian(kSkeletonTimeout, true));
+            });
+        return general ? exp::with_dist(*skeleton, "DPM", "send_shutdown",
+                                        Dist::deterministic(timeout))
+                       : exp::with_exp_rate(*skeleton, "DPM", "send_shutdown",
+                                            1.0 / timeout);
+    });
+}
+
+exp::PointResult solve_cached(const std::shared_ptr<const adl::ComposedModel>& model,
+                              const std::string& key,
+                              const std::vector<adl::Measure>& measures) {
+    const auto markov =
+        figure_cache().markov(key, [&] { return ctmc::build_markov(*model); });
+    const std::vector<double> pi = ctmc::steady_state(markov->chain);
+    exp::PointResult result;
+    result.values.reserve(measures.size());
+    for (const adl::Measure& m : measures) {
+        result.values.push_back(ctmc::evaluate_measure(*markov, *model, pi, m));
+    }
+    return result;
+}
+
 }  // namespace
 
-double effort_scale() {
-    const char* env = std::getenv("DPMA_BENCH_SCALE");
-    if (env == nullptr) return 1.0;
-    const double value = std::strtod(env, nullptr);
-    return value > 0.0 ? value : 1.0;
-}
+double effort_scale() { return exp::env_positive_double("DPMA_BENCH_SCALE", 1.0); }
 
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
@@ -137,10 +150,70 @@ void Table::print() const {
     std::fflush(stdout);
 }
 
+Table table_from(const exp::ResultSet& results) {
+    std::vector<std::string> columns = results.params();
+    for (const std::string& m : results.measures()) columns.push_back(m);
+    Table table(results.name(), std::move(columns));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const exp::PointRecord& record = results.at(i);
+        std::vector<double> row;
+        for (const auto& [axis, value] : record.point.coords) {
+            (void)axis;
+            row.push_back(value);
+        }
+        for (const double v : record.result.values) row.push_back(v);
+        table.add_row(row);
+    }
+    return table;
+}
+
+exp::ModelCache& figure_cache() {
+    static exp::ModelCache cache;
+    return cache;
+}
+
+RpcPoint rpc_point_from(const std::vector<double>& values,
+                        const std::vector<double>& half_widths) {
+    RpcPoint point;
+    point.throughput = values[models::rpc::kThroughput];
+    point.energy_rate = values[models::rpc::kEnergyRate];
+    if (point.throughput > 0.0) {
+        point.waiting_per_request = values[models::rpc::kWaitingProb] / point.throughput;
+        point.energy_per_request = point.energy_rate / point.throughput;
+    }
+    if (!half_widths.empty()) {
+        point.throughput_hw = half_widths[models::rpc::kThroughput];
+        point.energy_rate_hw = half_widths[models::rpc::kEnergyRate];
+    }
+    return point;
+}
+
+StreamingPoint streaming_point_from(const std::vector<double>& values,
+                                    const std::vector<double>& half_widths) {
+    namespace ms = models::streaming;
+    StreamingPoint point;
+    const double fetches = values[ms::kMiss] + values[ms::kHits];
+    if (values[ms::kFramesReceived] > 0.0) {
+        point.energy_per_frame = values[ms::kEnergyRate] / values[ms::kFramesReceived];
+        if (!half_widths.empty()) {
+            point.energy_per_frame_hw =
+                half_widths[ms::kEnergyRate] / values[ms::kFramesReceived];
+        }
+    }
+    if (values[ms::kGenerated] > 0.0) {
+        point.loss = (values[ms::kApLoss] + values[ms::kBLoss]) / values[ms::kGenerated];
+    }
+    if (fetches > 0.0) {
+        point.miss = values[ms::kMiss] / fetches;
+        point.quality = values[ms::kHits] / fetches;
+    }
+    return point;
+}
+
 RpcPoint rpc_markov_point(double shutdown_timeout, bool dpm) {
     const adl::ComposedModel model =
         models::rpc::compose(models::rpc::markovian(shutdown_timeout, dpm));
-    return derive_rpc(solve_measures(model, models::rpc::measures()), {});
+    return rpc_point_from(solve_measures(model, models::rpc::measures()), {});
 }
 
 RpcPoint rpc_general_point(double shutdown_timeout, bool dpm, int replications,
@@ -149,7 +222,7 @@ RpcPoint rpc_general_point(double shutdown_timeout, bool dpm, int replications,
         models::rpc::compose(models::rpc::general(shutdown_timeout, dpm));
     const SimulatedValues sim = simulate_measures(
         model, models::rpc::measures(), replications, 500.0, horizon, seed);
-    return derive_rpc(sim.means, sim.half_widths);
+    return rpc_point_from(sim.means, sim.half_widths);
 }
 
 RpcPoint rpc_general_exp_point(double shutdown_timeout, bool dpm, int replications,
@@ -159,13 +232,13 @@ RpcPoint rpc_general_exp_point(double shutdown_timeout, bool dpm, int replicatio
     exponentialize(model);
     const SimulatedValues sim = simulate_measures(
         model, models::rpc::measures(), replications, 500.0, horizon, seed);
-    return derive_rpc(sim.means, sim.half_widths);
+    return rpc_point_from(sim.means, sim.half_widths);
 }
 
 StreamingPoint streaming_markov_point(double awake_period, bool dpm) {
     const adl::ComposedModel model =
         models::streaming::compose(models::streaming::markovian(awake_period, dpm));
-    return derive_streaming(solve_measures(model, models::streaming::measures()), {});
+    return streaming_point_from(solve_measures(model, models::streaming::measures()), {});
 }
 
 StreamingPoint streaming_general_point(double awake_period, bool dpm, int replications,
@@ -174,7 +247,75 @@ StreamingPoint streaming_general_point(double awake_period, bool dpm, int replic
         models::streaming::compose(models::streaming::general(awake_period, dpm));
     const SimulatedValues sim = simulate_measures(
         model, models::streaming::measures(), replications, 3000.0, horizon, seed);
-    return derive_streaming(sim.means, sim.half_widths);
+    return streaming_point_from(sim.means, sim.half_widths);
+}
+
+exp::Experiment rpc_markov_experiment(std::vector<double> timeouts, bool dpm) {
+    exp::Experiment experiment;
+    experiment.name = dpm ? "fig3_rpc_markov_dpm" : "fig3_rpc_markov_nodpm";
+    experiment.grid.axis(exp::Axis::list("timeout_ms", std::move(timeouts)));
+    experiment.measures = measure_names(models::rpc::measures());
+    experiment.eval = [dpm](const exp::Point& point, const exp::PointContext&) {
+        const double timeout = point.at("timeout_ms");
+        const auto model = rpc_point_model(false, dpm, timeout);
+        const std::string key =
+            dpm ? point_key("rpc/markov", true, timeout) : "rpc/markov/nodpm";
+        return solve_cached(model, key, models::rpc::measures());
+    };
+    return experiment;
+}
+
+exp::Experiment rpc_general_experiment(std::vector<double> timeouts, bool dpm,
+                                       int replications, double horizon) {
+    exp::Experiment experiment;
+    experiment.name = dpm ? "fig3_rpc_general_dpm" : "fig3_rpc_general_nodpm";
+    experiment.grid.axis(exp::Axis::list("timeout_ms", std::move(timeouts)));
+    experiment.measures = measure_names(models::rpc::measures());
+    experiment.eval = [dpm, replications, horizon](const exp::Point& point,
+                                                   const exp::PointContext& context) {
+        const double timeout = point.at("timeout_ms");
+        const auto model = rpc_point_model(true, dpm, timeout);
+        const sim::Simulator simulator(*model, models::rpc::measures());
+        sim::SimOptions options;
+        options.warmup = 500.0;
+        options.horizon = horizon * effort_scale();
+        options.seed = context.seed();
+        const auto estimates = exp::simulate_replications(simulator, options,
+                                                          replications, 0.90,
+                                                          *context.pool);
+        exp::PointResult result;
+        for (const sim::Estimate& e : estimates) {
+            result.values.push_back(e.mean);
+            result.half_widths.push_back(e.half_width);
+        }
+        return result;
+    };
+    return experiment;
+}
+
+exp::Experiment streaming_markov_experiment(std::vector<double> periods, bool dpm) {
+    exp::Experiment experiment;
+    experiment.name = dpm ? "fig4_streaming_markov_dpm" : "fig4_streaming_markov_nodpm";
+    experiment.grid.axis(exp::Axis::list("awake_ms", std::move(periods)));
+    experiment.measures = measure_names(models::streaming::measures());
+    experiment.eval = [dpm](const exp::Point& point, const exp::PointContext&) {
+        const double period = point.at("awake_ms");
+        const std::string key =
+            dpm ? point_key("streaming/markov", true, period) : "streaming/markov/nodpm";
+        const auto model = figure_cache().composed(key, [&] {
+            if (!dpm || period <= 0.0) {
+                return models::streaming::compose(models::streaming::markovian(period, dpm));
+            }
+            const auto skeleton =
+                figure_cache().composed("streaming/markov/skeleton", [] {
+                    return models::streaming::compose(
+                        models::streaming::markovian(kSkeletonTimeout, true));
+                });
+            return exp::with_exp_rate(*skeleton, "DPM", "send_wakeup", 1.0 / period);
+        });
+        return solve_cached(model, key, models::streaming::measures());
+    };
+    return experiment;
 }
 
 }  // namespace dpma::bench

@@ -6,10 +6,20 @@
 /// the paper plots.  Absolute numbers differ from the paper's testbed; the
 /// *shapes* (who wins, by what factor, where crossovers fall) are the
 /// reproduction target — see EXPERIMENTS.md.
+///
+/// The sweeps themselves run on the experiment engine (src/exp): the
+/// *_experiment() builders below describe each figure's parameter grid
+/// declaratively; exp::run() executes the points over a thread pool
+/// (DPMA_JOBS) and figure_cache() amortises model composition across the
+/// sweep — rate points patch a cached skeleton instead of re-exploring the
+/// state space.
 
 #include <string>
 #include <vector>
 
+#include "exp/cache.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
 #include "models/rpc.hpp"
 #include "models/streaming.hpp"
 
@@ -17,6 +27,8 @@ namespace dpma::bench {
 
 /// Scale factor for simulation effort, from DPMA_BENCH_SCALE (default 1.0).
 /// CI environments can pass 0.2 for quick smoke runs; 5 gives tighter CIs.
+/// Values that do not parse completely as a number > 0 are rejected with a
+/// stderr warning and fall back to 1.0.
 [[nodiscard]] double effort_scale();
 
 /// Simple fixed-width table printer (markdown-ish, one row per sweep point).
@@ -33,6 +45,15 @@ private:
     std::vector<std::vector<double>> rows_;
 };
 
+/// ResultSet -> Table sink: params then measures as columns, one row per
+/// sweep point (the bench_fig* binaries compose fancier tables by hand, but
+/// any engine result can be dumped this way).
+[[nodiscard]] Table table_from(const exp::ResultSet& results);
+
+/// Process-wide model cache shared by the figure benches; prints hit/miss
+/// via exp::ModelCache::stats().
+[[nodiscard]] exp::ModelCache& figure_cache();
+
 /// One point of the rpc performance comparison (Fig. 3): derived per-request
 /// quantities as plotted by the paper.
 struct RpcPoint {
@@ -44,6 +65,11 @@ struct RpcPoint {
     double throughput_hw = 0.0;
     double energy_rate_hw = 0.0;
 };
+
+/// Derives the paper's per-request quantities from the raw measure values
+/// (indexed by models::rpc::MeasureIndex); half_widths may be empty.
+[[nodiscard]] RpcPoint rpc_point_from(const std::vector<double>& values,
+                                      const std::vector<double>& half_widths);
 
 [[nodiscard]] RpcPoint rpc_markov_point(double shutdown_timeout, bool dpm);
 [[nodiscard]] RpcPoint rpc_general_point(double shutdown_timeout, bool dpm,
@@ -65,9 +91,40 @@ struct StreamingPoint {
     double energy_per_frame_hw = 0.0;
 };
 
+/// Derives the four metrics from the raw measure values (indexed by
+/// models::streaming::MeasureIndex); half_widths may be empty.
+[[nodiscard]] StreamingPoint streaming_point_from(const std::vector<double>& values,
+                                                  const std::vector<double>& half_widths);
+
 [[nodiscard]] StreamingPoint streaming_markov_point(double awake_period, bool dpm);
 [[nodiscard]] StreamingPoint streaming_general_point(double awake_period, bool dpm,
                                                      int replications, double horizon,
                                                      std::uint64_t seed);
+
+// Engine-based figure sweeps.  Each experiment's measures are the raw
+// measure names of the model family (models::rpc::measures() /
+// models::streaming::measures()); use rpc_point_from / streaming_point_from
+// on a record's values to recover the plotted quantities.  All three cache
+// the composed state space in figure_cache() and patch the swept rate per
+// point (timeout <= 0 changes the structure — the shutdown becomes
+// immediate — so those points compose from scratch, once, and are cached
+// too).
+
+/// Fig. 3 left: analytic sweep of the Markovian rpc model over axis
+/// "timeout_ms".
+[[nodiscard]] exp::Experiment rpc_markov_experiment(std::vector<double> timeouts,
+                                                    bool dpm);
+
+/// Fig. 3 right: simulated sweep of the general rpc model over axis
+/// "timeout_ms"; per-point seeds come from the runner's (base_seed,
+/// point_index) split and replications fan out on the sweep's pool.
+[[nodiscard]] exp::Experiment rpc_general_experiment(std::vector<double> timeouts,
+                                                     bool dpm, int replications,
+                                                     double horizon);
+
+/// Fig. 4: analytic sweep of the Markovian streaming model over axis
+/// "awake_ms".
+[[nodiscard]] exp::Experiment streaming_markov_experiment(std::vector<double> periods,
+                                                          bool dpm);
 
 }  // namespace dpma::bench

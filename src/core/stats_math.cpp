@@ -45,10 +45,22 @@ double beta_continued_fraction(double a, double b, double x) {
     return h;
 }
 
+/// std::lgamma stores the sign in the global `signgam` on glibc, a data race
+/// when replications estimate confidence intervals concurrently; lgamma_r
+/// keeps the sign local.  The argument is always positive here anyway.
+double log_gamma(double x) {
+#if defined(__GLIBC__)
+    int sign = 0;
+    return lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
 double incomplete_beta(double a, double b, double x) {
     if (x <= 0.0) return 0.0;
     if (x >= 1.0) return 1.0;
-    const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+    const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
                             a * std::log(x) + b * std::log1p(-x);
     const double front = std::exp(ln_front);
     if (x < (a + 1.0) / (a + b + 2.0)) {

@@ -1,0 +1,108 @@
+#include "exp/cache.hpp"
+
+#include <variant>
+
+#include "adl/measure.hpp"
+#include "core/error.hpp"
+
+namespace dpma::exp {
+namespace {
+
+/// Shared patching skeleton: copies the model and hands every transition
+/// whose label matches instance.action to \p patch.
+template <typename PatchFn>
+adl::ComposedModel patch_matching(const adl::ComposedModel& model,
+                                  const std::string& instance,
+                                  const std::string& action, PatchFn patch) {
+    const std::vector<char> labels = adl::action_mask(
+        model, adl::EnabledPredicate{instance, action});
+    adl::ComposedModel copy = model;
+    std::size_t patched = 0;
+    for (lts::StateId s = 0; s < copy.graph.num_states(); ++s) {
+        const auto out = copy.graph.out(s);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+            if (!labels[out[k].action]) continue;
+            patch(copy, s, k, out[k]);
+            ++patched;
+        }
+    }
+    if (patched == 0) {
+        throw ModelError("no transition matches " + instance + "." + action);
+    }
+    return copy;
+}
+
+}  // namespace
+
+std::shared_ptr<const adl::ComposedModel> ModelCache::composed(
+    const std::string& key, const std::function<adl::ComposedModel()>& build) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (const auto it = composed_.find(key); it != composed_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    auto model = std::make_shared<const adl::ComposedModel>(build());
+    composed_.emplace(key, model);
+    return model;
+}
+
+std::shared_ptr<const ctmc::MarkovModel> ModelCache::markov(
+    const std::string& key, const std::function<ctmc::MarkovModel()>& build) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (const auto it = markov_.find(key); it != markov_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+    auto markov = std::make_shared<const ctmc::MarkovModel>(build());
+    markov_.emplace(key, markov);
+    return markov;
+}
+
+ModelCache::Stats ModelCache::stats() const {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return stats_;
+}
+
+void ModelCache::clear() {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    composed_.clear();
+    markov_.clear();
+    stats_ = {};
+}
+
+adl::ComposedModel with_exp_rate(const adl::ComposedModel& model,
+                                 const std::string& instance,
+                                 const std::string& action, double rate) {
+    DPMA_REQUIRE(rate > 0.0, "exponential rate must be > 0");
+    return patch_matching(
+        model, instance, action,
+        [&](adl::ComposedModel& copy, lts::StateId s, std::size_t k,
+            const lts::Transition& t) {
+            if (!std::holds_alternative<lts::RateExp>(t.rate)) {
+                throw ModelError("transition " +
+                                 copy.graph.actions()->name(t.action) +
+                                 " is not exponential; cannot patch its rate");
+            }
+            copy.graph.set_rate(s, k, lts::RateExp{rate});
+        });
+}
+
+adl::ComposedModel with_dist(const adl::ComposedModel& model,
+                             const std::string& instance, const std::string& action,
+                             const Dist& dist) {
+    return patch_matching(
+        model, instance, action,
+        [&](adl::ComposedModel& copy, lts::StateId s, std::size_t k,
+            const lts::Transition& t) {
+            if (!std::holds_alternative<lts::RateGeneral>(t.rate)) {
+                throw ModelError("transition " +
+                                 copy.graph.actions()->name(t.action) +
+                                 " has no general distribution; cannot patch it");
+            }
+            copy.graph.set_rate(s, k, lts::RateGeneral{dist});
+        });
+}
+
+}  // namespace dpma::exp

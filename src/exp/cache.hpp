@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file cache.hpp
+/// Memoization over the expensive invariants of a parameter sweep.
+///
+/// Sweeping a DPM operation rate re-solves the *same* state space at every
+/// point: composing the architectural description (a BFS over the global
+/// state space) and eliminating vanishing states do not depend on the value
+/// of an exponential rate, only on the model's structure.  Following the
+/// amortization idea of parametric model checking (Fang et al., fast
+/// parametric model checking through model fragmentation), the cache keeps
+///
+///  * composed LTSs / reachable state spaces, and
+///  * extracted CTMC skeletons (vanishing elimination, lumping inputs)
+///
+/// keyed by a caller-chosen content key, so a sweep composes its family once
+/// and each point only patches rates and re-solves.  Hit/miss counters feed
+/// the bench tables.
+///
+/// Thread safety: all methods may be called concurrently from pool workers.
+/// Builds run under the cache lock (a concurrent request for the same key
+/// must not build twice); the lock is recursive so a markov() builder may
+/// call composed() on the same cache.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "adl/compose.hpp"
+#include "core/dist.hpp"
+#include "ctmc/ctmc.hpp"
+
+namespace dpma::exp {
+
+class ModelCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /// The composed model stored under \p key, calling \p build on a miss.
+    [[nodiscard]] std::shared_ptr<const adl::ComposedModel> composed(
+        const std::string& key, const std::function<adl::ComposedModel()>& build);
+
+    /// The extracted CTMC stored under \p key, calling \p build on a miss.
+    [[nodiscard]] std::shared_ptr<const ctmc::MarkovModel> markov(
+        const std::string& key, const std::function<ctmc::MarkovModel()>& build);
+
+    [[nodiscard]] Stats stats() const;
+    void clear();
+
+private:
+    mutable std::recursive_mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const adl::ComposedModel>> composed_;
+    std::unordered_map<std::string, std::shared_ptr<const ctmc::MarkovModel>> markov_;
+    Stats stats_;
+};
+
+/// Copy of \p model with the exponential rate of every transition whose
+/// label involves instance.action (either side of a synchronised label, as
+/// in measure ENABLED predicates) replaced by \p rate.  The reachable state
+/// space is unchanged — an exponential transition is enabled whatever its
+/// rate — which is what lets a sweep patch a cached skeleton instead of
+/// recomposing.  Throws ModelError when nothing matches or a matching
+/// transition is not exponential (patching an immediate or deterministic
+/// transition could change the structure, so it is refused).
+[[nodiscard]] adl::ComposedModel with_exp_rate(const adl::ComposedModel& model,
+                                               const std::string& instance,
+                                               const std::string& action, double rate);
+
+/// General-phase counterpart: replaces the general distribution of every
+/// matching transition by \p dist.  Same matching and error rules; matches
+/// must carry a general distribution already.
+[[nodiscard]] adl::ComposedModel with_dist(const adl::ComposedModel& model,
+                                           const std::string& instance,
+                                           const std::string& action, const Dist& dist);
+
+}  // namespace dpma::exp

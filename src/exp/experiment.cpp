@@ -1,0 +1,91 @@
+#include "exp/experiment.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "sim/rng.hpp"
+
+namespace dpma::exp {
+
+Axis Axis::list(std::string name, std::vector<double> values) {
+    DPMA_REQUIRE(!values.empty(), "axis '" + name + "' needs at least one value");
+    return Axis{std::move(name), std::move(values)};
+}
+
+Axis Axis::linspace(std::string name, double lo, double hi, std::size_t steps) {
+    DPMA_REQUIRE(steps >= 1, "axis '" + name + "' needs at least one step");
+    std::vector<double> values;
+    values.reserve(steps);
+    if (steps == 1) {
+        values.push_back(lo);
+    } else {
+        const double step = (hi - lo) / static_cast<double>(steps - 1);
+        for (std::size_t i = 0; i < steps; ++i) {
+            values.push_back(i + 1 == steps ? hi : lo + step * static_cast<double>(i));
+        }
+    }
+    return Axis{std::move(name), std::move(values)};
+}
+
+Axis Axis::logspace(std::string name, double lo, double hi, std::size_t steps) {
+    DPMA_REQUIRE(lo > 0.0 && hi > 0.0, "axis '" + name + "' needs positive bounds");
+    Axis axis = linspace(std::move(name), std::log(lo), std::log(hi), steps);
+    for (double& v : axis.values) v = std::exp(v);
+    if (steps > 1) axis.values.back() = hi;  // exact despite exp(log(.)) rounding
+    return axis;
+}
+
+Axis Axis::toggle(std::string name) { return Axis{std::move(name), {0.0, 1.0}}; }
+
+double Point::at(std::string_view name) const {
+    for (const auto& [axis, value] : coords) {
+        if (axis == name) return value;
+    }
+    throw Error("sweep point has no axis named '" + std::string(name) + "'");
+}
+
+bool Point::flag(std::string_view name) const { return at(name) != 0.0; }
+
+Grid& Grid::axis(Axis axis) {
+    DPMA_REQUIRE(!axis.values.empty(), "axis '" + axis.name + "' has no values");
+    for (const Axis& existing : axes_) {
+        DPMA_REQUIRE(existing.name != axis.name,
+                     "duplicate axis name '" + axis.name + "'");
+    }
+    axes_.push_back(std::move(axis));
+    return *this;
+}
+
+std::size_t Grid::size() const {
+    std::size_t product = 1;
+    for (const Axis& axis : axes_) product *= axis.values.size();
+    return product;
+}
+
+std::vector<std::string> Grid::names() const {
+    std::vector<std::string> names;
+    names.reserve(axes_.size());
+    for (const Axis& axis : axes_) names.push_back(axis.name);
+    return names;
+}
+
+Point Grid::point(std::size_t index) const {
+    DPMA_REQUIRE(index < size(), "grid point index out of range");
+    Point point;
+    point.index = index;
+    point.coords.resize(axes_.size());
+    // Last axis fastest: peel radices from the back.
+    std::size_t rest = index;
+    for (std::size_t k = axes_.size(); k-- > 0;) {
+        const Axis& axis = axes_[k];
+        point.coords[k] = {axis.name, axis.values[rest % axis.values.size()]};
+        rest /= axis.values.size();
+    }
+    return point;
+}
+
+std::uint64_t PointContext::seed() const {
+    return sim::Rng::derive_seed(base_seed, static_cast<std::uint64_t>(point_index));
+}
+
+}  // namespace dpma::exp

@@ -1,0 +1,64 @@
+#include "exp/runner.hpp"
+
+#include "core/error.hpp"
+#include "core/stats_math.hpp"
+#include "sim/rng.hpp"
+
+namespace dpma::exp {
+
+ResultSet run(const Experiment& experiment, const RunOptions& options) {
+    DPMA_REQUIRE(static_cast<bool>(experiment.eval),
+                 "experiment '" + experiment.name + "' has no eval function");
+    // When the caller supplies a pool, the local one stays thread-less.
+    ThreadPool local(options.pool != nullptr ? 1 : options.jobs);
+    ThreadPool& pool = options.pool != nullptr ? *options.pool : local;
+
+    const std::size_t count = experiment.grid.size();
+    std::vector<Point> points(count);
+    std::vector<PointResult> results(count);
+    pool.run(count, [&](std::size_t i) {
+        points[i] = experiment.grid.point(i);
+        PointContext context;
+        context.base_seed = options.base_seed;
+        context.point_index = i;
+        context.pool = &pool;
+        results[i] = experiment.eval(points[i], context);
+    });
+
+    ResultSet set(experiment.name, experiment.grid.names(), experiment.measures);
+    for (std::size_t i = 0; i < count; ++i) {
+        set.add(std::move(points[i]), std::move(results[i]));
+    }
+    return set;
+}
+
+std::vector<sim::Estimate> simulate_replications(const sim::Simulator& simulator,
+                                                 const sim::SimOptions& options,
+                                                 int replications, double confidence,
+                                                 ThreadPool& pool) {
+    DPMA_REQUIRE(replications >= 1, "need at least one replication");
+    const std::size_t num_measures = simulator.measures().size();
+    const auto count = static_cast<std::size_t>(replications);
+
+    std::vector<std::vector<double>> samples(count);
+    pool.run(count, [&](std::size_t r) {
+        sim::SimOptions rep = options;
+        rep.seed = sim::Rng::derive_seed(options.seed, static_cast<std::uint64_t>(r));
+        samples[r] = simulator.run(rep).values;
+    });
+
+    // Assemble in replication order: the samples vectors, and therefore the
+    // means and half-widths, match sim::simulate_replications bit for bit.
+    std::vector<sim::Estimate> estimates(num_measures);
+    for (std::size_t m = 0; m < num_measures; ++m) {
+        estimates[m].samples.reserve(count);
+        for (std::size_t r = 0; r < count; ++r) {
+            estimates[m].samples.push_back(samples[r][m]);
+        }
+        estimates[m].mean = mean_of(estimates[m].samples);
+        estimates[m].half_width = confidence_half_width(estimates[m].samples, confidence);
+    }
+    return estimates;
+}
+
+}  // namespace dpma::exp

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file runner.hpp
+/// Executes an Experiment over a ThreadPool.
+///
+/// Determinism contract: results are bit-identical for every jobs count.
+/// Each point writes into its own index slot, each point's seed is derived
+/// from (base_seed, point_index), and each replication's seed from
+/// (point seed, replication_index) — the same splitting the serial code
+/// paths use — so DPMA_JOBS=1 and DPMA_JOBS=N produce the same bytes.
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/pool.hpp"
+#include "exp/report.hpp"
+#include "sim/gsmp.hpp"
+
+namespace dpma::exp {
+
+struct RunOptions {
+    /// Total concurrency; 0 means DPMA_JOBS / hardware_concurrency (see
+    /// default_jobs()).  Ignored when an external pool is supplied.
+    std::size_t jobs = 0;
+    std::uint64_t base_seed = 1;
+    /// Execute on this pool instead of creating one (e.g. to share workers
+    /// between experiments).
+    ThreadPool* pool = nullptr;
+};
+
+/// Evaluates every grid point of \p experiment (in parallel when jobs > 1)
+/// and returns the records in grid order.
+[[nodiscard]] ResultSet run(const Experiment& experiment, const RunOptions& options = {});
+
+/// Replication-parallel counterpart of sim::simulate_replications: the same
+/// per-replication seeds, samples kept in replication order, so estimates
+/// (means, CI half-widths) are bit-identical to the serial function — only
+/// wall-clock changes.
+[[nodiscard]] std::vector<sim::Estimate> simulate_replications(
+    const sim::Simulator& simulator, const sim::SimOptions& options, int replications,
+    double confidence, ThreadPool& pool);
+
+}  // namespace dpma::exp

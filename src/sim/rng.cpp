@@ -64,4 +64,9 @@ std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t index) {
     return z ^ (z >> 31);
 }
 
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t point,
+                               std::uint64_t replication) {
+    return derive_seed(derive_seed(base, point), replication);
+}
+
 }  // namespace dpma::sim

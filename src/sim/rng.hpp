@@ -44,6 +44,14 @@ public:
     /// the base seed and the index).
     [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
 
+    /// Two-level split for parameter sweeps: the stream of replication
+    /// \p replication of sweep point \p point.  Equals
+    /// derive_seed(derive_seed(base, point), replication), i.e. exactly the
+    /// seed a serial sweep would hand that replication — the experiment
+    /// engine relies on this for jobs-count-independent results.
+    [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t base, std::uint64_t point,
+                                                   std::uint64_t replication);
+
 private:
     std::mt19937_64 engine_;
 };

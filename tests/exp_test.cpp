@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/error.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/reward.hpp"
+#include "ctmc/solve.hpp"
+#include "exp/cache.hpp"
+#include "exp/experiment.hpp"
+#include "exp/pool.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "models/rpc.hpp"
+#include "sim/gsmp.hpp"
+#include "sim/rng.hpp"
+
+namespace dpma::exp {
+namespace {
+
+TEST(Axis, LinspaceCoversBothEndpoints) {
+    const Axis axis = Axis::linspace("x", 2.0, 10.0, 5);
+    ASSERT_EQ(axis.values.size(), 5u);
+    EXPECT_DOUBLE_EQ(axis.values.front(), 2.0);
+    EXPECT_DOUBLE_EQ(axis.values[2], 6.0);
+    EXPECT_DOUBLE_EQ(axis.values.back(), 10.0);
+    EXPECT_EQ(Axis::linspace("x", 3.0, 9.0, 1).values,
+              std::vector<double>{3.0});
+}
+
+TEST(Axis, LogspaceIsGeometric) {
+    const Axis axis = Axis::logspace("x", 1.0, 100.0, 3);
+    ASSERT_EQ(axis.values.size(), 3u);
+    EXPECT_DOUBLE_EQ(axis.values.front(), 1.0);
+    EXPECT_NEAR(axis.values[1], 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(axis.values.back(), 100.0);
+}
+
+TEST(Grid, CartesianProductLastAxisFastest) {
+    Grid grid;
+    grid.axis(Axis::list("a", {1.0, 2.0, 3.0})).axis(Axis::toggle("dpm"));
+    EXPECT_EQ(grid.size(), 6u);
+    const Point p = grid.point(3);  // a=2, dpm=1
+    EXPECT_DOUBLE_EQ(p.at("a"), 2.0);
+    EXPECT_TRUE(p.flag("dpm"));
+    EXPECT_FALSE(grid.point(2).flag("dpm"));
+    EXPECT_THROW((void)p.at("nope"), Error);
+    EXPECT_THROW((void)grid.point(6), Error);
+}
+
+TEST(Grid, RejectsDuplicateAxisNames) {
+    Grid grid;
+    grid.axis(Axis::toggle("dpm"));
+    EXPECT_THROW(grid.axis(Axis::toggle("dpm")), Error);
+}
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    std::vector<std::atomic<int>> hits(997);
+    pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedRunDoesNotDeadlock) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.run(4, [&](std::size_t) {
+        pool.run(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, SingleJobRunsInCaller) {
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    pool.run(5, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPool, RethrowsTheFirstJobException) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.run(64,
+                          [&](std::size_t i) {
+                              if (i == 7) throw Error("boom");
+                          }),
+                 Error);
+}
+
+TEST(Env, DefaultJobsRejectsGarbage) {
+    unsetenv("DPMA_JOBS");
+    const std::size_t fallback = default_jobs();
+    EXPECT_GE(fallback, 1u);
+    setenv("DPMA_JOBS", "3", 1);
+    EXPECT_EQ(default_jobs(), 3u);
+    setenv("DPMA_JOBS", "garbage", 1);
+    EXPECT_EQ(default_jobs(), fallback);
+    setenv("DPMA_JOBS", "-2", 1);
+    EXPECT_EQ(default_jobs(), fallback);
+    setenv("DPMA_JOBS", "0", 1);
+    EXPECT_EQ(default_jobs(), fallback);
+    setenv("DPMA_JOBS", "2junk", 1);
+    EXPECT_EQ(default_jobs(), fallback);
+    unsetenv("DPMA_JOBS");
+}
+
+TEST(Env, PositiveDoubleRejectsPartialParses) {
+    unsetenv("DPMA_TEST_SCALE");
+    EXPECT_DOUBLE_EQ(env_positive_double("DPMA_TEST_SCALE", 1.5), 1.5);
+    setenv("DPMA_TEST_SCALE", "0.25", 1);
+    EXPECT_DOUBLE_EQ(env_positive_double("DPMA_TEST_SCALE", 1.5), 0.25);
+    setenv("DPMA_TEST_SCALE", "12abc", 1);
+    EXPECT_DOUBLE_EQ(env_positive_double("DPMA_TEST_SCALE", 1.5), 1.5);
+    setenv("DPMA_TEST_SCALE", "-3", 1);
+    EXPECT_DOUBLE_EQ(env_positive_double("DPMA_TEST_SCALE", 1.5), 1.5);
+    setenv("DPMA_TEST_SCALE", "0", 1);
+    EXPECT_DOUBLE_EQ(env_positive_double("DPMA_TEST_SCALE", 1.5), 1.5);
+    unsetenv("DPMA_TEST_SCALE");
+}
+
+TEST(Rng, ThreeLevelSeedSplitComposesTwoLevel) {
+    EXPECT_EQ(sim::Rng::derive_seed(9, 4, 7),
+              sim::Rng::derive_seed(sim::Rng::derive_seed(9, 4), 7));
+    EXPECT_NE(sim::Rng::derive_seed(9, 4, 7), sim::Rng::derive_seed(9, 7, 4));
+}
+
+TEST(Runner, AnalyticSweepBitIdenticalAcrossJobCounts) {
+    const std::vector<double> timeouts = {0.0, 2.0, 5.0, 10.0, 25.0};
+    RunOptions serial;
+    serial.jobs = 1;
+    RunOptions parallel;
+    parallel.jobs = 8;
+    const ResultSet a = run(bench::rpc_markov_experiment(timeouts, true), serial);
+    const ResultSet b = run(bench::rpc_markov_experiment(timeouts, true), parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).result.values, b.at(i).result.values) << "point " << i;
+    }
+}
+
+TEST(Runner, SimulationSweepBitIdenticalAcrossJobCounts) {
+    unsetenv("DPMA_BENCH_SCALE");
+    const std::vector<double> timeouts = {5.0, 11.3};
+    RunOptions serial;
+    serial.jobs = 1;
+    serial.base_seed = 42;
+    RunOptions parallel;
+    parallel.jobs = 8;
+    parallel.base_seed = 42;
+    const auto experiment = [&] {
+        return bench::rpc_general_experiment(timeouts, true, 4, 1500.0);
+    };
+    const ResultSet a = run(experiment(), serial);
+    const ResultSet b = run(experiment(), parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).result.values, b.at(i).result.values) << "point " << i;
+        EXPECT_EQ(a.at(i).result.half_widths, b.at(i).result.half_widths)
+            << "point " << i;
+    }
+}
+
+TEST(Runner, ParallelReplicationsMatchSerialBitForBit) {
+    unsetenv("DPMA_BENCH_SCALE");
+    const adl::ComposedModel model =
+        models::rpc::compose(models::rpc::general(5.0, true));
+    const sim::Simulator simulator(model, models::rpc::measures());
+    sim::SimOptions options;
+    options.warmup = 100.0;
+    options.horizon = 1000.0;
+    options.seed = 7;
+    const auto serial = sim::simulate_replications(simulator, options, 6, 0.90);
+    ThreadPool pool(4);
+    const auto parallel = simulate_replications(simulator, options, 6, 0.90, pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t m = 0; m < serial.size(); ++m) {
+        EXPECT_EQ(serial[m].samples, parallel[m].samples);
+        EXPECT_EQ(serial[m].mean, parallel[m].mean);
+        EXPECT_EQ(serial[m].half_width, parallel[m].half_width);
+    }
+}
+
+TEST(Cache, CountsHitsAndMissesAndSharesInstances) {
+    ModelCache cache;
+    const auto build = [] {
+        return models::rpc::compose(models::rpc::markovian(5.0, true));
+    };
+    const auto first = cache.composed("rpc", build);
+    const auto second = cache.composed("rpc", build);
+    EXPECT_EQ(first.get(), second.get());
+    const auto markov = cache.markov("rpc", [&] { return ctmc::build_markov(*first); });
+    (void)cache.markov("rpc", [&] { return ctmc::build_markov(*first); });
+    EXPECT_GT(markov->chain.num_states(), 0u);
+    const ModelCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 2u);
+    cache.clear();
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(Cache, PatchedSkeletonSolvesIdenticallyToFullCompose) {
+    const adl::ComposedModel skeleton =
+        models::rpc::compose(models::rpc::markovian(1.0, true));
+    const adl::ComposedModel patched =
+        with_exp_rate(skeleton, "DPM", "send_shutdown", 1.0 / 4.0);
+    const adl::ComposedModel direct =
+        models::rpc::compose(models::rpc::markovian(4.0, true));
+    ASSERT_EQ(patched.graph.num_states(), direct.graph.num_states());
+
+    const auto measures = models::rpc::measures();
+    const ctmc::MarkovModel mp = ctmc::build_markov(patched);
+    const ctmc::MarkovModel md = ctmc::build_markov(direct);
+    const auto pip = ctmc::steady_state(mp.chain);
+    const auto pid = ctmc::steady_state(md.chain);
+    for (const adl::Measure& m : measures) {
+        EXPECT_EQ(ctmc::evaluate_measure(mp, patched, pip, m),
+                  ctmc::evaluate_measure(md, direct, pid, m))
+            << m.name;
+    }
+}
+
+TEST(Cache, PatchRefusesMissingOrNonExponentialTargets) {
+    const adl::ComposedModel markov_model =
+        models::rpc::compose(models::rpc::markovian(5.0, true));
+    EXPECT_THROW((void)with_exp_rate(markov_model, "DPM", "no_such_action", 2.0),
+                 ModelError);
+    const adl::ComposedModel general_model =
+        models::rpc::compose(models::rpc::general(5.0, true));
+    // In the general model the shutdown is deterministic, not exponential.
+    EXPECT_THROW((void)with_exp_rate(general_model, "DPM", "send_shutdown", 2.0),
+                 ModelError);
+    EXPECT_THROW((void)with_dist(markov_model, "DPM", "send_shutdown",
+                                 Dist::deterministic(5.0)),
+                 ModelError);
+    // The legitimate patches succeed.
+    EXPECT_NO_THROW((void)with_dist(general_model, "DPM", "send_shutdown",
+                                    Dist::deterministic(7.0)));
+    EXPECT_NO_THROW((void)with_exp_rate(markov_model, "DPM", "send_shutdown", 2.0));
+}
+
+ResultSet demo_results() {
+    ResultSet set("demo", {"x", "dpm"}, {"tput", "energy"});
+    Point p0;
+    p0.index = 0;
+    p0.coords = {{"x", 1.5}, {"dpm", 1.0}};
+    set.add(p0, PointResult{{0.25, 3.0}, {0.01, 0.2}});
+    Point p1;
+    p1.index = 1;
+    p1.coords = {{"x", 2.5}, {"dpm", 0.0}};
+    set.add(p1, PointResult{{0.5, 2.0}, {}});
+    return set;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerPoint) {
+    const ResultSet set = demo_results();
+    const std::string csv = set.csv();
+    EXPECT_NE(csv.find("x,dpm,tput,tput_hw,energy,energy_hw\n"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_NE(csv.find("2.5,0,0.5,0,2,0"), std::string::npos);
+}
+
+TEST(Report, JsonHasTheDocumentedShape) {
+    const ResultSet set = demo_results();
+    const std::string json = set.json();
+    EXPECT_NE(json.find("\"experiment\": \"demo\""), std::string::npos);
+    EXPECT_NE(json.find("\"params\": [\"x\", \"dpm\"]"), std::string::npos);
+    EXPECT_NE(json.find("\"measures\": [\"tput\", \"energy\"]"), std::string::npos);
+    EXPECT_NE(json.find("\"points\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"values\": {\"tput\": 0.5, \"energy\": 2}"),
+              std::string::npos);
+    EXPECT_EQ(set.value(0, "energy"), 3.0);
+    EXPECT_EQ(set.half_width(1, "tput"), 0.0);
+    EXPECT_THROW((void)set.value(0, "nope"), Error);
+}
+
+TEST(Report, RejectsMisalignedResults) {
+    ResultSet set("demo", {"x"}, {"a", "b"});
+    Point p;
+    p.coords = {{"x", 1.0}};
+    EXPECT_THROW(set.add(p, PointResult{{1.0}, {}}), Error);
+    EXPECT_THROW(set.add(p, PointResult{{1.0, 2.0}, {0.1}}), Error);
+}
+
+TEST(Harness, TableFromResultSetPrints) {
+    const ResultSet set = demo_results();
+    bench::Table table = bench::table_from(set);
+    EXPECT_NO_THROW(table.print());
+}
+
+TEST(Harness, StreamingExperimentMatchesDirectPoint) {
+    const ResultSet sweep =
+        run(bench::streaming_markov_experiment({50.0}, true), RunOptions{});
+    const bench::StreamingPoint engine =
+        bench::streaming_point_from(sweep.at(0).result.values, {});
+    const bench::StreamingPoint direct = bench::streaming_markov_point(50.0, true);
+    EXPECT_EQ(engine.energy_per_frame, direct.energy_per_frame);
+    EXPECT_EQ(engine.loss, direct.loss);
+    EXPECT_EQ(engine.miss, direct.miss);
+    EXPECT_EQ(engine.quality, direct.quality);
+}
+
+TEST(Harness, RpcExperimentMatchesDirectPoint) {
+    const ResultSet sweep =
+        run(bench::rpc_markov_experiment({7.5}, true), RunOptions{});
+    const bench::RpcPoint engine = bench::rpc_point_from(sweep.at(0).result.values, {});
+    const bench::RpcPoint direct = bench::rpc_markov_point(7.5, true);
+    EXPECT_EQ(engine.throughput, direct.throughput);
+    EXPECT_EQ(engine.energy_per_request, direct.energy_per_request);
+    EXPECT_EQ(engine.waiting_per_request, direct.waiting_per_request);
+}
+
+}  // namespace
+}  // namespace dpma::exp

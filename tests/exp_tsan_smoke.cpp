@@ -1,0 +1,116 @@
+/// \file exp_tsan_smoke.cpp
+/// Plain-main determinism smoke for the experiment engine, designed to run
+/// under ThreadSanitizer (see DPMA_SANITIZE / DPMA_EXP_CORE_ONLY in the top
+/// CMakeLists and the exp_tsan_nested ctest entry).  It exercises the racy
+/// surface on purpose: a sweep fans points out over a pool and every point
+/// fans simulation replications out over the *same* pool (nested run()),
+/// all of them patching and reading shared cached models.  The program
+/// fails (exit 1) when a parallel sweep is not bit-identical to the serial
+/// one, so it doubles as a scheduler-independence check in plain builds.
+///
+/// Intentionally GTest-free: the sanitized nested build only compiles the
+/// engine's own libraries.
+
+#include <cstdio>
+#include <vector>
+
+#include "adl/compose.hpp"
+#include "adl/measure.hpp"
+#include "exp/cache.hpp"
+#include "exp/experiment.hpp"
+#include "exp/pool.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "models/builder.hpp"
+#include "sim/gsmp.hpp"
+
+namespace {
+
+using namespace dpma;
+
+/// A two-state exponential on/off cell: the smallest model with a
+/// patchable rate and a non-trivial steady state.
+adl::ArchiType cell_system() {
+    adl::ElemType cell;
+    cell.name = "Cell_Type";
+    cell.behaviors = {
+        adl::BehaviorDef{"On", {}, {models::alt({models::act("work", lts::RateExp{1.0})}, "Off")}},
+        adl::BehaviorDef{"Off", {}, {models::alt({models::act("rest", lts::RateExp{2.0})}, "On")}},
+    };
+    adl::ArchiType archi;
+    archi.name = "Smoke";
+    archi.elem_types = {cell};
+    archi.instances = {adl::Instance{"M", "Cell_Type", {}}};
+    return archi;
+}
+
+std::vector<adl::Measure> cell_measures() {
+    return {
+        adl::Measure{"busy", {adl::state_reward_in("M", "On", 1.0)}},
+        adl::Measure{"work_freq", {adl::trans_reward("M", "work", 1.0)}},
+    };
+}
+
+exp::Experiment sweep(exp::ModelCache& cache) {
+    exp::Experiment experiment;
+    experiment.name = "tsan_smoke";
+    experiment.grid.axis(exp::Axis::linspace("work_rate", 0.5, 4.0, 6));
+    experiment.measures = {"busy", "work_freq"};
+    experiment.eval = [&cache](const exp::Point& point,
+                               const exp::PointContext& context) {
+        const auto skeleton = cache.composed(
+            "cell", [] { return adl::compose(cell_system()); });
+        const adl::ComposedModel patched =
+            exp::with_exp_rate(*skeleton, "M", "work", point.at("work_rate"));
+        const sim::Simulator simulator(patched, cell_measures());
+        sim::SimOptions options;
+        options.warmup = 5.0;
+        options.horizon = 200.0;
+        options.seed = context.seed();
+        const std::vector<sim::Estimate> estimates = exp::simulate_replications(
+            simulator, options, 5, 0.90, *context.pool);
+        exp::PointResult result;
+        for (const sim::Estimate& e : estimates) {
+            result.values.push_back(e.mean);
+            result.half_widths.push_back(e.half_width);
+        }
+        return result;
+    };
+    return experiment;
+}
+
+}  // namespace
+
+int main() {
+    exp::ModelCache cache;
+    const exp::Experiment experiment = sweep(cache);
+
+    exp::RunOptions serial;
+    serial.jobs = 1;
+    serial.base_seed = 7;
+    exp::RunOptions parallel;
+    parallel.jobs = 4;
+    parallel.base_seed = 7;
+
+    const exp::ResultSet a = exp::run(experiment, serial);
+    const exp::ResultSet b = exp::run(experiment, parallel);
+
+    if (a.size() != b.size()) {
+        std::fprintf(stderr, "FAIL: %zu serial points vs %zu parallel\n", a.size(),
+                     b.size());
+        return 1;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a.at(i).result.values != b.at(i).result.values ||
+            a.at(i).result.half_widths != b.at(i).result.half_widths) {
+            std::fprintf(stderr, "FAIL: point %zu differs between jobs=1 and jobs=4\n",
+                         i);
+            return 1;
+        }
+    }
+    const exp::ModelCache::Stats stats = cache.stats();
+    std::printf("OK: %zu points bit-identical across jobs counts (cache %llu/%llu)\n",
+                a.size(), static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+    return 0;
+}

@@ -8,11 +8,21 @@
 ///   dpma_cli solve    model.aem measures.msr
 ///   dpma_cli simulate model.aem measures.msr [--horizon H] [--warmup W]
 ///                     [--reps N] [--seed S] [--confidence C]
+///   dpma_cli sweep    model.aem measures.msr --param I.action=lo:hi:steps
+///                     [--jobs N] [--json PATH|-] [--csv PATH|-]
 ///
 /// `check` runs the paper's noninterference analysis: --high lists the
 /// global action labels of the power-management commands (as printed by
 /// `info`), --low names the observing instance.  Exit status: 0 = check
 /// passed / command succeeded, 1 = check failed, 2 = usage or input error.
+///
+/// `sweep` solves the model at every point of a parameter range on the
+/// experiment engine (src/exp): the model is composed *once*, and each point
+/// patches the exponential rate of the transitions matching I.action (either
+/// side of a synchronised label, as in measure ENABLED predicates) before
+/// re-extracting and solving the CTMC — the state space is reused across the
+/// whole sweep.  Points run in parallel (--jobs, default DPMA_JOBS /
+/// hardware_concurrency); results are identical for every jobs count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +40,11 @@
 #include "ctmc/ctmc.hpp"
 #include "ctmc/reward.hpp"
 #include "ctmc/solve.hpp"
+#include "exp/cache.hpp"
+#include "exp/experiment.hpp"
+#include "exp/pool.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "lts/dot.hpp"
 #include "lts/ops.hpp"
 #include "noninterference/noninterference.hpp"
@@ -48,7 +63,10 @@ using namespace dpma;
                  "[--traces]\n"
                  "  dpma_cli solve    <model.aem> <measures.msr>\n"
                  "  dpma_cli simulate <model.aem> <measures.msr> [--horizon H] "
-                 "[--warmup W] [--reps N] [--seed S] [--confidence C]\n");
+                 "[--warmup W] [--reps N] [--seed S] [--confidence C]\n"
+                 "  dpma_cli sweep    <model.aem> <measures.msr> "
+                 "--param <instance.action>=<lo>:<hi>:<steps> [--jobs N] "
+                 "[--json PATH|-] [--csv PATH|-]\n");
     std::exit(2);
 }
 
@@ -206,6 +224,101 @@ int cmd_simulate(const std::string& model_path, const std::string& measures_path
     return 0;
 }
 
+/// Writes \p text to \p path, or to stdout when \p path is "-".
+void write_output(const std::string& path, const std::string& text) {
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot write " + path);
+    out << text;
+}
+
+int cmd_sweep(const std::string& model_path, const std::string& measures_path,
+              std::vector<std::string> args) {
+    const std::string param = option(args, "--param", "");
+    const std::string jobs_text = option(args, "--jobs", "0");
+    const std::string json_path = option(args, "--json", "");
+    const std::string csv_path = option(args, "--csv", "");
+    if (param.empty() || !args.empty()) usage();
+
+    // --param instance.action=lo:hi:steps
+    const std::size_t eq = param.find('=');
+    if (eq == std::string::npos) usage();
+    const std::string target = param.substr(0, eq);
+    const std::size_t dot = target.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 == target.size()) {
+        throw Error("--param needs instance.action, got '" + target + "'");
+    }
+    const std::string instance = target.substr(0, dot);
+    const std::string action = target.substr(dot + 1);
+    const auto range = split(param.substr(eq + 1), ':');
+    if (range.size() != 3) usage();
+    const double lo = std::strtod(range[0].c_str(), nullptr);
+    const double hi = std::strtod(range[1].c_str(), nullptr);
+    const long steps = std::atol(range[2].c_str());
+    if (!(lo > 0.0) || !(hi >= lo) || steps < 1) {
+        throw Error("--param range must satisfy 0 < lo <= hi, steps >= 1");
+    }
+    char* jobs_end = nullptr;
+    const auto jobs = static_cast<std::size_t>(std::strtoul(jobs_text.c_str(), &jobs_end, 10));
+    if (jobs_end == jobs_text.c_str() || *jobs_end != '\0') {
+        throw Error("--jobs needs a non-negative integer, got '" + jobs_text + "'");
+    }
+
+    const auto measures = aemilia::parse_measures(read_file(measures_path));
+
+    // Compose once; every sweep point patches this skeleton's rates.
+    exp::ModelCache cache;
+    const auto skeleton = cache.composed(
+        "sweep", [&] { return load_model(model_path); });
+    // Validate the parameter before fanning out: a typo should die with one
+    // clear message, not once per point.
+    (void)exp::with_exp_rate(*skeleton, instance, action, lo);
+
+    exp::Experiment experiment;
+    experiment.name = "sweep " + target;
+    experiment.grid.axis(exp::Axis::linspace(target, lo, hi,
+                                             static_cast<std::size_t>(steps)));
+    for (const adl::Measure& m : measures) experiment.measures.push_back(m.name);
+    experiment.eval = [&](const exp::Point& point, const exp::PointContext&) {
+        const adl::ComposedModel model =
+            exp::with_exp_rate(*skeleton, instance, action, point.at(target));
+        const ctmc::MarkovModel markov = ctmc::build_markov(model);
+        const auto pi = ctmc::steady_state(markov.chain);
+        exp::PointResult result;
+        for (const adl::Measure& m : measures) {
+            result.values.push_back(ctmc::evaluate_measure(markov, model, pi, m));
+        }
+        return result;
+    };
+
+    exp::RunOptions run_options;
+    run_options.jobs = jobs;
+    const exp::ResultSet results = exp::run(experiment, run_options);
+
+    std::printf("sweep of exponential rate %s over [%g, %g], %ld points, jobs=%zu\n",
+                target.c_str(), lo, hi, steps,
+                jobs == 0 ? exp::default_jobs() : jobs);
+    std::printf("%-16s", "rate");
+    for (const std::string& m : results.measures()) std::printf(" %-18s", m.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::printf("%-16.6g", results.at(i).point.coords[0].second);
+        for (const double v : results.at(i).result.values) std::printf(" %-18.10g", v);
+        std::printf("\n");
+    }
+    const exp::ModelCache::Stats stats = cache.stats();
+    std::printf("cache: %llu hits, %llu misses\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+
+    if (!json_path.empty()) write_output(json_path, results.json());
+    if (!csv_path.empty()) write_output(csv_path, results.csv());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +339,11 @@ int main(int argc, char** argv) {
             const std::string measures_path = rest[0];
             rest.erase(rest.begin());
             return cmd_simulate(model_path, measures_path, std::move(rest));
+        }
+        if (command == "sweep" && !rest.empty()) {
+            const std::string measures_path = rest[0];
+            rest.erase(rest.begin());
+            return cmd_sweep(model_path, measures_path, std::move(rest));
         }
         usage();
     } catch (const ParseError& e) {
