@@ -27,6 +27,7 @@
 int main() {
     using namespace dpma::bench;
     namespace exp = dpma::exp;
+    const ScopedObservation observation;
     std::printf("== Fig. 3 (right): rpc general model, DPM vs NO-DPM ==\n");
     std::printf("(30 replications, 90%% CI half-widths on throughput)\n");
 
@@ -72,7 +73,7 @@ int main() {
         below.energy_per_request, near.energy_per_request, above.energy_per_request,
         base.energy_per_request);
 
-    const exp::ModelCache::Stats stats = figure_cache().stats();
+    const exp::ModelCache::Stats stats = exp::ModelCache::global_stats();
     std::printf("engine: %zu points x %d reps, jobs=%zu, cache hits=%llu misses=%llu, "
                 "%.3fs\n",
                 sweep.size() + no_dpm.size(), reps, exp::default_jobs(),

@@ -24,6 +24,7 @@
 int main() {
     using namespace dpma::bench;
     namespace exp = dpma::exp;
+    const ScopedObservation observation;
     std::printf("== Fig. 3 (left): rpc Markovian model, DPM vs NO-DPM ==\n");
 
     const std::vector<double> timeouts = {0.0,  1.0,  2.0,  3.0,  5.0,  7.5, 10.0,
@@ -58,7 +59,7 @@ int main() {
         100.0 * (1.0 - t25.energy_per_request / base.energy_per_request),
         100.0 * (1.0 - t25.throughput / base.throughput));
 
-    const exp::ModelCache::Stats stats = figure_cache().stats();
+    const exp::ModelCache::Stats stats = exp::ModelCache::global_stats();
     std::printf("engine: %zu points, jobs=%zu, cache hits=%llu misses=%llu, %.3fs\n",
                 sweep.size() + no_dpm.size(), exp::default_jobs(),
                 static_cast<unsigned long long>(stats.hits),

@@ -24,6 +24,7 @@
 int main() {
     using namespace dpma::bench;
     namespace exp = dpma::exp;
+    const ScopedObservation observation;
     std::printf("== Fig. 4: streaming Markovian model, DPM vs NO-DPM ==\n");
 
     const std::vector<double> periods = {0.0,   10.0,  25.0,  50.0,  75.0,
@@ -64,7 +65,7 @@ int main() {
             base.energy_per_frame,
         p100.quality - p200.quality);
 
-    const exp::ModelCache::Stats stats = figure_cache().stats();
+    const exp::ModelCache::Stats stats = exp::ModelCache::global_stats();
     std::printf("engine: %zu points, jobs=%zu, cache hits=%llu misses=%llu, %.3fs\n",
                 sweep.size() + no_dpm.size(), exp::default_jobs(),
                 static_cast<unsigned long long>(stats.hits),

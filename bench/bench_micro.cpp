@@ -12,6 +12,7 @@
 #include "models/rpc.hpp"
 #include "models/streaming.hpp"
 #include "noninterference/noninterference.hpp"
+#include "obs/trace.hpp"
 #include "sim/gsmp.hpp"
 
 namespace {
@@ -103,6 +104,43 @@ void BM_SimulateRpcGeneral(benchmark::State& state) {
     state.SetLabel("items = simulated events");
 }
 BENCHMARK(BM_SimulateRpcGeneral);
+
+// Instrumentation overhead guards: a span with tracing disabled must cost on
+// the order of a single atomic load, and a solve with spans compiled in but
+// tracing off must not be measurably slower than the same solve was before
+// instrumentation (the tests assert a bound on the per-span cost).
+
+void BM_SpanDisabled(benchmark::State& state) {
+    obs::set_tracing(false);
+    for (auto _ : state) {
+        DPMA_SPAN("bench.disabled", "bench");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+    obs::clear_trace();
+    obs::set_tracing(true);
+    for (auto _ : state) {
+        DPMA_SPAN("bench.enabled", "bench");
+        benchmark::ClobberMemory();
+    }
+    obs::set_tracing(false);
+    obs::clear_trace();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SolveInstrumentedOff(benchmark::State& state) {
+    obs::set_tracing(false);
+    const auto model = models::rpc::compose(models::rpc::markovian(5.0, true));
+    const auto markov = ctmc::build_markov(model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctmc::steady_state(markov.chain));
+    }
+    state.SetLabel("spans compiled in, tracing off");
+}
+BENCHMARK(BM_SolveInstrumentedOff);
 
 void BM_WeakBisimQuotient(benchmark::State& state) {
     const auto model = models::rpc::compose(models::rpc::revised_functional());

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "core/text.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/reward.hpp"
 #include "ctmc/solve.hpp"
+#include "core/stats_math.hpp"
 #include "exp/pool.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/batch_means.hpp"
 #include "sim/gsmp.hpp"
 
 namespace dpma::bench {
@@ -74,6 +80,27 @@ std::vector<std::string> measure_names(const std::vector<adl::Measure>& measures
     names.reserve(measures.size());
     for (const adl::Measure& m : measures) names.push_back(m.name);
     return names;
+}
+
+/// Convergence record of a replication-based estimate, in the same shape as
+/// a batch-means trajectory: entry k of the half-width trajectory uses the
+/// first k+2 replications only.  Lag-1 autocorrelation stays 0 — the
+/// replications are independent by construction.
+std::vector<sim::BatchEstimate> replication_convergence(
+    const std::vector<sim::Estimate>& estimates, double confidence) {
+    std::vector<sim::BatchEstimate> convergence(estimates.size());
+    for (std::size_t m = 0; m < estimates.size(); ++m) {
+        const std::vector<double>& samples = estimates[m].samples;
+        convergence[m].mean = estimates[m].mean;
+        convergence[m].half_width = estimates[m].half_width;
+        for (std::size_t k = 2; k <= samples.size(); ++k) {
+            const std::vector<double> prefix(
+                samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(k));
+            convergence[m].cumulative_half_widths.push_back(
+                confidence_half_width(prefix, confidence));
+        }
+    }
+    return convergence;
 }
 
 std::string point_key(const char* family, bool dpm, double value) {
@@ -170,6 +197,37 @@ Table table_from(const exp::ResultSet& results) {
 exp::ModelCache& figure_cache() {
     static exp::ModelCache cache;
     return cache;
+}
+
+ScopedObservation::ScopedObservation() {
+    const char* env = std::getenv("DPMA_BENCH_BREAKDOWN");
+    enabled_ = env == nullptr || std::string_view(env) != "0";
+    if (!enabled_) return;
+    obs::clear_trace();
+    obs::set_tracing(true);
+}
+
+ScopedObservation::~ScopedObservation() {
+    if (!enabled_) return;
+    obs::set_tracing(false);
+    std::printf("\n### instrumentation breakdown\n");
+    std::printf("%-28s %10s %14s %14s\n", "span", "count", "total_ms", "mean_us");
+    for (const obs::SpanStats& s : obs::span_summary()) {
+        std::printf("%-28s %10llu %14.3f %14.1f\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.count), s.total_us / 1000.0,
+                    s.count == 0 ? 0.0 : s.total_us / static_cast<double>(s.count));
+    }
+    std::printf("\nmetrics:\n");
+    const std::string metrics = obs::metrics_text();
+    std::string_view remaining = metrics;
+    while (!remaining.empty()) {
+        const std::size_t eol = remaining.find('\n');
+        const std::string_view line = remaining.substr(0, eol);
+        std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+        if (eol == std::string_view::npos) break;
+        remaining.remove_prefix(eol + 1);
+    }
+    std::fflush(stdout);
 }
 
 RpcPoint rpc_point_from(const std::vector<double>& values,
@@ -288,6 +346,9 @@ exp::Experiment rpc_general_experiment(std::vector<double> timeouts, bool dpm,
             result.values.push_back(e.mean);
             result.half_widths.push_back(e.half_width);
         }
+        result.diagnostics =
+            sim::convergence_json(replication_convergence(estimates, 0.90),
+                                  measure_names(models::rpc::measures()));
         return result;
     };
     return experiment;

@@ -50,9 +50,27 @@ private:
 /// any engine result can be dumped this way).
 [[nodiscard]] Table table_from(const exp::ResultSet& results);
 
-/// Process-wide model cache shared by the figure benches; prints hit/miss
-/// via exp::ModelCache::stats().
+/// Process-wide model cache shared by the figure benches.  Hit/miss numbers
+/// for reporting come from exp::ModelCache::global_stats() — the same
+/// registry counters dpma_cli --metrics dumps.
 [[nodiscard]] exp::ModelCache& figure_cache();
+
+/// RAII instrumentation session for a bench main(): enables tracing on
+/// construction and, on destruction, prints the per-phase breakdown (span
+/// name, count, total/mean time from obs::span_summary()) followed by the
+/// metrics registry.  Set DPMA_BENCH_BREAKDOWN=0 to silence it (and skip
+/// the tracing overhead).
+class ScopedObservation {
+public:
+    ScopedObservation();
+    ~ScopedObservation();
+
+    ScopedObservation(const ScopedObservation&) = delete;
+    ScopedObservation& operator=(const ScopedObservation&) = delete;
+
+private:
+    bool enabled_ = false;
+};
 
 /// One point of the rpc performance comparison (Fig. 3): derived per-request
 /// quantities as plotted by the paper.

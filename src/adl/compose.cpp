@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::adl {
 namespace {
@@ -167,6 +169,7 @@ const std::string& ComposedModel::local_state_name(lts::StateId state,
 }
 
 ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
+    DPMA_NAMED_SPAN(span, "adl.compose", "compose");
     validate(archi);
 
     auto actions = std::make_shared<lts::ActionTable>();
@@ -317,6 +320,11 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
             }
         }
     }
+    obs::counter("compose.calls").add();
+    obs::counter("compose.states").add(model.graph.num_states());
+    obs::counter("compose.transitions").add(model.graph.num_transitions());
+    span.arg("states", static_cast<double>(model.graph.num_states()));
+    span.arg("transitions", static_cast<double>(model.graph.num_transitions()));
     return model;
 }
 

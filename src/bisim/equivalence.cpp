@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "lts/ops.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::bisim {
 namespace {
@@ -74,6 +75,7 @@ FormulaPtr distinguish(const lts::Lts& model, const RefinementResult& refinement
 }
 
 EquivalenceResult check(const lts::Lts& lhs, const lts::Lts& rhs, bool weak) {
+    DPMA_SPAN(weak ? "bisim.weak_check" : "bisim.strong_check", "bisim");
     DPMA_REQUIRE(lhs.initial() != lts::kNoState && rhs.initial() != lts::kNoState,
                  "equivalence check needs rooted systems");
     lts::UnionResult merged = lts::disjoint_union(lhs, rhs);

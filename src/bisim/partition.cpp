@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::bisim {
 namespace {
@@ -37,6 +39,8 @@ std::size_t RefinementResult::separation_round(lts::StateId a, lts::StateId b) c
 
 RefinementResult refine_strong(const lts::Lts& model) {
     const std::size_t n = model.num_states();
+    DPMA_NAMED_SPAN(span, "bisim.refine", "bisim");
+    span.arg("states", static_cast<double>(n));
     RefinementResult result;
     result.rounds.emplace_back(n, BlockId{0});
     if (n == 0) return result;
@@ -70,6 +74,11 @@ RefinementResult refine_strong(const lts::Lts& model) {
         result.rounds.push_back(std::move(next));
         if (stable) break;
     }
+    obs::counter("bisim.refine.calls").add();
+    obs::counter("bisim.refine.rounds").add(result.rounds.size() - 1);
+    obs::histogram("bisim.refine.rounds_per_call")
+        .observe(static_cast<double>(result.rounds.size() - 1));
+    span.arg("rounds", static_cast<double>(result.rounds.size() - 1));
     return result;
 }
 

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::ctmc {
 namespace {
@@ -65,6 +67,8 @@ double Ctmc::max_exit_rate() const {
 
 MarkovModel build_markov(const adl::ComposedModel& model, bool allow_absorbing) {
     const std::size_t n = model.graph.num_states();
+    DPMA_NAMED_SPAN(span, "ctmc.build_markov", "ctmc");
+    span.arg("states", static_cast<double>(n));
     MarkovModel out;
     out.tangible_of.assign(n, kNoTangible);
     out.vanishing_branches.resize(n);
@@ -170,6 +174,11 @@ MarkovModel build_markov(const adl::ComposedModel& model, bool allow_absorbing) 
         }
     }
     out.chain = std::move(chain);
+
+    obs::counter("ctmc.builds").add();
+    obs::counter("ctmc.tangible_states").add(out.orig_of.size());
+    obs::counter("ctmc.vanishing_eliminated").add(n - out.orig_of.size());
+    span.arg("tangible", static_cast<double>(out.orig_of.size()));
 
     // Initial distribution.
     const lts::StateId init = model.graph.initial();

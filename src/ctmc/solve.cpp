@@ -6,9 +6,33 @@
 
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::ctmc {
 namespace {
+
+/// Count one finished solve in the registry and close out \p diagnostics.
+void finish_solve(SolveDiagnostics* diagnostics, const char* method,
+                  std::size_t states, std::size_t iterations, double residual) {
+    obs::counter(std::string("ctmc.solve.") + method).add();
+    if (iterations > 0) {
+        obs::histogram("ctmc.solve.iterations").observe(static_cast<double>(iterations));
+    }
+    if (diagnostics != nullptr) {
+        diagnostics->method = method;
+        diagnostics->states = states;
+        diagnostics->iterations = iterations;
+        diagnostics->final_residual = residual;
+    }
+    if (obs::log_enabled(obs::LogLevel::Debug)) {
+        obs::logf(obs::LogLevel::Debug,
+                  "solve: %s on %zu states, %zu iterations, residual %g", method,
+                  states, iterations, residual);
+    }
+}
 
 /// Transposed adjacency (incoming rates) used by Gauss–Seidel.
 std::vector<std::vector<RateEntry>> incoming_of(const Ctmc& chain) {
@@ -74,6 +98,39 @@ bool is_irreducible(const Ctmc& chain) {
     return reaches_all(chain, true) && reaches_all(chain, false);
 }
 
+void SolveDiagnostics::record_residual(double residual) {
+    // Thin in place: once the history is full, keep every other sample and
+    // double the stride, so memory stays bounded for 500k-iteration solves
+    // while the curve's shape survives.
+    constexpr std::size_t kMaxSamples = 2048;
+    ++pending_;
+    if (pending_ < residual_stride) return;
+    pending_ = 0;
+    residuals.push_back(residual);
+    if (residuals.size() >= kMaxSamples) {
+        for (std::size_t i = 1; 2 * i < residuals.size(); ++i) {
+            residuals[i] = residuals[2 * i];
+        }
+        residuals.resize(residuals.size() / 2);
+        residual_stride *= 2;
+    }
+}
+
+std::string SolveDiagnostics::json() const {
+    std::string out = "{\"solver\": {\"method\": " + obs::json_quote(method) +
+                      ", \"states\": " + std::to_string(states) +
+                      ", \"iterations\": " + std::to_string(iterations) +
+                      ", \"final_residual\": " + obs::json_number(final_residual) +
+                      ", \"residual_stride\": " + std::to_string(residual_stride) +
+                      ", \"residuals\": [";
+    for (std::size_t i = 0; i < residuals.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += obs::json_number(residuals[i]);
+    }
+    out += "]}}";
+    return out;
+}
+
 std::vector<double> steady_state_gth(const Ctmc& chain) {
     const std::size_t n = chain.num_states();
     DPMA_REQUIRE(n >= 1, "empty chain");
@@ -119,6 +176,7 @@ std::vector<double> steady_state_gth(const Ctmc& chain) {
         pi[k] = sum.value();
     }
     normalize(pi);
+    finish_solve(nullptr, "gth", n, 0, 0.0);
     return pi;
 }
 
@@ -126,6 +184,8 @@ std::vector<double> steady_state_gauss_seidel(const Ctmc& chain,
                                               const SolveOptions& options) {
     const std::size_t n = chain.num_states();
     DPMA_REQUIRE(n >= 1, "empty chain");
+    SolveDiagnostics* diag = options.diagnostics;
+    if (diag != nullptr) *diag = SolveDiagnostics{};
     const auto incoming = incoming_of(chain);
     std::vector<double> pi(n, 1.0 / static_cast<double>(n));
     std::vector<double> prev(n);
@@ -144,7 +204,10 @@ std::vector<double> steady_state_gauss_seidel(const Ctmc& chain,
             pi[j] = inflow.value() / exit;
         }
         normalize(pi);
-        if (max_abs_diff(pi, prev) < options.tolerance) {
+        const double diff = max_abs_diff(pi, prev);
+        if (diag != nullptr) diag->record_residual(diff);
+        if (diff < options.tolerance) {
+            finish_solve(diag, "gauss_seidel", n, iter + 1, diff);
             return pi;
         }
     }
@@ -155,6 +218,8 @@ std::vector<double> steady_state_gauss_seidel(const Ctmc& chain,
 std::vector<double> steady_state_power(const Ctmc& chain, const SolveOptions& options) {
     const std::size_t n = chain.num_states();
     DPMA_REQUIRE(n >= 1, "empty chain");
+    SolveDiagnostics* diag = options.diagnostics;
+    if (diag != nullptr) *diag = SolveDiagnostics{};
     const double lambda = chain.max_exit_rate() * 1.05 + 1e-12;
     std::vector<double> pi(n, 1.0 / static_cast<double>(n));
     std::vector<double> next(n);
@@ -174,7 +239,11 @@ std::vector<double> steady_state_power(const Ctmc& chain, const SolveOptions& op
         normalize(next);
         const double diff = max_abs_diff(next, pi);
         pi.swap(next);
-        if (diff < options.tolerance) return pi;
+        if (diag != nullptr) diag->record_residual(diff);
+        if (diff < options.tolerance) {
+            finish_solve(diag, "power", n, iter + 1, diff);
+            return pi;
+        }
     }
     throw NumericalError("power iteration did not converge within " +
                          std::to_string(options.max_iterations) + " iterations");
@@ -260,11 +329,21 @@ namespace {
 std::vector<double> steady_state_irreducible(const Ctmc& chain,
                                              const SolveOptions& options) {
     if (chain.num_states() <= options.dense_threshold) {
-        return steady_state_gth(chain);
+        std::vector<double> pi = steady_state_gth(chain);
+        if (options.diagnostics != nullptr) {
+            *options.diagnostics = SolveDiagnostics{};
+            options.diagnostics->method = "gth";
+            options.diagnostics->states = chain.num_states();
+        }
+        return pi;
     }
     try {
         return steady_state_gauss_seidel(chain, options);
-    } catch (const NumericalError&) {
+    } catch (const NumericalError& e) {
+        obs::logf(obs::LogLevel::Warn,
+                  "solve: Gauss-Seidel failed on %zu states (%s); "
+                  "falling back to power iteration",
+                  chain.num_states(), e.what());
         return steady_state_power(chain, options);
     }
 }
@@ -273,6 +352,9 @@ std::vector<double> steady_state_irreducible(const Ctmc& chain,
 
 std::vector<double> steady_state(const Ctmc& chain, const SolveOptions& options) {
     DPMA_REQUIRE(chain.num_states() >= 1, "empty chain");
+    DPMA_NAMED_SPAN(span, "ctmc.solve", "solve");
+    span.arg("states", static_cast<double>(chain.num_states()));
+    obs::counter("ctmc.solve.calls").add();
     if (is_irreducible(chain)) {
         return steady_state_irreducible(chain, options);
     }

@@ -7,6 +7,7 @@
 /// chains), and transient analysis via uniformisation.
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -14,10 +15,36 @@
 
 namespace dpma::ctmc {
 
+/// Convergence record of one steady-state solve, filled when the caller
+/// hangs a SolveDiagnostics off SolveOptions.  For the iterative methods the
+/// residual history is the max-norm change of successive iterates, thinned
+/// to at most ~2048 samples (residual_stride reports the decimation factor);
+/// GTH is direct, so it reports zero iterations and an empty history.
+struct SolveDiagnostics {
+    std::string method;            ///< "gth", "gauss_seidel" or "power"
+    std::size_t states = 0;        ///< size of the chain actually solved
+    std::size_t iterations = 0;
+    double final_residual = 0.0;
+    std::size_t residual_stride = 1;
+    std::vector<double> residuals;
+
+    /// JSON object with the fields above (valid per obs::json_valid); what
+    /// exp::ResultSet embeds as a point's "diagnostics".
+    [[nodiscard]] std::string json() const;
+
+    void record_residual(double residual);
+
+private:
+    std::size_t pending_ = 0;  ///< samples skipped since the last kept one
+};
+
 struct SolveOptions {
     double tolerance = 1e-12;          ///< max norm of successive-iterate change
     std::size_t max_iterations = 500000;
     std::size_t dense_threshold = 1500;  ///< up to this size use GTH
+    /// When non-null, the solver writes its convergence record here (the
+    /// caller keeps ownership; one solve per struct).
+    SolveDiagnostics* diagnostics = nullptr;
 };
 
 /// True when every state can reach every other state (checked via forward

@@ -4,9 +4,21 @@
 
 #include "adl/measure.hpp"
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::exp {
 namespace {
+
+obs::Counter& hit_counter() {
+    static obs::Counter& counter = obs::counter("cache.hits");
+    return counter;
+}
+
+obs::Counter& miss_counter() {
+    static obs::Counter& counter = obs::counter("cache.misses");
+    return counter;
+}
 
 /// Shared patching skeleton: copies the model and hands every transition
 /// whose label matches instance.action to \p patch.
@@ -39,9 +51,12 @@ std::shared_ptr<const adl::ComposedModel> ModelCache::composed(
     const std::lock_guard<std::recursive_mutex> lock(mutex_);
     if (const auto it = composed_.find(key); it != composed_.end()) {
         ++stats_.hits;
+        hit_counter().add();
         return it->second;
     }
     ++stats_.misses;
+    miss_counter().add();
+    DPMA_SPAN("cache.build_composed", "cache");
     auto model = std::make_shared<const adl::ComposedModel>(build());
     composed_.emplace(key, model);
     return model;
@@ -52,12 +67,19 @@ std::shared_ptr<const ctmc::MarkovModel> ModelCache::markov(
     const std::lock_guard<std::recursive_mutex> lock(mutex_);
     if (const auto it = markov_.find(key); it != markov_.end()) {
         ++stats_.hits;
+        hit_counter().add();
         return it->second;
     }
     ++stats_.misses;
+    miss_counter().add();
+    DPMA_SPAN("cache.build_markov", "cache");
     auto markov = std::make_shared<const ctmc::MarkovModel>(build());
     markov_.emplace(key, markov);
     return markov;
+}
+
+ModelCache::Stats ModelCache::global_stats() {
+    return Stats{hit_counter().value(), miss_counter().value()};
 }
 
 ModelCache::Stats ModelCache::stats() const {

@@ -14,8 +14,12 @@
 ///  * extracted CTMC skeletons (vanishing elimination, lumping inputs)
 ///
 /// keyed by a caller-chosen content key, so a sweep composes its family once
-/// and each point only patches rates and re-solves.  Hit/miss counters feed
-/// the bench tables.
+/// and each point only patches rates and re-solves.
+///
+/// Hit/miss accounting lives on the process-wide metrics registry
+/// (obs::counter "cache.hits" / "cache.misses"), so bench tables, the CLI's
+/// cache line and --metrics dumps all read the same numbers; stats() keeps a
+/// per-instance view on top (tests, multi-cache processes).
 ///
 /// Thread safety: all methods may be called concurrently from pool workers.
 /// Builds run under the cache lock (a concurrent request for the same key
@@ -41,6 +45,10 @@ public:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
     };
+
+    /// Process-wide totals from the metrics registry: what --metrics and the
+    /// bench harness report.  Covers every ModelCache in the process.
+    [[nodiscard]] static Stats global_stats();
 
     /// The composed model stored under \p key, calling \p build on a miss.
     [[nodiscard]] std::shared_ptr<const adl::ComposedModel> composed(

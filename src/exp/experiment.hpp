@@ -75,6 +75,10 @@ private:
 struct PointResult {
     std::vector<double> values;
     std::vector<double> half_widths;
+    /// Optional convergence diagnostics as a JSON object literal — e.g.
+    /// ctmc::SolveDiagnostics::json() or sim::convergence_json().  Empty
+    /// means none; when set it is embedded verbatim in ResultSet::json().
+    std::string diagnostics;
 };
 
 /// Per-point context handed to the evaluation function by the runner.

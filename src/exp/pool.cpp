@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.hpp"
 
 namespace dpma::exp {
 namespace {
@@ -28,10 +29,9 @@ std::size_t default_jobs() {
     char* end = nullptr;
     const long value = std::strtol(env, &end, 10);
     if (errno != 0 || end == env || !only_trailing_space(end) || value < 1) {
-        std::fprintf(stderr,
-                     "dpma: ignoring DPMA_JOBS='%s' (want a positive integer); "
-                     "using %zu\n",
-                     env, fallback);
+        obs::logf(obs::LogLevel::Warn,
+                  "ignoring DPMA_JOBS='%s' (want a positive integer); using %zu",
+                  env, fallback);
         return fallback;
     }
     return static_cast<std::size_t>(value);
@@ -44,8 +44,8 @@ double env_positive_double(const char* name, double fallback) {
     char* end = nullptr;
     const double value = std::strtod(env, &end);
     if (errno != 0 || end == env || !only_trailing_space(end) || !(value > 0.0)) {
-        std::fprintf(stderr, "dpma: ignoring %s='%s' (want a number > 0); using %g\n",
-                     name, env, fallback);
+        obs::logf(obs::LogLevel::Warn, "ignoring %s='%s' (want a number > 0); using %g",
+                  name, env, fallback);
         return fallback;
     }
     return value;

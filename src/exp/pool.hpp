@@ -29,12 +29,12 @@
 namespace dpma::exp {
 
 /// Number of parallel jobs from the environment: DPMA_JOBS when it parses as
-/// a positive integer (invalid values earn a stderr warning and are ignored),
-/// otherwise std::thread::hardware_concurrency(), at least 1.
+/// a positive integer (invalid values earn an obs::log warning and are
+/// ignored), otherwise std::thread::hardware_concurrency(), at least 1.
 [[nodiscard]] std::size_t default_jobs();
 
 /// Strictly positive double from the environment variable \p name.  Returns
-/// \p fallback — with a stderr warning — when the variable is set but does
+/// \p fallback — with an obs::log warning — when the variable is set but does
 /// not parse completely as a number > 0.  Used for DPMA_BENCH_SCALE.
 [[nodiscard]] double env_positive_double(const char* name, double fallback);
 

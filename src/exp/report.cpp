@@ -1,40 +1,14 @@
 #include "exp/report.hpp"
 
-#include <cstdio>
-
 #include "core/error.hpp"
+#include "obs/json.hpp"
 
 namespace dpma::exp {
 namespace {
 
-std::string number(double v) {
-    char buffer[40];
-    std::snprintf(buffer, sizeof buffer, "%.17g", v);
-    return buffer;
-}
-
-/// Minimal JSON string escaping (names here are identifiers, but stay safe).
-std::string quoted(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buffer[8];
-                    std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-                    out += buffer;
-                } else {
-                    out += c;
-                }
-        }
-    }
-    out += '"';
-    return out;
-}
+// One escaping/formatting policy for every JSON artifact of the repo.
+std::string number(double v) { return obs::json_number(v); }
+std::string quoted(const std::string& s) { return obs::json_quote(s); }
 
 }  // namespace
 
@@ -139,7 +113,11 @@ std::string ResultSet::json() const {
                               ? 0.0
                               : record.result.half_widths[m]);
         }
-        out += "}}";
+        out += "}";
+        if (!record.result.diagnostics.empty()) {
+            out += ", \"diagnostics\": " + record.result.diagnostics;
+        }
+        out += "}";
         out += i + 1 < records_.size() ? ",\n" : "\n";
     }
     out += "  ]\n}\n";

@@ -51,7 +51,10 @@ public:
     [[nodiscard]] std::string csv() const;
 
     /// JSON object: {"experiment", "params", "measures", "points": [{
-    /// "params": {...}, "values": {...}, "half_widths": {...}}, ...]}.
+    /// "params": {...}, "values": {...}, "half_widths": {...},
+    /// "diagnostics": {...}}, ...]}, where "diagnostics" appears only for
+    /// points whose PointResult carried one (solver residual history,
+    /// simulator convergence trajectory).
     [[nodiscard]] std::string json() const;
 
 private:

@@ -2,6 +2,8 @@
 
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 namespace dpma::exp {
@@ -9,6 +11,8 @@ namespace dpma::exp {
 ResultSet run(const Experiment& experiment, const RunOptions& options) {
     DPMA_REQUIRE(static_cast<bool>(experiment.eval),
                  "experiment '" + experiment.name + "' has no eval function");
+    DPMA_NAMED_SPAN(span, "exp.run", "exp");
+    obs::counter("exp.runs").add();
     // When the caller supplies a pool, the local one stays thread-less.
     ThreadPool local(options.pool != nullptr ? 1 : options.jobs);
     ThreadPool& pool = options.pool != nullptr ? *options.pool : local;
@@ -16,14 +20,19 @@ ResultSet run(const Experiment& experiment, const RunOptions& options) {
     const std::size_t count = experiment.grid.size();
     std::vector<Point> points(count);
     std::vector<PointResult> results(count);
+    static obs::Counter& point_counter = obs::counter("exp.points");
     pool.run(count, [&](std::size_t i) {
+        DPMA_NAMED_SPAN(point_span, "exp.point", "exp");
+        point_span.arg("index", static_cast<double>(i));
         points[i] = experiment.grid.point(i);
         PointContext context;
         context.base_seed = options.base_seed;
         context.point_index = i;
         context.pool = &pool;
         results[i] = experiment.eval(points[i], context);
+        point_counter.add();
     });
+    span.arg("points", static_cast<double>(count));
 
     ResultSet set(experiment.name, experiment.grid.names(), experiment.measures);
     for (std::size_t i = 0; i < count; ++i) {
@@ -37,6 +46,8 @@ std::vector<sim::Estimate> simulate_replications(const sim::Simulator& simulator
                                                  int replications, double confidence,
                                                  ThreadPool& pool) {
     DPMA_REQUIRE(replications >= 1, "need at least one replication");
+    DPMA_NAMED_SPAN(span, "exp.replications", "exp");
+    span.arg("replications", static_cast<double>(replications));
     const std::size_t num_measures = simulator.measures().size();
     const auto count = static_cast<std::size_t>(replications);
 

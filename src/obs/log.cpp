@@ -1,0 +1,82 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dpma::obs {
+namespace {
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Error: return "error";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Info: return "info";
+        case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+LogLevel initial_level() {
+    const char* env = std::getenv("DPMA_LOG");
+    if (env == nullptr) return LogLevel::Warn;
+    LogLevel level = LogLevel::Warn;
+    if (!parse_log_level(env, &level)) {
+        std::fprintf(stderr,
+                     "dpma [warn] ignoring DPMA_LOG='%s' "
+                     "(want error|warn|info|debug); using warn\n",
+                     env);
+    }
+    return level;
+}
+
+std::atomic<int>& level_store() {
+    static std::atomic<int> level{static_cast<int>(initial_level())};
+    return level;
+}
+
+}  // namespace
+
+bool parse_log_level(std::string_view text, LogLevel* out) {
+    if (text == "error") *out = LogLevel::Error;
+    else if (text == "warn") *out = LogLevel::Warn;
+    else if (text == "info") *out = LogLevel::Info;
+    else if (text == "debug") *out = LogLevel::Debug;
+    else return false;
+    return true;
+}
+
+LogLevel log_level() noexcept {
+    return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+    level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+    return static_cast<int>(level) <=
+           level_store().load(std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view message) {
+    if (!log_enabled(level)) return;
+    // One fprintf per message: stderr is line-buffered or unbuffered, and a
+    // single call keeps concurrent workers from interleaving fragments.
+    std::fprintf(stderr, "dpma [%s] %.*s\n", level_name(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+void logf(LogLevel level, const char* format, ...) {
+    if (!log_enabled(level)) return;
+    char buffer[1024];
+    std::va_list args;
+    va_start(args, format);
+    std::vsnprintf(buffer, sizeof buffer, format, args);
+    va_end(args);
+    log(level, buffer);
+}
+
+}  // namespace dpma::obs

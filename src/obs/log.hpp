@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled, thread-safe logging for the whole toolchain.
+///
+/// One process-wide level (error < warn < info < debug) gates every message;
+/// it is initialised from the DPMA_LOG environment variable (default: warn)
+/// and can be overridden programmatically (dpma_cli --log-level).  Messages
+/// go to stderr as single writes ("dpma [warn] ...\n"), so concurrent pool
+/// workers never interleave partial lines.
+///
+/// Call sites that would pay to *format* a suppressed message should guard
+/// with log_enabled(); logf() itself formats only when the level passes.
+
+#include <string_view>
+
+namespace dpma::obs {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Parses "error" / "warn" / "info" / "debug" (case-sensitive).  Returns
+/// false — leaving \p out untouched — on anything else.
+[[nodiscard]] bool parse_log_level(std::string_view text, LogLevel* out);
+
+/// Current level.  First call reads DPMA_LOG; unparsable values keep the
+/// default (warn) and earn a one-line warning.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void set_log_level(LogLevel level) noexcept;
+
+/// True when a message at \p level would be emitted.  A single relaxed
+/// atomic load — cheap enough for hot paths.
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+/// Emits "dpma [<level>] <message>\n" to stderr when the level passes.
+void log(LogLevel level, std::string_view message);
+
+/// printf-style counterpart; formats only when the level passes.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* format, ...);
+
+}  // namespace dpma::obs

@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "obs/json.hpp"
+
+namespace dpma::obs {
+
+void Histogram::observe(double v) noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (data_.count == 0) {
+        data_.min = data_.max = v;
+    } else {
+        data_.min = std::min(data_.min, v);
+        data_.max = std::max(data_.max, v);
+    }
+    ++data_.count;
+    data_.sum += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return data_;
+}
+
+void Histogram::reset() noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    data_ = {};
+}
+
+namespace {
+
+/// The registry: three name->instrument maps behind one mutex.  unique_ptr
+/// values keep instrument addresses stable across rehash-free map growth.
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+    static Registry* instance = new Registry;  // leaked: outlive all users
+    return *instance;
+}
+
+template <typename Map>
+auto& instrument(Map& map, std::string_view name) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+    using Value = typename Map::mapped_type::element_type;
+    return *map.emplace(std::string(name), std::make_unique<Value>())
+                .first->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+    return instrument(registry().counters, name);
+}
+
+Gauge& gauge(std::string_view name) { return instrument(registry().gauges, name); }
+
+Histogram& histogram(std::string_view name) {
+    return instrument(registry().histograms, name);
+}
+
+std::string metrics_json() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : reg.counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + json_quote(name) + ": " + std::to_string(c->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : reg.gauges) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + json_quote(name) + ": " + json_number(g->value());
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : reg.histograms) {
+        const Histogram::Snapshot s = h->snapshot();
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + json_quote(name) + ": {\"count\": " +
+               std::to_string(s.count) + ", \"sum\": " + json_number(s.sum) +
+               ", \"min\": " + json_number(s.min) +
+               ", \"max\": " + json_number(s.max) +
+               ", \"mean\": " + json_number(s.mean()) + "}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string metrics_text() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    std::string out;
+    for (const auto& [name, c] : reg.counters) {
+        out += name + " = " + std::to_string(c->value()) + "\n";
+    }
+    for (const auto& [name, g] : reg.gauges) {
+        out += name + " = " + json_number(g->value()) + "\n";
+    }
+    for (const auto& [name, h] : reg.histograms) {
+        const Histogram::Snapshot s = h->snapshot();
+        out += name + " = count " + std::to_string(s.count) + ", mean " +
+               json_number(s.mean()) + ", min " + json_number(s.min) +
+               ", max " + json_number(s.max) + "\n";
+    }
+    return out;
+}
+
+void reset_metrics() {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& [name, c] : reg.counters) c->reset();
+    for (const auto& [name, g] : reg.gauges) g->reset();
+    for (const auto& [name, h] : reg.histograms) h->reset();
+}
+
+}  // namespace dpma::obs

@@ -4,6 +4,8 @@
 
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::sim {
 
@@ -34,6 +36,16 @@ std::vector<BatchEstimate> batch_means_impl(const Simulator& simulator,
         estimates[m].mean = mean_of(means);
         estimates[m].half_width = confidence_half_width(means, options.confidence);
 
+        // Half-width after each prefix of batches: the convergence curve a
+        // practitioner reads to judge whether the run was long enough.
+        estimates[m].cumulative_half_widths.reserve(means.size() - 1);
+        for (std::size_t k = 2; k <= means.size(); ++k) {
+            const std::vector<double> prefix(means.begin(),
+                                             means.begin() + static_cast<std::ptrdiff_t>(k));
+            estimates[m].cumulative_half_widths.push_back(
+                confidence_half_width(prefix, options.confidence));
+        }
+
         // Lag-1 autocorrelation of the batch means.
         RunningMoments moments;
         for (double v : means) moments.add(v);
@@ -52,7 +64,32 @@ std::vector<BatchEstimate> batch_means_impl(const Simulator& simulator,
 
 std::vector<BatchEstimate> batch_means(const Simulator& simulator,
                                        const BatchOptions& options) {
+    DPMA_SPAN("sim.batch_means", "sim");
     return batch_means_impl(simulator, options);
+}
+
+std::string convergence_json(const std::vector<BatchEstimate>& estimates,
+                             const std::vector<std::string>& names) {
+    DPMA_REQUIRE(estimates.size() == names.size(),
+                 "convergence_json: one name per estimate required");
+    std::string out = "{\"simulator\": {";
+    for (std::size_t m = 0; m < estimates.size(); ++m) {
+        const BatchEstimate& e = estimates[m];
+        if (m > 0) out += ", ";
+        out += obs::json_quote(names[m]) +
+               ": {\"mean\": " + obs::json_number(e.mean) +
+               ", \"half_width\": " + obs::json_number(e.half_width) +
+               ", \"lag1_autocorrelation\": " +
+               obs::json_number(e.lag1_autocorrelation) +
+               ", \"half_width_trajectory\": [";
+        for (std::size_t k = 0; k < e.cumulative_half_widths.size(); ++k) {
+            if (k > 0) out += ", ";
+            out += obs::json_number(e.cumulative_half_widths[k]);
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
 }
 
 }  // namespace dpma::sim

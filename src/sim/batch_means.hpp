@@ -9,6 +9,7 @@
 /// replication counterpart in sim/gsmp.hpp.
 
 #include <cstddef>
+#include <string>
 
 #include "sim/gsmp.hpp"
 
@@ -34,9 +35,21 @@ struct BatchEstimate {
     double mean = 0.0;
     double half_width = 0.0;
     double lag1_autocorrelation = 0.0;
+    /// Convergence trajectory: entry k is the CI half-width computed from
+    /// the first k+2 batches only, so a caller (or a ResultSet JSON reader)
+    /// can see whether the estimate was still drifting when the run ended.
+    /// The last entry equals half_width.
+    std::vector<double> cumulative_half_widths;
 };
 
 [[nodiscard]] std::vector<BatchEstimate> batch_means(const Simulator& simulator,
                                                      const BatchOptions& options);
+
+/// JSON object describing the convergence of a batch-means run, one entry
+/// per measure name: {"simulator": {"<name>": {"mean", "half_width",
+/// "lag1_autocorrelation", "half_width_trajectory": [...]}}}.  Suitable for
+/// exp::PointResult::diagnostics.
+[[nodiscard]] std::string convergence_json(const std::vector<BatchEstimate>& estimates,
+                                           const std::vector<std::string>& names);
 
 }  // namespace dpma::sim

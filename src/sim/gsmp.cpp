@@ -7,6 +7,8 @@
 
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dpma::sim {
 namespace {
@@ -115,6 +117,8 @@ DepletionResult Simulator::run_until(std::size_t measure_index, double threshold
 RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
                               std::vector<TraceEvent>* trace, double* stop_time,
                               bool* depleted, BatchSink* batches) const {
+    DPMA_NAMED_SPAN(span, "sim.run", "sim");
+    span.arg("horizon", options.horizon);
     DPMA_REQUIRE(options.horizon > 0.0, "simulation horizon must be positive");
     DPMA_REQUIRE(options.warmup >= 0.0, "negative warmup");
     Rng rng(options.seed);
@@ -328,6 +332,13 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
     for (std::size_t m = 0; m < measures_.size(); ++m) {
         result.values.push_back(totals[m].value());
     }
+    // One registry update per run, not per event: pool workers would contend
+    // on a per-event atomic, and `events` already aggregates the loop.
+    static obs::Counter& run_counter = obs::counter("sim.runs");
+    static obs::Counter& event_counter = obs::counter("sim.events");
+    run_counter.add();
+    event_counter.add(events);
+    span.arg("events", static_cast<double>(events));
     return result;
 }
 

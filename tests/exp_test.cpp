@@ -249,11 +249,11 @@ ResultSet demo_results() {
     Point p0;
     p0.index = 0;
     p0.coords = {{"x", 1.5}, {"dpm", 1.0}};
-    set.add(p0, PointResult{{0.25, 3.0}, {0.01, 0.2}});
+    set.add(p0, PointResult{{0.25, 3.0}, {0.01, 0.2}, {}});
     Point p1;
     p1.index = 1;
     p1.coords = {{"x", 2.5}, {"dpm", 0.0}};
-    set.add(p1, PointResult{{0.5, 2.0}, {}});
+    set.add(p1, PointResult{{0.5, 2.0}, {}, {}});
     return set;
 }
 
@@ -283,8 +283,8 @@ TEST(Report, RejectsMisalignedResults) {
     ResultSet set("demo", {"x"}, {"a", "b"});
     Point p;
     p.coords = {{"x", 1.0}};
-    EXPECT_THROW(set.add(p, PointResult{{1.0}, {}}), Error);
-    EXPECT_THROW(set.add(p, PointResult{{1.0, 2.0}, {0.1}}), Error);
+    EXPECT_THROW(set.add(p, PointResult{{1.0}, {}, {}}), Error);
+    EXPECT_THROW(set.add(p, PointResult{{1.0, 2.0}, {0.1}, {}}), Error);
 }
 
 TEST(Harness, TableFromResultSetPrints) {

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/solve.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/batch_means.hpp"
+
+namespace dpma {
+namespace {
+
+// ---------------------------------------------------------------- logging
+
+TEST(ObsLog, ParsesLevels) {
+    obs::LogLevel level = obs::LogLevel::Error;
+    EXPECT_TRUE(obs::parse_log_level("warn", &level));
+    EXPECT_EQ(level, obs::LogLevel::Warn);
+    EXPECT_TRUE(obs::parse_log_level("debug", &level));
+    EXPECT_EQ(level, obs::LogLevel::Debug);
+    EXPECT_TRUE(obs::parse_log_level("error", &level));
+    EXPECT_EQ(level, obs::LogLevel::Error);
+    EXPECT_TRUE(obs::parse_log_level("info", &level));
+    EXPECT_EQ(level, obs::LogLevel::Info);
+
+    level = obs::LogLevel::Warn;
+    EXPECT_FALSE(obs::parse_log_level("loud", &level));
+    EXPECT_FALSE(obs::parse_log_level("WARN", &level));
+    EXPECT_FALSE(obs::parse_log_level("", &level));
+    EXPECT_EQ(level, obs::LogLevel::Warn);  // untouched on failure
+}
+
+TEST(ObsLog, LevelGatesMessages) {
+    const obs::LogLevel before = obs::log_level();
+    obs::set_log_level(obs::LogLevel::Info);
+    EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Error));
+    EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Info));
+    EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Debug));
+    obs::set_log_level(before);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(ObsJson, QuotesEscapes) {
+    EXPECT_EQ(obs::json_quote("plain"), "\"plain\"");
+    EXPECT_EQ(obs::json_quote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(obs::json_quote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(obs::json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+    EXPECT_EQ(obs::json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(ObsJson, NumbersRoundTripAndNonFiniteBecomesNull) {
+    EXPECT_EQ(obs::json_number(0.0), "0");
+    const std::string third = obs::json_number(1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(std::stod(third), 1.0 / 3.0);
+    EXPECT_EQ(obs::json_number(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(obs::json_number(std::nan("")), "null");
+}
+
+TEST(ObsJson, ValidatorAcceptsValidDocuments) {
+    for (const char* text :
+         {"{}", "[]", "null", "true", "-1.5e-3", "\"a\\u00e9\"",
+          R"({"a": [1, 2, {"b": null}], "c": "x\n"})"}) {
+        std::string error;
+        EXPECT_TRUE(obs::json_valid(text, &error)) << text << ": " << error;
+    }
+}
+
+TEST(ObsJson, ValidatorRejectsInvalidDocuments) {
+    for (const char* text :
+         {"", "{", "[1,]", "{\"a\":}", "{'a': 1}", "01", "nul", "[1] trailing",
+          "\"unterminated", "{\"a\" 1}", "[1 2]"}) {
+        std::string error;
+        EXPECT_FALSE(obs::json_valid(text, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(ObsMetrics, CountersGaugesHistograms) {
+    obs::Counter& c = obs::counter("test.obs.counter");
+    const std::uint64_t base = c.value();
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), base + 5);
+    EXPECT_EQ(&c, &obs::counter("test.obs.counter"));  // stable reference
+
+    obs::gauge("test.obs.gauge").set(2.5);
+    EXPECT_DOUBLE_EQ(obs::gauge("test.obs.gauge").value(), 2.5);
+
+    obs::Histogram& h = obs::histogram("test.obs.histogram");
+    h.reset();
+    h.observe(1.0);
+    h.observe(3.0);
+    const obs::Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_DOUBLE_EQ(snap.sum, 4.0);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 3.0);
+    EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+}
+
+TEST(ObsMetrics, JsonDumpIsValidAndComplete) {
+    obs::counter("test.obs.dump \"quoted\"").add();
+    obs::gauge("test.obs.dump_gauge").set(1.0);
+    obs::histogram("test.obs.dump_hist").observe(7.0);
+    const std::string json = obs::metrics_json();
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(json, &error)) << error;
+    EXPECT_NE(json.find("test.obs.dump \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("test.obs.dump_gauge"), std::string::npos);
+    EXPECT_NE(json.find("test.obs.dump_hist"), std::string::npos);
+
+    const std::string text = obs::metrics_text();
+    EXPECT_NE(text.find("test.obs.dump_gauge = 1"), std::string::npos);
+}
+
+TEST(ObsMetrics, CountersAreThreadSafe) {
+    obs::Counter& c = obs::counter("test.obs.mt_counter");
+    const std::uint64_t base = c.value();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i) c.add();
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(c.value(), base + 40000);
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(ObsTrace, SpansProduceValidChromeTraceJson) {
+    obs::clear_trace();
+    obs::set_tracing(true);
+    {
+        DPMA_NAMED_SPAN(outer, "test.outer", "test");
+        outer.arg("states", 42.0);
+        DPMA_SPAN("test.inner", "test");
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 50; ++i) {
+                DPMA_SPAN("test.worker", "test");
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    obs::set_tracing(false);
+
+#if !defined(DPMA_OBS_DISABLED)
+    EXPECT_EQ(obs::trace_size(), 2u + 4u * 50u);
+#endif
+    const std::string json = obs::trace_json();
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(json, &error)) << error;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+#if !defined(DPMA_OBS_DISABLED)
+    EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"states\""), std::string::npos);
+
+    const std::vector<obs::SpanStats> summary = obs::span_summary();
+    bool found_worker = false;
+    for (const obs::SpanStats& s : summary) {
+        if (s.name == "test.worker") {
+            found_worker = true;
+            EXPECT_EQ(s.count, 200u);
+        }
+    }
+    EXPECT_TRUE(found_worker);
+#endif
+    obs::clear_trace();
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+    obs::clear_trace();
+    obs::set_tracing(false);
+    for (int i = 0; i < 100; ++i) {
+        DPMA_SPAN("test.disabled", "test");
+    }
+    EXPECT_EQ(obs::trace_size(), 0u);
+}
+
+// A disabled span must stay near-zero cost: the constructor is one relaxed
+// atomic load and the destructor one branch.  The bound is deliberately
+// loose (1 microsecond averaged over 200k spans) so the test never flakes
+// on loaded CI machines while still catching accidental work on the
+// disabled path (e.g. an unconditional clock read).
+TEST(ObsTrace, DisabledSpanOverheadIsBounded) {
+    obs::set_tracing(false);
+    constexpr int kIterations = 200000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIterations; ++i) {
+        DPMA_SPAN("test.overhead", "test");
+    }
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed.count() / kIterations, 1.0);
+}
+
+// ------------------------------------------------------------ diagnostics
+
+TEST(ObsDiagnostics, IterativeSolveRecordsResidualHistory) {
+    ctmc::Ctmc chain(6);
+    for (ctmc::TangibleId i = 0; i + 1 < 6; ++i) {
+        chain.add_rate(i, i + 1, 2.0);
+        chain.add_rate(i + 1, i, 3.0);
+    }
+    ctmc::SolveDiagnostics diagnostics;
+    ctmc::SolveOptions options;
+    options.diagnostics = &diagnostics;
+    const auto pi = ctmc::steady_state_gauss_seidel(chain, options);
+    ASSERT_EQ(pi.size(), 6u);
+
+    EXPECT_EQ(diagnostics.method, "gauss_seidel");
+    EXPECT_EQ(diagnostics.states, 6u);
+    EXPECT_GT(diagnostics.iterations, 0u);
+    EXPECT_FALSE(diagnostics.residuals.empty());
+    EXPECT_LE(diagnostics.final_residual, options.tolerance);
+
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(diagnostics.json(), &error)) << error;
+    EXPECT_NE(diagnostics.json().find("\"gauss_seidel\""), std::string::npos);
+}
+
+TEST(ObsDiagnostics, ResidualHistoryIsThinnedNotUnbounded) {
+    ctmc::SolveDiagnostics diagnostics;
+    for (int i = 0; i < 100000; ++i) {
+        diagnostics.record_residual(1.0 / (1.0 + i));
+    }
+    EXPECT_LE(diagnostics.residuals.size(), 2048u);
+    EXPECT_GE(diagnostics.residual_stride, 2u);
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(diagnostics.json(), &error)) << error;
+}
+
+TEST(ObsDiagnostics, DenseSolveReportsGth) {
+    ctmc::Ctmc chain(3);
+    chain.add_rate(0, 1, 1.0);
+    chain.add_rate(1, 2, 1.0);
+    chain.add_rate(2, 0, 1.0);
+    ctmc::SolveDiagnostics diagnostics;
+    ctmc::SolveOptions options;
+    options.diagnostics = &diagnostics;
+    (void)ctmc::steady_state(chain, options);
+    EXPECT_EQ(diagnostics.method, "gth");
+    EXPECT_EQ(diagnostics.states, 3u);
+    EXPECT_EQ(diagnostics.iterations, 0u);
+    EXPECT_TRUE(diagnostics.residuals.empty());
+}
+
+TEST(ObsDiagnostics, ConvergenceJsonIsValid) {
+    sim::BatchEstimate estimate;
+    estimate.mean = 0.5;
+    estimate.half_width = 0.01;
+    estimate.lag1_autocorrelation = -0.1;
+    estimate.cumulative_half_widths = {0.08, 0.04, 0.02, 0.01};
+    const std::string json = sim::convergence_json({estimate}, {"util \"disk\""});
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(json, &error)) << error;
+    EXPECT_NE(json.find("half_width_trajectory"), std::string::npos);
+    EXPECT_NE(json.find("\\\"disk\\\""), std::string::npos);
+}
+
+// ------------------------------------------------- ResultSet JSON escaping
+
+TEST(ResultSetJson, EscapesNamesAndEmbedsDiagnostics) {
+    exp::ResultSet set("sweep \"q\"\n", {"rate"}, {"util\\path"});
+    exp::Point point;
+    point.coords = {{"rate", 0.5}};
+    exp::PointResult result;
+    result.values = {1.25};
+    result.half_widths = {0.5};
+    result.diagnostics = "{\"solver\": {\"method\": \"gth\"}}";
+    set.add(std::move(point), std::move(result));
+
+    const std::string json = set.json();
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(json, &error)) << error;
+    EXPECT_NE(json.find("\"sweep \\\"q\\\"\\n\""), std::string::npos);
+    EXPECT_NE(json.find("\"util\\\\path\""), std::string::npos);
+    EXPECT_NE(json.find("\"diagnostics\": {\"solver\""), std::string::npos);
+}
+
+TEST(ResultSetJson, OmitsDiagnosticsWhenEmpty) {
+    exp::ResultSet set("plain", {"rate"}, {"m"});
+    exp::Point point;
+    point.coords = {{"rate", 1.0}};
+    exp::PointResult result;
+    result.values = {2.0};
+    set.add(std::move(point), std::move(result));
+    const std::string json = set.json();
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(json, &error)) << error;
+    EXPECT_EQ(json.find("diagnostics"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpma

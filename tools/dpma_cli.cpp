@@ -11,10 +11,22 @@
 ///   dpma_cli sweep    model.aem measures.msr --param I.action=lo:hi:steps
 ///                     [--jobs N] [--json PATH|-] [--csv PATH|-]
 ///
+/// Global options, valid in any position with any command:
+///
+///   --trace FILE       record tracing spans, write Chrome trace-event JSON
+///                      to FILE on exit (chrome://tracing, Perfetto)
+///   --metrics FILE     write the metrics registry as JSON to FILE on exit
+///   --log-level LEVEL  error | warn | info | debug (overrides DPMA_LOG)
+///
 /// `check` runs the paper's noninterference analysis: --high lists the
 /// global action labels of the power-management commands (as printed by
-/// `info`), --low names the observing instance.  Exit status: 0 = check
-/// passed / command succeeded, 1 = check failed, 2 = usage or input error.
+/// `info`), --low names the observing instance.
+///
+/// Exit status: 0 = check passed / command succeeded, 1 = check failed,
+/// 2 = usage error, 3 = Æmilia parse error, 4 = analysis error (numerical
+/// failure, bad measure, unwritable output, ...).  Trace and metrics files
+/// are written even when the command fails — a trace of a failing run is
+/// precisely the one worth looking at.
 ///
 /// `sweep` solves the model at every point of a parameter range on the
 /// experiment engine (src/exp): the model is composed *once*, and each point
@@ -48,6 +60,9 @@
 #include "lts/dot.hpp"
 #include "lts/ops.hpp"
 #include "noninterference/noninterference.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/gsmp.hpp"
 
 namespace {
@@ -66,7 +81,9 @@ using namespace dpma;
                  "[--warmup W] [--reps N] [--seed S] [--confidence C]\n"
                  "  dpma_cli sweep    <model.aem> <measures.msr> "
                  "--param <instance.action>=<lo>:<hi>:<steps> [--jobs N] "
-                 "[--json PATH|-] [--csv PATH|-]\n");
+                 "[--json PATH|-] [--csv PATH|-]\n"
+                 "global options (any command): [--trace FILE] [--metrics FILE] "
+                 "[--log-level error|warn|info|debug]\n");
     std::exit(2);
 }
 
@@ -286,11 +303,15 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
         const adl::ComposedModel model =
             exp::with_exp_rate(*skeleton, instance, action, point.at(target));
         const ctmc::MarkovModel markov = ctmc::build_markov(model);
-        const auto pi = ctmc::steady_state(markov.chain);
+        ctmc::SolveDiagnostics diagnostics;
+        ctmc::SolveOptions solve_options;
+        solve_options.diagnostics = &diagnostics;
+        const auto pi = ctmc::steady_state(markov.chain, solve_options);
         exp::PointResult result;
         for (const adl::Measure& m : measures) {
             result.values.push_back(ctmc::evaluate_measure(markov, model, pi, m));
         }
+        result.diagnostics = diagnostics.json();
         return result;
     };
 
@@ -309,7 +330,8 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
         for (const double v : results.at(i).result.values) std::printf(" %-18.10g", v);
         std::printf("\n");
     }
-    const exp::ModelCache::Stats stats = cache.stats();
+    // Registry totals, not cache.stats(): the same numbers --metrics dumps.
+    const exp::ModelCache::Stats stats = exp::ModelCache::global_stats();
     std::printf("cache: %llu hits, %llu misses\n",
                 static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses));
@@ -322,36 +344,69 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) usage();
-    const std::string command = argv[1];
-    const std::string model_path = argv[2];
-    std::vector<std::string> rest;
-    for (int i = 3; i < argc; ++i) rest.emplace_back(argv[i]);
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
 
+    // Instrumentation options come out first so they work with any command
+    // in any position.
+    const std::string level_text = option(args, "--log-level", "");
+    const std::string trace_path = option(args, "--trace", "");
+    const std::string metrics_path = option(args, "--metrics", "");
+    if (!level_text.empty()) {
+        obs::LogLevel level = obs::LogLevel::Warn;
+        if (!obs::parse_log_level(level_text, &level)) {
+            std::fprintf(stderr,
+                         "dpma_cli: --log-level wants error|warn|info|debug, got '%s'\n",
+                         level_text.c_str());
+            return 2;
+        }
+        obs::set_log_level(level);
+    }
+    if (!trace_path.empty()) obs::set_tracing(true);
+
+    if (args.size() < 2) usage();
+    const std::string command = args[0];
+    const std::string model_path = args[1];
+    std::vector<std::string> rest(args.begin() + 2, args.end());
+
+    const auto write_artifacts = [&] {
+        try {
+            if (!trace_path.empty()) write_output(trace_path, obs::trace_json());
+            if (!metrics_path.empty()) write_output(metrics_path, obs::metrics_json());
+        } catch (const Error& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+        }
+    };
+
+    int status = 0;
     try {
-        if (command == "info" && rest.empty()) return cmd_info(model_path);
-        if (command == "dot" && rest.empty()) return cmd_dot(model_path);
-        if (command == "check") return cmd_check(model_path, std::move(rest));
-        if (command == "solve" && rest.size() == 1) {
-            return cmd_solve(model_path, rest[0]);
-        }
-        if (command == "simulate" && !rest.empty()) {
+        if (command == "info" && rest.empty()) {
+            status = cmd_info(model_path);
+        } else if (command == "dot" && rest.empty()) {
+            status = cmd_dot(model_path);
+        } else if (command == "check") {
+            status = cmd_check(model_path, std::move(rest));
+        } else if (command == "solve" && rest.size() == 1) {
+            status = cmd_solve(model_path, rest[0]);
+        } else if (command == "simulate" && !rest.empty()) {
             const std::string measures_path = rest[0];
             rest.erase(rest.begin());
-            return cmd_simulate(model_path, measures_path, std::move(rest));
-        }
-        if (command == "sweep" && !rest.empty()) {
+            status = cmd_simulate(model_path, measures_path, std::move(rest));
+        } else if (command == "sweep" && !rest.empty()) {
             const std::string measures_path = rest[0];
             rest.erase(rest.begin());
-            return cmd_sweep(model_path, measures_path, std::move(rest));
+            status = cmd_sweep(model_path, measures_path, std::move(rest));
+        } else {
+            usage();
         }
-        usage();
     } catch (const ParseError& e) {
         std::fprintf(stderr, "parse error at %d:%d: %s\n", e.line(), e.column(),
                      e.what());
-        return 2;
+        status = 3;
     } catch (const Error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 2;
+        status = 4;
     }
+    write_artifacts();
+    return status;
 }
