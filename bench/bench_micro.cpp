@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bisim/equivalence.hpp"
+#include "bisim/partition.hpp"
 #include "ctmc/ctmc.hpp"
+#include "lts/ops.hpp"
 #include "ctmc/solve.hpp"
 #include "models/rpc.hpp"
 #include "models/streaming.hpp"
@@ -156,6 +158,92 @@ void BM_WeakBisimQuotient(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_WeakBisimQuotient);
+
+// Hot-path guards for the CSR/saturation/refinement overhaul.
+
+/// 10k-state tau-dense chain: 100 clusters of 100 mutually-tau states,
+/// chained by tau and visible edges.  The weak-bisimulation prep pipeline
+/// (SCC collapse + saturation) must digest it without materialising
+/// per-state closure vectors — the pre-CSR saturation held O(n^2) state ids
+/// for inputs of this shape.
+lts::Lts tau_dense_chain(std::size_t clusters, std::size_t cluster_size) {
+    lts::Lts m;
+    const lts::ActionId tau = m.actions()->tau();
+    const lts::ActionId step = m.action("step");
+    const std::size_t n = clusters * cluster_size;
+    for (std::size_t s = 0; s < n; ++s) m.add_state();
+    for (std::size_t c = 0; c < clusters; ++c) {
+        const auto base = static_cast<lts::StateId>(c * cluster_size);
+        for (std::size_t i = 0; i < cluster_size; ++i) {
+            // Tau ring: the whole cluster is one tau-SCC.
+            m.add_transition(base + i, tau,
+                             base + static_cast<lts::StateId>((i + 1) % cluster_size));
+        }
+        if (c + 1 < clusters) {
+            const auto next = static_cast<lts::StateId>((c + 1) * cluster_size);
+            m.add_transition(base, tau, next);       // silent drift down the chain
+            m.add_transition(base + 1, step, next);  // observable progress
+        }
+    }
+    m.set_initial(0);
+    return m;
+}
+
+void BM_SaturateTauDenseChain(benchmark::State& state) {
+    const lts::Lts chain = tau_dense_chain(100, 100);
+    std::size_t weak_transitions = 0;
+    for (auto _ : state) {
+        const lts::TauCollapseResult collapsed = lts::collapse_tau_sccs(chain);
+        const lts::Lts sat = lts::saturate(collapsed.collapsed);
+        weak_transitions = sat.num_transitions();
+        benchmark::DoNotOptimize(sat);
+    }
+    state.SetLabel(std::to_string(chain.num_states()) + " states -> " +
+                   std::to_string(weak_transitions) + " weak transitions");
+}
+BENCHMARK(BM_SaturateTauDenseChain);
+
+void BM_SaturateNoninterferenceView(benchmark::State& state) {
+    // The saturation input the Sect. 3 checks actually produce: the revised
+    // rpc system with everything but the low interface hidden.
+    const auto model = models::rpc::compose(models::rpc::revised_functional());
+    lts::ActionSet hide;
+    for (auto a : adl::actions_of_instance(model, "DPM")) hide.insert(a);
+    const lts::Lts hidden =
+        lts::reachable_part(lts::hide(model.graph, hide));
+    const lts::TauCollapseResult collapsed = lts::collapse_tau_sccs(hidden);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lts::saturate(collapsed.collapsed));
+    }
+    state.SetLabel(std::to_string(collapsed.collapsed.num_states()) + " states");
+}
+BENCHMARK(BM_SaturateNoninterferenceView);
+
+void BM_RefineStrongSaturated(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::revised_functional());
+    lts::ActionSet hide;
+    for (auto a : adl::actions_of_instance(model, "DPM")) hide.insert(a);
+    const lts::Lts sat = lts::saturate(lts::collapse_tau_sccs(
+        lts::reachable_part(lts::hide(model.graph, hide))).collapsed);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bisim::refine_strong(sat));
+    }
+    state.SetLabel(std::to_string(sat.num_states()) + " states, " +
+                   std::to_string(sat.num_transitions()) + " transitions");
+}
+BENCHMARK(BM_RefineStrongSaturated);
+
+void BM_CsrFreeze(benchmark::State& state) {
+    const auto model =
+        models::streaming::compose(models::streaming::functional(5));
+    for (auto _ : state) {
+        lts::Lts copy = model.graph;  // copies are thawed; freeze from scratch
+        copy.freeze();
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetLabel(std::to_string(model.graph.num_transitions()) + " transitions");
+}
+BENCHMARK(BM_CsrFreeze);
 
 }  // namespace
 

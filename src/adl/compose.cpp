@@ -69,11 +69,19 @@ LocalLts build_local_lts(const ElemType& type, std::span<const long> args,
     using Key = std::pair<std::size_t, std::vector<long>>;  // (behaviour idx, args)
     std::map<Key, std::uint32_t> head_states;
 
+    // Name -> behaviour index, built once per type; alternatives resolve
+    // their continuation against this instead of a linear scan per dequeue.
+    std::unordered_map<std::string, std::size_t> behavior_by_name;
+    behavior_by_name.reserve(type.behaviors.size());
+    for (std::size_t i = 0; i < type.behaviors.size(); ++i) {
+        behavior_by_name.emplace(type.behaviors[i].name, i);
+    }
     const auto behavior_index = [&](const std::string& name) -> std::size_t {
-        for (std::size_t i = 0; i < type.behaviors.size(); ++i) {
-            if (type.behaviors[i].name == name) return i;
+        const auto it = behavior_by_name.find(name);
+        if (it == behavior_by_name.end()) {
+            throw ModelError("unknown behaviour " + name + " in type " + type.name);
         }
-        throw ModelError("unknown behaviour " + name + " in type " + type.name);
+        return it->second;
     };
 
     const auto state_label = [&](const BehaviorDef& b, std::span<const long> a) {
@@ -207,9 +215,15 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
         roles[{to_idx, to_act}] = PortRole{false, from_idx, from_act, {}, {}};
     }
 
-    // Classify every local transition of every instance once.
-    // participation[i][local_state][k] parallels locals[i].out[local_state][k].
-    std::vector<std::vector<std::vector<Participation>>> participation(num_instances);
+    // Classify every local transition of every instance once, into flat CSR
+    // arrays: transition k of local state s of instance i lives at index
+    // flat[i].off[s] + k, with its Participation alongside.
+    struct FlatLocal {
+        std::vector<std::uint32_t> off;
+        std::vector<LocalLts::LocalTransition> trans;
+        std::vector<Participation> part;
+    };
+    std::vector<FlatLocal> flat(num_instances);
     for (std::uint32_t i = 0; i < num_instances; ++i) {
         const Instance& inst = archi.instances[i];
         const ElemType* type = archi.find_type(inst.type);
@@ -221,7 +235,9 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
                              type->output_interactions.end(),
                              a) != type->output_interactions.end();
         };
-        participation[i].resize(locals[i].out.size());
+        FlatLocal& f = flat[i];
+        f.off.reserve(locals[i].out.size() + 1);
+        f.off.push_back(0);
         for (std::size_t s = 0; s < locals[i].out.size(); ++s) {
             for (const LocalLts::LocalTransition& t : locals[i].out[s]) {
                 Participation p;
@@ -245,14 +261,34 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
                 } else {
                     p.kind = ParticipationKind::Blocked;
                 }
-                participation[i][s].push_back(std::move(p));
+                f.trans.push_back(t);
+                f.part.push_back(std::move(p));
             }
+            f.off.push_back(static_cast<std::uint32_t>(f.trans.size()));
+        }
+    }
+
+    // Mixed-radix packing of global states: the tuple g encodes exactly as
+    // sum_i g[i] * stride[i] whenever the product of the local state-space
+    // sizes fits in 64 bits, which lets the exploration intern through a
+    // flat integer-keyed arena.  Oversized products fall back to hashing
+    // the tuple itself.
+    std::vector<std::uint64_t> stride(num_instances, 0);
+    bool packable = true;
+    {
+        std::uint64_t prod = 1;
+        for (std::uint32_t i = 0; i < num_instances && packable; ++i) {
+            stride[i] = prod;
+            packable = !__builtin_mul_overflow(
+                prod, static_cast<std::uint64_t>(locals[i].out.size()), &prod);
         }
     }
 
     // Breadth-first global exploration.
-    std::unordered_map<std::vector<std::uint32_t>, lts::StateId, VecHash> index;
-    std::deque<std::vector<std::uint32_t>> queue;
+    std::unordered_map<std::uint64_t, lts::StateId> packed_index;
+    std::unordered_map<std::vector<std::uint32_t>, lts::StateId, VecHash> vec_index;
+    std::vector<std::uint64_t> state_code;  // per global state; packable only
+    std::deque<lts::StateId> queue;
 
     const auto global_name = [&](const std::vector<std::uint32_t>& g) -> std::string {
         if (!options.record_state_names) return {};
@@ -264,52 +300,110 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
         return text;
     };
 
-    const auto intern_global = [&](std::vector<std::uint32_t> g) -> lts::StateId {
-        if (auto it = index.find(g); it != index.end()) return it->second;
+    const auto register_state = [&](std::vector<std::uint32_t>&& g,
+                                    std::uint64_t code) -> lts::StateId {
         if (model.graph.num_states() >= options.max_states) {
             throw ModelError("global state space of " + archi.name + " exceeds " +
                              std::to_string(options.max_states) + " states");
         }
         const lts::StateId id = model.graph.add_state(global_name(g));
-        model.local_states.push_back(g);
-        index.emplace(std::move(g), id);
-        queue.push_back(model.local_states.back());
+        model.local_states.push_back(std::move(g));
+        if (packable) state_code.push_back(code);
+        queue.push_back(id);
         return id;
     };
 
-    std::vector<std::uint32_t> initial(num_instances);
-    for (std::uint32_t i = 0; i < num_instances; ++i) initial[i] = locals[i].initial;
-    model.graph.set_initial(intern_global(std::move(initial)));
+    const auto intern_packed = [&](std::uint64_t code) -> lts::StateId {
+        if (const auto it = packed_index.find(code); it != packed_index.end()) {
+            return it->second;
+        }
+        std::vector<std::uint32_t> g(num_instances);
+        for (std::uint32_t i = 0; i < num_instances; ++i) {
+            g[i] = static_cast<std::uint32_t>(
+                (code / stride[i]) % static_cast<std::uint64_t>(locals[i].out.size()));
+        }
+        const lts::StateId id = register_state(std::move(g), code);
+        packed_index.emplace(code, id);
+        return id;
+    };
 
+    const auto intern_vec = [&](const std::vector<std::uint32_t>& g) -> lts::StateId {
+        if (const auto it = vec_index.find(g); it != vec_index.end()) return it->second;
+        const lts::StateId id =
+            register_state(std::vector<std::uint32_t>(g.begin(), g.end()), 0);
+        vec_index.emplace(g, id);
+        return id;
+    };
+
+    {
+        std::vector<std::uint32_t> initial(num_instances);
+        std::uint64_t code = 0;
+        for (std::uint32_t i = 0; i < num_instances; ++i) {
+            initial[i] = locals[i].initial;
+            if (packable) code += stride[i] * initial[i];
+        }
+        model.graph.set_initial(packable ? intern_packed(code) : intern_vec(initial));
+    }
+
+    std::vector<std::uint32_t> current;
+    std::vector<std::uint32_t> scratch;
     while (!queue.empty()) {
-        const std::vector<std::uint32_t> current = std::move(queue.front());
+        const lts::StateId from = queue.front();
         queue.pop_front();
-        const lts::StateId from = index.at(current);
+        current.assign(model.local_states[from].begin(),
+                       model.local_states[from].end());
+        const std::uint64_t code = packable ? state_code[from] : 0;
 
         for (std::uint32_t i = 0; i < num_instances; ++i) {
             const std::uint32_t ls = current[i];
-            const auto& trans = locals[i].out[ls];
-            for (std::size_t k = 0; k < trans.size(); ++k) {
-                const Participation& p = participation[i][ls][k];
+            const FlatLocal& f = flat[i];
+            for (std::uint32_t k = f.off[ls]; k < f.off[ls + 1]; ++k) {
+                const Participation& p = f.part[k];
                 switch (p.kind) {
                     case ParticipationKind::Internal: {
-                        std::vector<std::uint32_t> next = current;
-                        next[i] = trans[k].target;
-                        model.graph.add_transition(from, p.label, intern_global(std::move(next)),
-                                                   trans[k].rate);
+                        lts::StateId to;
+                        if (packable) {
+                            // Wraparound-exact: the true code fits in 64 bits.
+                            to = intern_packed(
+                                code + (f.trans[k].target - std::uint64_t{ls}) *
+                                           stride[i]);
+                        } else {
+                            scratch = current;
+                            scratch[i] = f.trans[k].target;
+                            to = intern_vec(scratch);
+                        }
+                        model.graph.add_transition(from, p.label, to, f.trans[k].rate);
                         break;
                     }
                     case ParticipationKind::SyncInitiator: {
                         const std::uint32_t j = p.partner_instance;
-                        const auto& partner_trans = locals[j].out[current[j]];
-                        for (const LocalLts::LocalTransition& u : partner_trans) {
+                        const FlatLocal& pf = flat[j];
+                        const std::uint32_t pls = current[j];
+                        for (std::uint32_t q = pf.off[pls]; q < pf.off[pls + 1]; ++q) {
+                            const LocalLts::LocalTransition& u = pf.trans[q];
                             if (u.action != p.partner_action) continue;
-                            std::vector<std::uint32_t> next = current;
-                            next[i] = trans[k].target;
-                            next[j] = u.target;
+                            lts::StateId to;
+                            if (packable) {
+                                std::uint64_t next = code;
+                                if (i == j) {
+                                    // Self-attachment: the follower's move wins,
+                                    // matching the tuple-overwrite semantics.
+                                    next += (u.target - std::uint64_t{ls}) * stride[i];
+                                } else {
+                                    next += (f.trans[k].target - std::uint64_t{ls}) *
+                                            stride[i];
+                                    next += (u.target - std::uint64_t{pls}) * stride[j];
+                                }
+                                to = intern_packed(next);
+                            } else {
+                                scratch = current;
+                                scratch[i] = f.trans[k].target;
+                                scratch[j] = u.target;
+                                to = intern_vec(scratch);
+                            }
                             model.graph.add_transition(
-                                from, p.label, intern_global(std::move(next)),
-                                combine_rates(trans[k].rate, u.rate, p.label_text));
+                                from, p.label, to,
+                                combine_rates(f.trans[k].rate, u.rate, p.label_text));
                         }
                         break;
                     }
@@ -320,11 +414,16 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
             }
         }
     }
+    // Freeze before handing the model out: downstream analyses iterate the
+    // CSR view, and pre-freezing makes sharing the composed graph read-only
+    // across experiment workers race-free.
+    model.graph.freeze();
     obs::counter("compose.calls").add();
     obs::counter("compose.states").add(model.graph.num_states());
     obs::counter("compose.transitions").add(model.graph.num_transitions());
     span.arg("states", static_cast<double>(model.graph.num_states()));
     span.arg("transitions", static_cast<double>(model.graph.num_transitions()));
+    span.arg("packed", packable ? 1.0 : 0.0);
     return model;
 }
 

@@ -82,7 +82,7 @@ EquivalenceResult check(const lts::Lts& lhs, const lts::Lts& rhs, bool weak) {
     lts::StateId init_lhs = merged.initial_lhs;
     lts::StateId init_rhs = merged.initial_rhs;
 
-    lts::Lts system = merged.combined;
+    lts::Lts system;
     if (weak) {
         // Collapsing tau-SCCs first is sound (mutually tau-reachable states
         // are weakly bisimilar) and keeps the saturation small even when
@@ -94,6 +94,8 @@ EquivalenceResult check(const lts::Lts& lhs, const lts::Lts& rhs, bool weak) {
             return EquivalenceResult{true, nullptr};
         }
         system = lts::saturate(collapsed.collapsed);
+    } else {
+        system = std::move(merged.combined);
     }
 
     const RefinementResult refinement = refine_strong(system);

@@ -1,31 +1,45 @@
 #include "bisim/partition.hpp"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
 
 #include "core/error.hpp"
+#include "exp/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dpma::bisim {
 namespace {
 
-/// Signature of a state: the sorted, deduplicated list of
-/// (action, target block) pairs of its outgoing transitions.
-using Signature = std::vector<std::pair<lts::ActionId, BlockId>>;
+/// Signature entry: (action, target block) packed into 64 bits — exact,
+/// both ids are 32-bit.  Sorting packed entries sorts by action then block,
+/// the same order the old pair-vector signatures used.
+inline std::uint64_t pack_entry(lts::ActionId action, BlockId block) noexcept {
+    return (static_cast<std::uint64_t>(action) << 32) | block;
+}
 
-Signature signature_of(const lts::Lts& model, lts::StateId state,
-                       const std::vector<BlockId>& blocks) {
-    Signature sig;
-    const auto out = model.out(state);
-    sig.reserve(out.size());
-    for (const lts::Transition& t : out) {
-        sig.emplace_back(t.action, blocks[t.target]);
+/// FNV-1a over the packed entries of a signature with extra avalanching;
+/// collisions are resolved by comparing the arena slices, so correctness
+/// never depends on hash quality.
+inline std::uint64_t hash_sig(const std::uint64_t* data, std::uint32_t len) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull ^ len;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
     }
-    std::sort(sig.begin(), sig.end());
-    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
-    return sig;
+    return h;
+}
+
+/// Process-wide pool for signature computation (jobs == 0 callers).  Sized
+/// by DPMA_JOBS / hardware once; refine calls may nest inside experiment
+/// workers, which the pool supports (the caller participates in run()).
+exp::ThreadPool& shared_pool() {
+    static exp::ThreadPool pool;
+    return pool;
 }
 
 }  // namespace
@@ -38,6 +52,10 @@ std::size_t RefinementResult::separation_round(lts::StateId a, lts::StateId b) c
 }
 
 RefinementResult refine_strong(const lts::Lts& model) {
+    return refine_strong(model, 0);
+}
+
+RefinementResult refine_strong(const lts::Lts& model, std::size_t jobs) {
     const std::size_t n = model.num_states();
     DPMA_NAMED_SPAN(span, "bisim.refine", "bisim");
     span.arg("states", static_cast<double>(n));
@@ -45,37 +63,273 @@ RefinementResult refine_strong(const lts::Lts& model) {
     result.rounds.emplace_back(n, BlockId{0});
     if (n == 0) return result;
 
-    struct KeyHash {
-        std::size_t operator()(const std::pair<BlockId, Signature>& key) const noexcept {
-            std::size_t h = key.first * 0x9E3779B97F4A7C15ull;
-            for (const auto& [action, block] : key.second) {
-                h ^= (static_cast<std::size_t>(action) << 32 | block) +
-                     0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    const lts::Lts::CsrView& csr = model.csr();
+    const std::span<const std::uint32_t> off = csr.offsets();
+    const std::span<const lts::Transition> trans = csr.transitions();
+    const std::size_t m = trans.size();
+
+    // 8-byte shadow of the transition array: refinement only ever reads
+    // (action, target), not the 48-byte rate-carrying Transition, and the
+    // rounds re-walk this array many times.
+    std::vector<std::uint64_t> edges(m);
+    for (std::size_t k = 0; k < m; ++k) {
+        edges[k] = pack_entry(trans[k].action, trans[k].target);
+    }
+
+    // Reverse adjacency in CSR form: who has to be re-signed when a state
+    // changes block.
+    std::vector<std::uint32_t> pred_off(n + 1, 0);
+    for (const std::uint64_t e : edges) ++pred_off[static_cast<std::uint32_t>(e) + 1];
+    for (std::size_t s = 0; s < n; ++s) pred_off[s + 1] += pred_off[s];
+    std::vector<lts::StateId> preds(m);
+    {
+        std::vector<std::uint32_t> cursor(pred_off.begin(), pred_off.end() - 1);
+        for (lts::StateId s = 0; s < n; ++s) {
+            for (std::uint32_t k = off[s]; k < off[s + 1]; ++k) {
+                preds[cursor[static_cast<std::uint32_t>(edges[k])]++] = s;
             }
-            return h;
+        }
+    }
+
+    // Sort each row by action once, so re-signing can walk equal-action runs
+    // and never needs a per-round sort (see resign_range below).
+    for (lts::StateId s = 0; s < n; ++s) {
+        std::sort(edges.begin() + off[s], edges.begin() + off[s + 1]);
+    }
+
+    // Signature arena: state s owns sig_data[off[s] .. off[s+1]), of which
+    // the first sig_len[s] entries are its current sorted deduplicated
+    // signature.  Stored signatures stay valid until a successor changes
+    // block, which is exactly when the state is marked dirty — split blocks
+    // keep their id for the first-occurrence sub-block, so an unchanged
+    // block id always still denotes the successor's block.
+    std::vector<std::uint64_t> sig_data(m);
+    std::vector<std::uint32_t> sig_len(n, 0);
+    std::vector<char> sig_changed(n, 0);
+
+    // Partition state: block id per state, plus the members of each block as
+    // a contiguous segment of `members` (kept in stable order across splits
+    // so numbering by first-state occurrence is deterministic).
+    std::vector<BlockId> cur(n, 0);
+    std::vector<lts::StateId> members(n);
+    for (lts::StateId s = 0; s < n; ++s) members[s] = s;
+    std::vector<std::uint32_t> seg_begin{0};
+    std::vector<std::uint32_t> seg_end{static_cast<std::uint32_t>(n)};
+    seg_begin.reserve(n);
+    seg_end.reserve(n);
+    std::size_t num_blocks = 1;
+
+    std::vector<lts::StateId> dirty(n);
+    for (lts::StateId s = 0; s < n; ++s) dirty[s] = s;
+    std::vector<char> in_dirty(n, 0);
+    std::vector<char> block_affected(n, 0);
+
+    std::optional<exp::ThreadPool> local_pool;
+    exp::ThreadPool* pool = nullptr;
+    if (jobs == 0) {
+        pool = &shared_pool();
+    } else if (jobs > 1) {
+        local_pool.emplace(jobs);
+        pool = &*local_pool;
+    }
+
+    // Re-signs dirty[lo..hi) against the current block ids; flags states
+    // whose signature value actually changed.  Writes only per-state slots,
+    // so chunks may run concurrently and results are chunking-independent.
+    //
+    // Rows are pre-sorted by action, so the canonical sorted deduplicated
+    // signature falls out without any per-round sorting: walk each
+    // equal-action run, mark the successors' blocks in a bitmap, and emit
+    // the set bits in ascending order.  Saturated systems have huge tau
+    // runs, which this reduces to O(edges + touched words).
+    struct SigScratch {
+        std::vector<std::uint64_t> entries;
+        std::vector<std::uint64_t> block_bits;
+    };
+    const auto resign_range = [&](std::size_t lo, std::size_t hi, SigScratch& sc) {
+        if (sc.block_bits.empty()) sc.block_bits.assign((n >> 6) + 1, 0);
+        for (std::size_t i = lo; i < hi; ++i) {
+            const lts::StateId s = dirty[i];
+            std::vector<std::uint64_t>& entries = sc.entries;
+            entries.clear();
+            std::uint32_t k = off[s];
+            const std::uint32_t kend = off[s + 1];
+            while (k < kend) {
+                const std::uint64_t action_tag = edges[k] & 0xFFFFFFFF00000000ull;
+                std::uint32_t run_end = k + 1;
+                while (run_end < kend &&
+                       (edges[run_end] & 0xFFFFFFFF00000000ull) == action_tag) {
+                    ++run_end;
+                }
+                if (run_end - k == 1) {
+                    entries.push_back(action_tag |
+                                      cur[static_cast<std::uint32_t>(edges[k])]);
+                } else {
+                    std::size_t min_w = static_cast<std::size_t>(-1);
+                    std::size_t max_w = 0;
+                    for (; k < run_end; ++k) {
+                        const BlockId blk = cur[static_cast<std::uint32_t>(edges[k])];
+                        const std::size_t w = blk >> 6;
+                        sc.block_bits[w] |= std::uint64_t{1} << (blk & 63);
+                        min_w = std::min(min_w, w);
+                        max_w = std::max(max_w, w);
+                    }
+                    for (std::size_t w = min_w; w <= max_w; ++w) {
+                        std::uint64_t bits = sc.block_bits[w];
+                        sc.block_bits[w] = 0;
+                        while (bits != 0) {
+                            entries.push_back(
+                                action_tag | ((w << 6) + static_cast<std::size_t>(
+                                                             std::countr_zero(bits))));
+                            bits &= bits - 1;
+                        }
+                    }
+                }
+                k = run_end;
+            }
+            const auto len = static_cast<std::uint32_t>(entries.size());
+            if (len == sig_len[s] &&
+                std::equal(entries.begin(), entries.end(), sig_data.begin() + off[s])) {
+                continue;
+            }
+            std::copy(entries.begin(), entries.end(), sig_data.begin() + off[s]);
+            sig_len[s] = len;
+            sig_changed[s] = 1;
         }
     };
 
-    while (true) {
-        const std::vector<BlockId>& prev = result.rounds.back();
-        std::vector<BlockId> next(n, 0);
-        // Key: (previous block, signature wrt previous partition).
-        std::unordered_map<std::pair<BlockId, Signature>, BlockId, KeyHash> block_ids;
-        block_ids.reserve(n);
-        for (lts::StateId s = 0; s < n; ++s) {
-            auto key = std::make_pair(prev[s], signature_of(model, s, prev));
-            auto [it, inserted] =
-                block_ids.emplace(std::move(key), static_cast<BlockId>(block_ids.size()));
-            next[s] = it->second;
+    // Per-block grouping scratch (reused across rounds).
+    std::vector<std::uint32_t> slot;
+    std::vector<lts::StateId> group_rep;
+    std::vector<std::uint32_t> group_count;
+    std::vector<std::uint32_t> group_of;
+    std::vector<BlockId> group_id;
+    std::vector<std::uint32_t> group_cursor;
+    std::vector<lts::StateId> seg_scratch;
+    std::vector<BlockId> affected;
+    std::vector<lts::StateId> newly_changed;
+
+    std::size_t total_resigned = 0;
+    while (!dirty.empty()) {
+        total_resigned += dirty.size();
+        constexpr std::size_t kMinParallel = 2048;
+        if (pool != nullptr && pool->jobs() > 1 && dirty.size() >= kMinParallel) {
+            const std::size_t chunks =
+                std::min(pool->jobs() * 4, dirty.size() / (kMinParallel / 4));
+            pool->run(chunks, [&](std::size_t c) {
+                SigScratch scratch;
+                resign_range(dirty.size() * c / chunks,
+                             dirty.size() * (c + 1) / chunks, scratch);
+            });
+        } else {
+            SigScratch scratch;
+            resign_range(0, dirty.size(), scratch);
         }
-        const bool stable = block_ids.size() ==
-                            static_cast<std::size_t>(
-                                1 + *std::max_element(prev.begin(), prev.end()));
-        result.rounds.push_back(std::move(next));
-        if (stable) break;
+
+        // Blocks with at least one member whose signature changed are the
+        // only candidates for splitting: every block's members had equal
+        // signatures after the previous round, and untouched signatures are
+        // still valid.
+        affected.clear();
+        for (const lts::StateId s : dirty) {
+            if (sig_changed[s] != 0 && block_affected[cur[s]] == 0) {
+                block_affected[cur[s]] = 1;
+                affected.push_back(cur[s]);
+            }
+        }
+        std::sort(affected.begin(), affected.end());
+        for (const lts::StateId s : dirty) sig_changed[s] = 0;
+        for (const BlockId b : affected) block_affected[b] = 0;
+
+        newly_changed.clear();
+        for (const BlockId b : affected) {
+            const std::uint32_t lo = seg_begin[b];
+            const std::uint32_t hi = seg_end[b];
+            const std::uint32_t count = hi - lo;
+            if (count <= 1) continue;
+
+            // Group the members by signature, groups numbered in order of
+            // first occurrence (open addressing, arena-slice compares).
+            std::size_t cap = 16;
+            while (cap < static_cast<std::size_t>(count) * 2) cap <<= 1;
+            slot.assign(cap, 0);
+            group_rep.clear();
+            group_count.clear();
+            group_of.resize(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const lts::StateId s = members[lo + i];
+                std::size_t pos =
+                    hash_sig(sig_data.data() + off[s], sig_len[s]) & (cap - 1);
+                while (true) {
+                    if (slot[pos] == 0) {
+                        slot[pos] = static_cast<std::uint32_t>(group_rep.size()) + 1;
+                        group_of[i] = static_cast<std::uint32_t>(group_rep.size());
+                        group_rep.push_back(s);
+                        group_count.push_back(1);
+                        break;
+                    }
+                    const std::uint32_t g = slot[pos] - 1;
+                    const lts::StateId r = group_rep[g];
+                    if (sig_len[r] == sig_len[s] &&
+                        std::equal(sig_data.begin() + off[s],
+                                   sig_data.begin() + off[s] + sig_len[s],
+                                   sig_data.begin() + off[r])) {
+                        group_of[i] = g;
+                        ++group_count[g];
+                        break;
+                    }
+                    pos = (pos + 1) & (cap - 1);
+                }
+            }
+            const auto num_groups = static_cast<std::uint32_t>(group_rep.size());
+            if (num_groups <= 1) continue;
+
+            // Stable split: the first-occurrence group keeps id b, later
+            // groups get fresh sequential ids.
+            group_id.resize(num_groups);
+            group_cursor.assign(num_groups + 1, 0);
+            for (std::uint32_t g = 0; g < num_groups; ++g) {
+                group_cursor[g + 1] = group_cursor[g] + group_count[g];
+            }
+            group_id[0] = b;
+            seg_end[b] = lo + group_count[0];
+            for (std::uint32_t g = 1; g < num_groups; ++g) {
+                group_id[g] = static_cast<BlockId>(num_blocks++);
+                seg_begin.push_back(lo + group_cursor[g]);
+                seg_end.push_back(lo + group_cursor[g + 1]);
+            }
+            seg_scratch.assign(members.begin() + lo, members.begin() + hi);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const std::uint32_t g = group_of[i];
+                const lts::StateId s = seg_scratch[i];
+                members[lo + group_cursor[g]++] = s;
+                if (g != 0) {
+                    cur[s] = group_id[g];
+                    newly_changed.push_back(s);
+                }
+            }
+        }
+
+        if (newly_changed.empty()) break;
+        result.rounds.push_back(cur);
+
+        // Next round's dirty set: predecessors of every state that moved.
+        dirty.clear();
+        for (const lts::StateId t : newly_changed) {
+            for (std::uint32_t k = pred_off[t]; k < pred_off[t + 1]; ++k) {
+                const lts::StateId p = preds[k];
+                if (in_dirty[p] == 0) {
+                    in_dirty[p] = 1;
+                    dirty.push_back(p);
+                }
+            }
+        }
+        for (const lts::StateId p : dirty) in_dirty[p] = 0;
     }
+
     obs::counter("bisim.refine.calls").add();
     obs::counter("bisim.refine.rounds").add(result.rounds.size() - 1);
+    obs::counter("bisim.refine.states_resigned").add(total_resigned);
     obs::histogram("bisim.refine.rounds_per_call")
         .observe(static_cast<double>(result.rounds.size() - 1));
     span.arg("rounds", static_cast<double>(result.rounds.size() - 1));
@@ -94,15 +348,17 @@ lts::Lts quotient(const lts::Lts& model, const RefinementResult& refinement) {
         out.add_state("block" + std::to_string(b));
     }
     // One representative per block suffices: bisimilar states have the same
-    // signature by construction.
+    // signature by construction.  (action, block) pairs are deduplicated
+    // through the same packed-64-bit keys the refiner uses.
     std::vector<char> done(num_blocks, 0);
+    std::unordered_set<std::uint64_t> seen;
     for (lts::StateId s = 0; s < model.num_states(); ++s) {
         const BlockId b = blocks[s];
         if (done[b]) continue;
         done[b] = 1;
-        std::map<std::pair<lts::ActionId, BlockId>, char> seen;
+        seen.clear();
         for (const lts::Transition& t : model.out(s)) {
-            if (seen.emplace(std::make_pair(t.action, blocks[t.target]), 1).second) {
+            if (seen.insert(pack_entry(t.action, blocks[t.target])).second) {
                 out.add_transition(b, t.action, blocks[t.target], t.rate);
             }
         }

@@ -37,6 +37,17 @@ struct RefinementResult {
 
 /// Runs signature refinement to a fixpoint.  Rates are ignored: this is the
 /// functional notion of bisimulation used by the noninterference check.
+///
+/// The refiner works incrementally on the CSR view of \p model: after the
+/// first round only *dirty* states — those with a successor whose block
+/// changed in the previous round — are re-signed, into a preallocated
+/// signature arena.  \p jobs > 1 computes the per-round signatures on a
+/// thread pool; block splitting and numbering stay serial (new sub-blocks
+/// numbered by first-state occurrence), so the result is bit-identical for
+/// every jobs value.  jobs == 0 uses exp::default_jobs() (DPMA_JOBS).
+[[nodiscard]] RefinementResult refine_strong(const lts::Lts& model, std::size_t jobs);
+
+/// Same, with jobs == 0 (the DPMA_JOBS / hardware default).
 [[nodiscard]] RefinementResult refine_strong(const lts::Lts& model);
 
 /// Quotient of \p model by its strong-bisimilarity partition: one state per

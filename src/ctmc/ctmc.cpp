@@ -14,11 +14,11 @@ namespace {
 
 /// Maximal-progress filtered immediate branches of a composed state; empty
 /// when the state has no immediate transitions (i.e. is tangible).
-std::vector<VanishingBranch> immediate_branches(const adl::ComposedModel& model,
+std::vector<VanishingBranch> immediate_branches(const lts::Lts::CsrView& csr,
                                                 lts::StateId state) {
     int best_priority = std::numeric_limits<int>::min();
     double total_weight = 0.0;
-    for (const lts::Transition& t : model.graph.out(state)) {
+    for (const lts::Transition& t : csr.out(state)) {
         if (const auto* imm = std::get_if<lts::RateImmediate>(&t.rate)) {
             if (imm->priority > best_priority) {
                 best_priority = imm->priority;
@@ -29,7 +29,7 @@ std::vector<VanishingBranch> immediate_branches(const adl::ComposedModel& model,
     }
     std::vector<VanishingBranch> branches;
     if (total_weight <= 0.0) return branches;
-    for (const lts::Transition& t : model.graph.out(state)) {
+    for (const lts::Transition& t : csr.out(state)) {
         if (const auto* imm = std::get_if<lts::RateImmediate>(&t.rate)) {
             // Zero-weight branches can never fire; dropping them keeps
             // degenerate parameterisations (e.g. loss probability 0) legal.
@@ -72,10 +72,11 @@ MarkovModel build_markov(const adl::ComposedModel& model, bool allow_absorbing) 
     MarkovModel out;
     out.tangible_of.assign(n, kNoTangible);
     out.vanishing_branches.resize(n);
+    const lts::Lts::CsrView& csr = model.graph.csr();
 
     // Classify states and sanity-check rates.
     for (lts::StateId s = 0; s < n; ++s) {
-        for (const lts::Transition& t : model.graph.out(s)) {
+        for (const lts::Transition& t : csr.out(s)) {
             if (std::holds_alternative<lts::RateUnspecified>(t.rate)) {
                 throw ModelError(
                     "transition " + model.graph.actions()->name(t.action) +
@@ -92,7 +93,7 @@ MarkovModel build_markov(const adl::ComposedModel& model, bool allow_absorbing) 
                                  " in a Markovian model; use the simulator instead");
             }
         }
-        out.vanishing_branches[s] = immediate_branches(model, s);
+        out.vanishing_branches[s] = immediate_branches(csr, s);
         if (out.vanishing_branches[s].empty()) {
             out.tangible_of[s] = static_cast<TangibleId>(out.orig_of.size());
             out.orig_of.push_back(s);
@@ -154,7 +155,7 @@ MarkovModel build_markov(const adl::ComposedModel& model, bool allow_absorbing) 
     for (TangibleId t = 0; t < out.orig_of.size(); ++t) {
         const lts::StateId s = out.orig_of[t];
         bool has_timed = false;
-        for (const lts::Transition& tr : model.graph.out(s)) {
+        for (const lts::Transition& tr : csr.out(s)) {
             const auto* exp_rate = std::get_if<lts::RateExp>(&tr.rate);
             if (exp_rate == nullptr) continue;  // tangible => no immediates enabled
             has_timed = true;

@@ -1,8 +1,10 @@
 #include "lts/lts.hpp"
 
+#include <memory>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace dpma::lts {
 
@@ -27,8 +29,27 @@ Lts::Lts(std::shared_ptr<ActionTable> actions) : actions_(std::move(actions)) {
 
 Lts::Lts() : Lts(std::make_shared<ActionTable>()) {}
 
+Lts::Lts(const Lts& other)
+    : actions_(other.actions_),
+      out_(other.out_),
+      names_(other.names_),
+      initial_(other.initial_),
+      num_transitions_(other.num_transitions_) {}
+
+Lts& Lts::operator=(const Lts& other) {
+    if (this == &other) return *this;
+    actions_ = other.actions_;
+    out_ = other.out_;
+    names_ = other.names_;
+    initial_ = other.initial_;
+    num_transitions_ = other.num_transitions_;
+    csr_.reset();
+    return *this;
+}
+
 StateId Lts::add_state(std::string name) {
     DPMA_REQUIRE(out_.size() < kNoState, "state-space overflow");
+    csr_.reset();
     out_.emplace_back();
     names_.push_back(std::move(name));
     return static_cast<StateId>(out_.size() - 1);
@@ -36,8 +57,29 @@ StateId Lts::add_state(std::string name) {
 
 void Lts::add_transition(StateId from, ActionId action, StateId to, Rate rate) {
     DPMA_REQUIRE(from < out_.size() && to < out_.size(), "transition endpoint out of range");
+    csr_.reset();
     out_[from].push_back(Transition{action, to, std::move(rate)});
     ++num_transitions_;
+}
+
+void Lts::reserve_out(StateId state, std::size_t count) {
+    DPMA_REQUIRE(state < out_.size(), "state out of range");
+    out_[state].reserve(count);
+}
+
+void Lts::freeze() const {
+    if (csr_ != nullptr) return;
+    DPMA_REQUIRE(num_transitions_ < 0xFFFFFFFFull, "CSR offsets overflow");
+    auto view = std::make_unique<CsrView>();
+    view->offsets_.reserve(out_.size() + 1);
+    view->data_.reserve(num_transitions_);
+    view->offsets_.push_back(0);
+    for (const std::vector<Transition>& row : out_) {
+        view->data_.insert(view->data_.end(), row.begin(), row.end());
+        view->offsets_.push_back(static_cast<std::uint32_t>(view->data_.size()));
+    }
+    obs::counter("lts.csr.freezes").add();
+    csr_ = std::move(view);
 }
 
 void Lts::set_initial(StateId state) {
@@ -63,6 +105,7 @@ void Lts::set_state_name(StateId state, std::string name) {
 void Lts::set_rate(StateId from, std::size_t transition_index, Rate rate) {
     DPMA_REQUIRE(from < out_.size(), "state out of range");
     DPMA_REQUIRE(transition_index < out_[from].size(), "transition index out of range");
+    csr_.reset();
     out_[from][transition_index].rate = std::move(rate);
 }
 

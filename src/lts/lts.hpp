@@ -60,12 +60,56 @@ struct Transition {
 /// Shares its ActionTable through a shared_ptr so that several models built
 /// for comparison (with DPM / without DPM, hidden / restricted) agree on
 /// action ids.
+///
+/// Besides the mutable adjacency (`out()`), an Lts can expose a *frozen*
+/// compressed-sparse-row view of itself (`csr()`): one contiguous Transition
+/// array plus per-state offsets.  The analysis hot paths (composition,
+/// saturation, partition refinement, CTMC generator build) iterate the CSR
+/// view instead of chasing one heap vector per state.  The view is built
+/// lazily, cached, and dropped by any mutation; copying an Lts never copies
+/// the cache (each copy re-freezes on demand), so sharing a frozen Lts
+/// read-only across threads is safe as long as it was frozen first.
 class Lts {
 public:
+    /// Frozen CSR adjacency: transitions of state s are
+    /// data()[offsets()[s] .. offsets()[s+1]).  Pointers stay valid until the
+    /// owning Lts is mutated or destroyed.
+    class CsrView {
+    public:
+        [[nodiscard]] std::span<const Transition> out(StateId state) const noexcept {
+            return {data_.data() + offsets_[state],
+                    data_.data() + offsets_[state + 1]};
+        }
+        /// All transitions, grouped by source state in state order.
+        [[nodiscard]] std::span<const Transition> transitions() const noexcept {
+            return data_;
+        }
+        /// num_states() + 1 offsets into transitions().
+        [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept {
+            return offsets_;
+        }
+        [[nodiscard]] std::size_t num_states() const noexcept {
+            return offsets_.size() - 1;
+        }
+
+    private:
+        friend class Lts;
+        std::vector<Transition> data_;
+        std::vector<std::uint32_t> offsets_;
+    };
+
     explicit Lts(std::shared_ptr<ActionTable> actions);
 
     /// Creates a fresh action table and an empty LTS over it.
     Lts();
+
+    // The CSR cache is identity-bound: copies start unfrozen and refreeze on
+    // demand, so patched per-thread copies never alias the source's view.
+    Lts(const Lts& other);
+    Lts& operator=(const Lts& other);
+    Lts(Lts&&) noexcept = default;
+    Lts& operator=(Lts&&) noexcept = default;
+    ~Lts() = default;
 
     [[nodiscard]] const std::shared_ptr<ActionTable>& actions() const noexcept {
         return actions_;
@@ -76,6 +120,10 @@ public:
     StateId add_state(std::string name = {});
 
     void add_transition(StateId from, ActionId action, StateId to, Rate rate = RateUnspecified{});
+
+    /// Reserves room for \p count outgoing transitions of \p state (builders
+    /// that know their degrees avoid the vector growth doublings).
+    void reserve_out(StateId state, std::size_t count);
 
     void set_initial(StateId state);
     [[nodiscard]] StateId initial() const noexcept { return initial_; }
@@ -98,12 +146,27 @@ public:
     /// that swap exponential delays for general ones).
     void set_rate(StateId from, std::size_t transition_index, Rate rate);
 
+    /// Builds (and caches) the CSR view.  Idempotent; const because the view
+    /// is a cache of the logical state, not part of it.
+    void freeze() const;
+
+    /// True when a CSR view is currently cached.
+    [[nodiscard]] bool is_frozen() const noexcept { return csr_ != nullptr; }
+
+    /// The CSR view, freezing first if needed.  The reference is invalidated
+    /// by any mutation (add_state / add_transition / set_rate).
+    [[nodiscard]] const CsrView& csr() const {
+        freeze();
+        return *csr_;
+    }
+
 private:
     std::shared_ptr<ActionTable> actions_;
     std::vector<std::vector<Transition>> out_;
     std::vector<std::string> names_;
     StateId initial_ = kNoState;
     std::size_t num_transitions_ = 0;
+    mutable std::unique_ptr<CsrView> csr_;
 };
 
 }  // namespace dpma::lts

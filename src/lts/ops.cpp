@@ -1,11 +1,12 @@
 #include "lts/ops.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace dpma::lts {
 namespace {
@@ -21,28 +22,77 @@ Lts clone_states(const Lts& model) {
     return out;
 }
 
-/// Forward tau-closure (reflexive) of every state.
-std::vector<std::vector<StateId>> tau_closures(const Lts& model) {
+/// Tau-SCC condensation of \p model (iterative Tarjan over tau edges only).
+///
+/// SCC ids are assigned in Tarjan pop order, which is *reverse topological*
+/// order of the condensation DAG: an SCC is popped only after every SCC
+/// reachable from it, so a tau edge between distinct SCCs c -> d always has
+/// d < c.  Both the collapse pre-pass and the bitset saturation rely on
+/// processing ids ascending to see successors first.
+struct TauCondensation {
+    std::vector<StateId> scc_of;
+    StateId num_sccs = 0;
+};
+
+TauCondensation tau_condensation(const Lts& model) {
     const ActionId tau = model.actions()->tau();
-    std::vector<std::vector<StateId>> closure(model.num_states());
-    std::vector<char> seen(model.num_states());
-    for (StateId s = 0; s < model.num_states(); ++s) {
-        std::fill(seen.begin(), seen.end(), 0);
-        std::deque<StateId> queue{s};
-        seen[s] = 1;
-        while (!queue.empty()) {
-            const StateId u = queue.front();
-            queue.pop_front();
-            closure[s].push_back(u);
-            for (const Transition& t : model.out(u)) {
-                if (t.action == tau && !seen[t.target]) {
-                    seen[t.target] = 1;
-                    queue.push_back(t.target);
+    const std::size_t n = model.num_states();
+    const Lts::CsrView& csr = model.csr();
+
+    std::vector<int> index(n, -1);
+    std::vector<int> lowlink(n, 0);
+    std::vector<char> on_stack(n, 0);
+    std::vector<StateId> stack;
+    TauCondensation cond;
+    cond.scc_of.assign(n, kNoState);
+    int next_index = 0;
+
+    struct Frame {
+        StateId v;
+        std::size_t child = 0;
+    };
+    for (StateId root = 0; root < n; ++root) {
+        if (index[root] != -1) continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = 1;
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            const StateId v = frame.v;
+            const auto out = csr.out(v);
+            if (frame.child < out.size()) {
+                const Transition& t = out[frame.child++];
+                if (t.action != tau) continue;
+                const StateId w = t.target;
+                if (index[w] == -1) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = 1;
+                    frames.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
                 }
+                continue;
+            }
+            if (lowlink[v] == index[v]) {
+                while (true) {
+                    const StateId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = 0;
+                    cond.scc_of[w] = cond.num_sccs;
+                    if (w == v) break;
+                }
+                ++cond.num_sccs;
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                const StateId parent = frames.back().v;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
             }
         }
     }
-    return closure;
+    return cond;
 }
 
 }  // namespace
@@ -50,8 +100,11 @@ std::vector<std::vector<StateId>> tau_closures(const Lts& model) {
 Lts hide(const Lts& model, const ActionSet& actions) {
     Lts out = clone_states(model);
     const ActionId tau = model.actions()->tau();
+    const Lts::CsrView& csr = model.csr();
     for (StateId s = 0; s < model.num_states(); ++s) {
-        for (const Transition& t : model.out(s)) {
+        const auto row = csr.out(s);
+        out.reserve_out(s, row.size());
+        for (const Transition& t : row) {
             const ActionId label = actions.contains(t.action) ? tau : t.action;
             out.add_transition(s, label, t.target, t.rate);
         }
@@ -61,8 +114,9 @@ Lts hide(const Lts& model, const ActionSet& actions) {
 
 Lts restrict_actions(const Lts& model, const ActionSet& actions) {
     Lts out = clone_states(model);
+    const Lts::CsrView& csr = model.csr();
     for (StateId s = 0; s < model.num_states(); ++s) {
-        for (const Transition& t : model.out(s)) {
+        for (const Transition& t : csr.out(s)) {
             if (!actions.contains(t.action)) {
                 out.add_transition(s, t.action, t.target, t.rate);
             }
@@ -109,63 +163,11 @@ std::vector<StateId> deadlock_states(const Lts& model) {
 TauCollapseResult collapse_tau_sccs(const Lts& model) {
     const ActionId tau = model.actions()->tau();
     const std::size_t n = model.num_states();
+    const Lts::CsrView& csr = model.csr();
+    TauCondensation cond = tau_condensation(model);
+    const StateId num_sccs = cond.num_sccs;
 
-    // Iterative Tarjan over tau edges only.
-    std::vector<int> index(n, -1);
-    std::vector<int> lowlink(n, 0);
-    std::vector<char> on_stack(n, 0);
-    std::vector<StateId> stack;
-    std::vector<StateId> scc_of(n, kNoState);
-    int next_index = 0;
-    StateId num_sccs = 0;
-
-    struct Frame {
-        StateId v;
-        std::size_t child = 0;
-    };
-    for (StateId root = 0; root < n; ++root) {
-        if (index[root] != -1) continue;
-        std::vector<Frame> frames{{root, 0}};
-        index[root] = lowlink[root] = next_index++;
-        stack.push_back(root);
-        on_stack[root] = 1;
-        while (!frames.empty()) {
-            Frame& frame = frames.back();
-            const StateId v = frame.v;
-            const auto out = model.out(v);
-            if (frame.child < out.size()) {
-                const Transition& t = out[frame.child++];
-                if (t.action != tau) continue;
-                const StateId w = t.target;
-                if (index[w] == -1) {
-                    index[w] = lowlink[w] = next_index++;
-                    stack.push_back(w);
-                    on_stack[w] = 1;
-                    frames.push_back(Frame{w, 0});
-                } else if (on_stack[w]) {
-                    lowlink[v] = std::min(lowlink[v], index[w]);
-                }
-                continue;
-            }
-            if (lowlink[v] == index[v]) {
-                while (true) {
-                    const StateId w = stack.back();
-                    stack.pop_back();
-                    on_stack[w] = 0;
-                    scc_of[w] = num_sccs;
-                    if (w == v) break;
-                }
-                ++num_sccs;
-            }
-            frames.pop_back();
-            if (!frames.empty()) {
-                const StateId parent = frames.back().v;
-                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
-            }
-        }
-    }
-
-    TauCollapseResult result{Lts(model.actions()), std::move(scc_of)};
+    TauCollapseResult result{Lts(model.actions()), std::move(cond.scc_of)};
     for (StateId c = 0; c < num_sccs; ++c) {
         result.collapsed.add_state();
     }
@@ -175,7 +177,7 @@ TauCollapseResult collapse_tau_sccs(const Lts& model) {
     std::vector<std::unordered_set<std::uint64_t>> seen(num_sccs);
     for (StateId s = 0; s < n; ++s) {
         const StateId from = result.representative_of[s];
-        for (const Transition& t : model.out(s)) {
+        for (const Transition& t : csr.out(s)) {
             const StateId to = result.representative_of[t.target];
             if (t.action == tau && from == to) continue;
             const std::uint64_t key = (static_cast<std::uint64_t>(t.action) << 32) | to;
@@ -191,33 +193,135 @@ TauCollapseResult collapse_tau_sccs(const Lts& model) {
 
 Lts saturate(const Lts& model) {
     const ActionId tau = model.actions()->tau();
-    const auto closure = tau_closures(model);
+    const std::size_t n = model.num_states();
     Lts out = clone_states(model);
+    if (n == 0) return out;
 
-    for (StateId s = 0; s < model.num_states(); ++s) {
-        // Weak tau moves: everything in the (reflexive) closure.
-        std::vector<char> added_tau(model.num_states(), 0);
-        for (StateId mid : closure[s]) {
-            if (!added_tau[mid]) {
-                added_tau[mid] = 1;
-                out.add_transition(s, tau, mid);
-            }
-        }
-        // Weak visible moves: tau* a tau*.
-        // Deduplicate (action, target) pairs to keep the saturated system small.
-        std::unordered_map<std::uint64_t, char> added;
-        for (StateId mid : closure[s]) {
-            for (const Transition& t : model.out(mid)) {
-                if (t.action == tau) continue;
-                for (StateId end : closure[t.target]) {
-                    const std::uint64_t key =
-                        (static_cast<std::uint64_t>(t.action) << 32) | end;
-                    if (!added.emplace(key, 1).second) continue;
-                    out.add_transition(s, t.action, end);
-                }
+    const Lts::CsrView& csr = model.csr();
+    const TauCondensation cond = tau_condensation(model);
+    const StateId num_sccs = cond.num_sccs;
+    const std::size_t words = (static_cast<std::size_t>(num_sccs) + 63) / 64;
+
+    // Members of each SCC, grouped contiguously, ascending state id.
+    std::vector<std::uint32_t> scc_off(num_sccs + 1, 0);
+    for (StateId s = 0; s < n; ++s) ++scc_off[cond.scc_of[s] + 1];
+    for (StateId c = 0; c < num_sccs; ++c) scc_off[c + 1] += scc_off[c];
+    std::vector<StateId> scc_members(n);
+    {
+        std::vector<std::uint32_t> cursor(scc_off.begin(), scc_off.end() - 1);
+        for (StateId s = 0; s < n; ++s) scc_members[cursor[cond.scc_of[s]]++] = s;
+    }
+
+    // Deduplicated tau edges of the condensation DAG, sorted by source.
+    std::vector<std::uint64_t> tau_edges;
+    for (StateId s = 0; s < n; ++s) {
+        const StateId from = cond.scc_of[s];
+        for (const Transition& t : csr.out(s)) {
+            if (t.action != tau) continue;
+            const StateId to = cond.scc_of[t.target];
+            if (to != from) {
+                tau_edges.push_back((static_cast<std::uint64_t>(from) << 32) | to);
             }
         }
     }
+    std::sort(tau_edges.begin(), tau_edges.end());
+    tau_edges.erase(std::unique(tau_edges.begin(), tau_edges.end()), tau_edges.end());
+
+    // Reflexive tau closure as one bitset row per SCC — num_sccs^2 bits in
+    // total, not the per-state id vectors of the old implementation.  Every
+    // SCC reachable from c has a smaller id (reverse topological numbering),
+    // so a single ascending pass sees complete successor rows, and the rows
+    // it ORs in have no bits above c.
+    std::vector<std::uint64_t> closure(words * num_sccs, 0);
+    {
+        std::size_t e = 0;
+        for (StateId c = 0; c < num_sccs; ++c) {
+            std::uint64_t* row = closure.data() + static_cast<std::size_t>(c) * words;
+            row[c >> 6] |= std::uint64_t{1} << (c & 63);
+            for (; e < tau_edges.size() && (tau_edges[e] >> 32) == c; ++e) {
+                const auto d = static_cast<StateId>(tau_edges[e] & 0xFFFFFFFFu);
+                const std::uint64_t* src =
+                    closure.data() + static_cast<std::size_t>(d) * words;
+                for (std::size_t w = 0; w <= (c >> 6); ++w) row[w] |= src[w];
+            }
+        }
+    }
+
+    const auto for_each_closure_scc = [&](StateId c, auto&& fn) {
+        const std::uint64_t* row = closure.data() + static_cast<std::size_t>(c) * words;
+        for (std::size_t w = 0; w <= (static_cast<std::size_t>(c) >> 6); ++w) {
+            std::uint64_t bits = row[w];
+            while (bits != 0) {
+                fn(static_cast<StateId>(w * 64 + std::countr_zero(bits)));
+                bits &= bits - 1;
+            }
+        }
+    };
+
+    // Weak visible moves per SCC, packed (action << 32 | target state),
+    // sorted and deduplicated; each SCC inherits its tau successors' moves
+    // (complete by the same ordering argument) and adds its members' visible
+    // steps followed by any tau descent from the landing SCC.  Only the
+    // direct entries need sorting — inherited lists are already sorted and
+    // are folded in with linear merges.
+    std::vector<std::vector<std::uint64_t>> weak_visible(num_sccs);
+    std::vector<std::uint32_t> closure_size(num_sccs, 0);
+    {
+        std::vector<std::uint64_t> direct;
+        std::vector<std::uint64_t> acc;
+        std::vector<std::uint64_t> merged;
+        std::size_t e = 0;
+        for (StateId c = 0; c < num_sccs; ++c) {
+            direct.clear();
+            for (std::uint32_t idx = scc_off[c]; idx < scc_off[c + 1]; ++idx) {
+                for (const Transition& t : csr.out(scc_members[idx])) {
+                    if (t.action == tau) continue;
+                    const std::uint64_t key = static_cast<std::uint64_t>(t.action) << 32;
+                    for_each_closure_scc(cond.scc_of[t.target], [&](StateId f) {
+                        for (std::uint32_t j = scc_off[f]; j < scc_off[f + 1]; ++j) {
+                            direct.push_back(key | scc_members[j]);
+                        }
+                    });
+                }
+            }
+            std::sort(direct.begin(), direct.end());
+            direct.erase(std::unique(direct.begin(), direct.end()), direct.end());
+            acc.swap(direct);
+            for (; e < tau_edges.size() && (tau_edges[e] >> 32) == c; ++e) {
+                const auto d = static_cast<StateId>(tau_edges[e] & 0xFFFFFFFFu);
+                const std::vector<std::uint64_t>& inherited = weak_visible[d];
+                if (inherited.empty()) continue;
+                merged.clear();
+                merged.reserve(acc.size() + inherited.size());
+                std::merge(acc.begin(), acc.end(), inherited.begin(), inherited.end(),
+                           std::back_inserter(merged));
+                merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+                acc.swap(merged);
+            }
+            weak_visible[c].assign(acc.begin(), acc.end());
+            std::uint32_t reach = 0;
+            for_each_closure_scc(
+                c, [&](StateId f) { reach += scc_off[f + 1] - scc_off[f]; });
+            closure_size[c] = reach;
+        }
+    }
+
+    // Emit per original state: the reflexive weak-tau row (all states of all
+    // closure SCCs), then the weak visible moves.  Reserves are exact.
+    for (StateId s = 0; s < n; ++s) {
+        const StateId c = cond.scc_of[s];
+        out.reserve_out(s, closure_size[c] + weak_visible[c].size());
+        for_each_closure_scc(c, [&](StateId f) {
+            for (std::uint32_t j = scc_off[f]; j < scc_off[f + 1]; ++j) {
+                out.add_transition(s, tau, scc_members[j]);
+            }
+        });
+        for (const std::uint64_t move : weak_visible[c]) {
+            out.add_transition(s, static_cast<ActionId>(move >> 32),
+                               static_cast<StateId>(move & 0xFFFFFFFFu));
+        }
+    }
+    obs::counter("lts.saturate.weak_transitions").add(out.num_transitions());
     return out;
 }
 
@@ -231,10 +335,17 @@ UnionResult disjoint_union(const Lts& lhs, const Lts& rhs) {
         for (StateId s = 0; s < src.num_states(); ++s) {
             combined.add_state(src.state_name(s));
         }
+        // Remap action ids once per side instead of re-interning the label
+        // string of every transition.
+        const ActionTable& src_actions = *src.actions();
+        std::vector<ActionId> remap(src_actions.size());
+        for (ActionId a = 0; a < remap.size(); ++a) {
+            remap[a] = table->intern(src_actions.name(a));
+        }
         for (StateId s = 0; s < src.num_states(); ++s) {
             for (const Transition& t : src.out(s)) {
-                const ActionId label = table->intern(src.actions()->name(t.action));
-                combined.add_transition(offset + s, label, offset + t.target, t.rate);
+                combined.add_transition(offset + s, remap[t.action], offset + t.target,
+                                        t.rate);
             }
         }
     };

@@ -1,0 +1,278 @@
+/// \file bisim_diff_test.cpp
+/// Differential tests for the CSR-based saturation and dirty-block
+/// refinement pipeline: the optimised implementations are compared against
+/// straightforward reference implementations (the pre-optimisation
+/// algorithms, kept here verbatim) on randomized LTSs.  Verdicts, block
+/// counts, the induced equivalence relations, and the validity of
+/// distinguishing formulas must all agree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <random>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bisim/equivalence.hpp"
+#include "bisim/hml_check.hpp"
+#include "bisim/partition.hpp"
+#include "lts/ops.hpp"
+
+namespace dpma::bisim {
+namespace {
+
+using lts::ActionId;
+using lts::Lts;
+using lts::StateId;
+using lts::Transition;
+
+// ---------------------------------------------------------------------------
+// Reference implementations (pre-CSR algorithms, intentionally naive).
+// ---------------------------------------------------------------------------
+
+/// Forward tau-closure (reflexive) of every state via per-state BFS.
+std::vector<std::vector<StateId>> ref_tau_closures(const Lts& model) {
+    const ActionId tau = model.actions()->tau();
+    std::vector<std::vector<StateId>> closure(model.num_states());
+    std::vector<char> seen(model.num_states());
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        std::fill(seen.begin(), seen.end(), 0);
+        std::deque<StateId> queue{s};
+        seen[s] = 1;
+        while (!queue.empty()) {
+            const StateId u = queue.front();
+            queue.pop_front();
+            closure[s].push_back(u);
+            for (const Transition& t : model.out(u)) {
+                if (t.action == tau && !seen[t.target]) {
+                    seen[t.target] = 1;
+                    queue.push_back(t.target);
+                }
+            }
+        }
+    }
+    return closure;
+}
+
+/// Reference weak saturation: tau* moves plus tau* a tau* moves.
+Lts ref_saturate(const Lts& model) {
+    const ActionId tau = model.actions()->tau();
+    const auto closure = ref_tau_closures(model);
+    Lts out(model.actions());
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        out.add_state(model.state_name(s));
+    }
+    if (model.initial() != lts::kNoState) out.set_initial(model.initial());
+
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        std::vector<char> added_tau(model.num_states(), 0);
+        for (StateId mid : closure[s]) {
+            if (!added_tau[mid]) {
+                added_tau[mid] = 1;
+                out.add_transition(s, tau, mid);
+            }
+        }
+        std::unordered_map<std::uint64_t, char> added;
+        for (StateId mid : closure[s]) {
+            for (const Transition& t : model.out(mid)) {
+                if (t.action == tau) continue;
+                for (StateId end : closure[t.target]) {
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(t.action) << 32) | end;
+                    if (!added.emplace(key, 1).second) continue;
+                    out.add_transition(s, t.action, end);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/// Reference whole-partition signature refinement.
+using RefSignature = std::vector<std::pair<ActionId, BlockId>>;
+
+RefSignature ref_signature_of(const Lts& model, StateId state,
+                              const std::vector<BlockId>& blocks) {
+    RefSignature sig;
+    for (const Transition& t : model.out(state)) {
+        sig.emplace_back(t.action, blocks[t.target]);
+    }
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+    return sig;
+}
+
+std::vector<BlockId> ref_refine_strong(const Lts& model) {
+    const std::size_t n = model.num_states();
+    std::vector<BlockId> prev(n, 0);
+    if (n == 0) return prev;
+    while (true) {
+        std::vector<BlockId> next(n, 0);
+        std::map<std::pair<BlockId, RefSignature>, BlockId> block_ids;
+        for (StateId s = 0; s < n; ++s) {
+            auto key = std::make_pair(prev[s], ref_signature_of(model, s, prev));
+            auto [it, inserted] =
+                block_ids.emplace(std::move(key), static_cast<BlockId>(block_ids.size()));
+            next[s] = it->second;
+        }
+        const bool stable =
+            block_ids.size() ==
+            static_cast<std::size_t>(1 + *std::max_element(prev.begin(), prev.end()));
+        prev = std::move(next);
+        if (stable) return prev;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+/// Random LTS with a controllable tau share; always rooted at state 0.
+Lts random_lts(std::uint32_t seed, std::size_t states, std::size_t transitions,
+               double tau_share) {
+    std::mt19937 rng(seed);
+    Lts m;
+    const ActionId tau = m.actions()->tau();
+    const std::vector<ActionId> visible{m.action("a"), m.action("b"), m.action("c")};
+    for (std::size_t s = 0; s < states; ++s) m.add_state();
+    std::uniform_int_distribution<StateId> pick_state(0, static_cast<StateId>(states - 1));
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<std::size_t> pick_visible(0, visible.size() - 1);
+    for (std::size_t k = 0; k < transitions; ++k) {
+        const ActionId a = coin(rng) < tau_share ? tau : visible[pick_visible(rng)];
+        m.add_transition(pick_state(rng), a, pick_state(rng));
+    }
+    m.set_initial(0);
+    return m;
+}
+
+std::set<std::tuple<StateId, ActionId, StateId>> transition_set(const Lts& model) {
+    std::set<std::tuple<StateId, ActionId, StateId>> out;
+    for (StateId s = 0; s < model.num_states(); ++s) {
+        for (const Transition& t : model.out(s)) {
+            out.emplace(s, t.action, t.target);
+        }
+    }
+    return out;
+}
+
+std::size_t block_count(const std::vector<BlockId>& blocks) {
+    if (blocks.empty()) return 0;
+    return 1 + *std::max_element(blocks.begin(), blocks.end());
+}
+
+/// True iff the two labelings induce the same equivalence relation, i.e.
+/// they are equal up to renumbering of block ids.
+bool same_partition(const std::vector<BlockId>& a, const std::vector<BlockId>& b) {
+    if (a.size() != b.size()) return false;
+    std::map<BlockId, BlockId> fwd, bwd;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto [f, fi] = fwd.emplace(a[i], b[i]);
+        if (!fi && f->second != b[i]) return false;
+        const auto [g, gi] = bwd.emplace(b[i], a[i]);
+        if (!gi && g->second != a[i]) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Differential properties.
+// ---------------------------------------------------------------------------
+
+TEST(BisimDiffTest, SaturateMatchesReferenceOnRandomSystems) {
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+        const Lts m = random_lts(seed, 30 + seed * 7, 90 + seed * 23, 0.5);
+        const Lts fast = lts::saturate(m);
+        const Lts ref = ref_saturate(m);
+        EXPECT_EQ(fast.num_states(), ref.num_states()) << "seed " << seed;
+        EXPECT_EQ(transition_set(fast), transition_set(ref)) << "seed " << seed;
+    }
+}
+
+TEST(BisimDiffTest, RefineMatchesReferenceUpToRenumbering) {
+    for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+        const Lts m = random_lts(seed * 101, 40 + seed * 5, 120 + seed * 17, 0.3);
+        const RefinementResult fast = refine_strong(m);
+        const std::vector<BlockId> ref = ref_refine_strong(m);
+        EXPECT_EQ(block_count(fast.final_blocks()), block_count(ref)) << "seed " << seed;
+        EXPECT_TRUE(same_partition(fast.final_blocks(), ref)) << "seed " << seed;
+    }
+}
+
+TEST(BisimDiffTest, WeakVerdictsMatchReferencePipeline) {
+    std::size_t disagreements_possible = 0;
+    for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+        const Lts lhs = random_lts(seed * 7, 12, 30, 0.5);
+        const Lts rhs = random_lts(seed * 7 + 3, 12, 30, 0.5);
+
+        // Production pipeline (collapse + CSR saturation + dirty-block
+        // refinement) ...
+        const EquivalenceResult fast = weakly_bisimilar(lhs, rhs);
+
+        // ... against the naive one: union, reference saturation, reference
+        // refinement, no SCC collapse.
+        const lts::UnionResult merged = lts::disjoint_union(lhs, rhs);
+        const Lts sat = ref_saturate(merged.combined);
+        const std::vector<BlockId> blocks = ref_refine_strong(sat);
+        const bool ref_equivalent =
+            blocks[merged.initial_lhs] == blocks[merged.initial_rhs];
+
+        EXPECT_EQ(fast.equivalent, ref_equivalent) << "seed " << seed;
+        if (!fast.equivalent) ++disagreements_possible;
+    }
+    // The generator must exercise both verdicts for the test to mean much.
+    EXPECT_GT(disagreements_possible, 0u);
+}
+
+TEST(BisimDiffTest, DistinguishingFormulasRemainValid) {
+    std::size_t formulas_checked = 0;
+    for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+        const Lts lhs = random_lts(seed * 13, 10, 24, 0.4);
+        const Lts rhs = random_lts(seed * 13 + 5, 10, 24, 0.4);
+        const EquivalenceResult result = weakly_bisimilar(lhs, rhs);
+        if (result.equivalent) continue;
+        ASSERT_NE(result.distinguishing, nullptr) << "seed " << seed;
+        // The formula must hold on one initial state and fail on the other,
+        // interpreted over the (unsaturated) union with weak modalities.
+        const lts::UnionResult u = lts::disjoint_union(lhs, rhs);
+        EXPECT_NE(satisfies(u.combined, u.initial_lhs, result.distinguishing),
+                  satisfies(u.combined, u.initial_rhs, result.distinguishing))
+            << "seed " << seed;
+        ++formulas_checked;
+    }
+    EXPECT_GT(formulas_checked, 0u);
+}
+
+TEST(BisimDiffTest, ParallelRefinementIsBitIdenticalToSerial) {
+    for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+        const Lts m = random_lts(seed * 31, 400, 3000, 0.5);
+        const Lts sat = lts::saturate(m);
+        const RefinementResult serial = refine_strong(sat, 1);
+        const RefinementResult parallel = refine_strong(sat, 4);
+        ASSERT_EQ(serial.rounds.size(), parallel.rounds.size()) << "seed " << seed;
+        for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+            EXPECT_EQ(serial.rounds[r], parallel.rounds[r])
+                << "seed " << seed << " round " << r;
+        }
+    }
+}
+
+TEST(BisimDiffTest, QuotientOfSaturationIsWeaklyBisimilarToOriginal) {
+    for (std::uint32_t seed = 1; seed <= 4; ++seed) {
+        const Lts m = random_lts(seed * 47, 20, 60, 0.5);
+        const Lts sat = lts::saturate(m);
+        const RefinementResult refinement = refine_strong(sat);
+        Lts q = quotient(sat, refinement);
+        q.set_initial(refinement.final_blocks()[m.initial()]);
+        const EquivalenceResult eq = weakly_bisimilar(m, q);
+        EXPECT_TRUE(eq.equivalent) << "seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace dpma::bisim

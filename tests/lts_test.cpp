@@ -199,6 +199,59 @@ TEST(DisjointUnion, MergesActionTablesByName) {
               u.combined.out(u.initial_rhs)[1].action);
 }
 
+TEST(Csr, FreezeMirrorsAdjacency) {
+    Lts m = make_chain();
+    EXPECT_FALSE(m.is_frozen());
+    const Lts::CsrView& csr = m.csr();  // freezes lazily
+    EXPECT_TRUE(m.is_frozen());
+    ASSERT_EQ(csr.num_states(), m.num_states());
+    EXPECT_EQ(csr.transitions().size(), m.num_transitions());
+    for (StateId s = 0; s < m.num_states(); ++s) {
+        const auto row = csr.out(s);
+        const auto adj = m.out(s);
+        ASSERT_EQ(row.size(), adj.size());
+        for (std::size_t k = 0; k < row.size(); ++k) {
+            EXPECT_EQ(row[k].action, adj[k].action);
+            EXPECT_EQ(row[k].target, adj[k].target);
+        }
+    }
+    EXPECT_EQ(csr.offsets().size(), m.num_states() + 1);
+    EXPECT_EQ(csr.offsets().front(), 0u);
+    EXPECT_EQ(csr.offsets().back(), m.num_transitions());
+}
+
+TEST(Csr, MutationInvalidatesFrozenView) {
+    Lts m = make_chain();
+    m.freeze();
+    ASSERT_TRUE(m.is_frozen());
+    const StateId extra = m.add_state();
+    EXPECT_FALSE(m.is_frozen());  // add_state drops the cache
+
+    m.freeze();
+    m.add_transition(0, m.action("a"), extra);
+    EXPECT_FALSE(m.is_frozen());  // add_transition drops the cache
+
+    m.freeze();
+    m.set_rate(0, 0, RateExp{2.0});
+    EXPECT_FALSE(m.is_frozen());  // set_rate drops the cache
+
+    // The rebuilt view reflects the mutations.
+    const Lts::CsrView& csr = m.csr();
+    EXPECT_EQ(csr.num_states(), m.num_states());
+    EXPECT_EQ(csr.transitions().size(), m.num_transitions());
+}
+
+TEST(Csr, CopiesDropTheCacheAndFreezeIndependently) {
+    Lts m = make_chain();
+    m.freeze();
+    Lts copy = m;
+    EXPECT_TRUE(m.is_frozen());    // source keeps its view
+    EXPECT_FALSE(copy.is_frozen());  // copies start thawed
+    copy.add_state();
+    EXPECT_EQ(copy.num_states(), m.num_states() + 1);
+    EXPECT_EQ(copy.csr().num_states(), m.csr().num_states() + 1);
+}
+
 TEST(MakeActionSet, InternsNames) {
     Lts m = make_chain();
     const ActionSet set = make_action_set(m, {"a", "brand_new"});
