@@ -47,11 +47,13 @@ struct RewardClause {
     Target target = Target::State;
     Predicate predicate;
     double reward = 0.0;
+    SourceLoc loc = {};  ///< position of the predicate keyword (parser-built only)
 };
 
 struct Measure {
     std::string name;
     std::vector<RewardClause> clauses;
+    SourceLoc loc = {};  ///< position of the measure name (parser-built only)
 };
 
 /// Convenience constructors mirroring the concrete syntax.

@@ -10,6 +10,10 @@
 namespace dpma::adl {
 namespace {
 
+[[noreturn]] void fail(std::string message, const SourceLoc& loc) {
+    throw ModelError(std::move(message), loc.line, loc.column);
+}
+
 const BehaviorDef* find_behavior(const ElemType& type, const std::string& name) {
     for (const BehaviorDef& b : type.behaviors) {
         if (b.name == name) return &b;
@@ -18,42 +22,49 @@ const BehaviorDef* find_behavior(const ElemType& type, const std::string& name) 
 }
 
 void validate_elem_type(const ElemType& type) {
-    DPMA_REQUIRE(!type.behaviors.empty(),
-                 "element type " + type.name + " has no behaviours");
+    if (type.behaviors.empty()) {
+        fail("element type " + type.name + " has no behaviours", type.loc);
+    }
     std::unordered_set<std::string> behavior_names;
     for (const BehaviorDef& b : type.behaviors) {
         if (!behavior_names.insert(b.name).second) {
-            throw ModelError("duplicate behaviour " + b.name + " in type " + type.name);
+            fail("duplicate behaviour " + b.name + " in type " + type.name, b.loc);
         }
     }
     std::unordered_set<std::string> interactions;
-    for (const std::string& port : type.input_interactions) {
-        if (!interactions.insert(port).second) {
-            throw ModelError("duplicate interaction " + port + " in type " + type.name);
+    for (std::size_t i = 0; i < type.input_interactions.size(); ++i) {
+        if (!interactions.insert(type.input_interactions[i]).second) {
+            fail("duplicate interaction " + type.input_interactions[i] + " in type " +
+                     type.name,
+                 type.input_loc(i));
         }
     }
-    for (const std::string& port : type.output_interactions) {
-        if (!interactions.insert(port).second) {
-            throw ModelError("interaction " + port + " declared both input and output in type " +
-                             type.name);
+    for (std::size_t i = 0; i < type.output_interactions.size(); ++i) {
+        if (!interactions.insert(type.output_interactions[i]).second) {
+            fail("interaction " + type.output_interactions[i] +
+                     " declared both input and output in type " + type.name,
+                 type.output_loc(i));
         }
     }
     for (const BehaviorDef& b : type.behaviors) {
         for (const Alternative& alt : b.alternatives) {
             if (alt.actions.empty()) {
-                throw ModelError("empty action sequence in behaviour " + b.name +
-                                 " of type " + type.name);
+                fail("empty action sequence in behaviour " + b.name + " of type " +
+                         type.name,
+                     alt.loc);
             }
             const BehaviorDef* target = find_behavior(type, alt.continuation.behavior);
             if (target == nullptr) {
-                throw ModelError("behaviour " + b.name + " of type " + type.name +
-                                 " invokes unknown behaviour " + alt.continuation.behavior);
+                fail("behaviour " + b.name + " of type " + type.name +
+                         " invokes unknown behaviour " + alt.continuation.behavior,
+                     alt.continuation.loc);
             }
             if (target->params.size() != alt.continuation.args.size()) {
-                throw ModelError("behaviour " + alt.continuation.behavior + " of type " +
-                                 type.name + " expects " +
-                                 std::to_string(target->params.size()) + " argument(s), got " +
-                                 std::to_string(alt.continuation.args.size()));
+                fail("behaviour " + alt.continuation.behavior + " of type " + type.name +
+                         " expects " + std::to_string(target->params.size()) +
+                         " argument(s), got " +
+                         std::to_string(alt.continuation.args.size()),
+                     alt.continuation.loc);
             }
         }
     }
@@ -76,12 +87,14 @@ const Instance* ArchiType::find_instance(const std::string& instance_name) const
 }
 
 void validate(const ArchiType& archi) {
-    DPMA_REQUIRE(!archi.instances.empty(), "architecture " + archi.name + " has no instances");
+    if (archi.instances.empty()) {
+        fail("architecture " + archi.name + " has no instances", archi.loc);
+    }
 
     std::unordered_set<std::string> type_names;
     for (const ElemType& t : archi.elem_types) {
         if (!type_names.insert(t.name).second) {
-            throw ModelError("duplicate element type " + t.name);
+            fail("duplicate element type " + t.name, t.loc);
         }
         validate_elem_type(t);
     }
@@ -89,17 +102,18 @@ void validate(const ArchiType& archi) {
     std::unordered_set<std::string> instance_names;
     for (const Instance& inst : archi.instances) {
         if (!instance_names.insert(inst.name).second) {
-            throw ModelError("duplicate instance " + inst.name);
+            fail("duplicate instance " + inst.name, inst.loc);
         }
         const ElemType* type = archi.find_type(inst.type);
         if (type == nullptr) {
-            throw ModelError("instance " + inst.name + " has unknown type " + inst.type);
+            fail("instance " + inst.name + " has unknown type " + inst.type, inst.loc);
         }
         const BehaviorDef& initial = type->behaviors.front();
         if (initial.params.size() != inst.args.size()) {
-            throw ModelError("instance " + inst.name + ": initial behaviour " + initial.name +
-                             " expects " + std::to_string(initial.params.size()) +
-                             " argument(s), got " + std::to_string(inst.args.size()));
+            fail("instance " + inst.name + ": initial behaviour " + initial.name +
+                     " expects " + std::to_string(initial.params.size()) +
+                     " argument(s), got " + std::to_string(inst.args.size()),
+                 inst.loc);
         }
     }
 
@@ -116,29 +130,33 @@ void validate(const ArchiType& archi) {
     std::set<std::pair<std::string, std::string>> attached_in;
     for (const Attachment& att : archi.attachments) {
         if (archi.find_instance(att.from_instance) == nullptr) {
-            throw ModelError("attachment from unknown instance " + att.from_instance);
+            fail("attachment from unknown instance " + att.from_instance, att.loc);
         }
         if (archi.find_instance(att.to_instance) == nullptr) {
-            throw ModelError("attachment to unknown instance " + att.to_instance);
+            fail("attachment to unknown instance " + att.to_instance, att.loc);
         }
         if (!is_port(att.from_instance, att.from_port, /*output=*/true)) {
-            throw ModelError("attachment source " + att.from_instance + "." + att.from_port +
-                             " is not a declared output interaction");
+            fail("attachment source " + att.from_instance + "." + att.from_port +
+                     " is not a declared output interaction",
+                 att.from_loc.known() ? att.from_loc : att.loc);
         }
         if (!is_port(att.to_instance, att.to_port, /*output=*/false)) {
-            throw ModelError("attachment target " + att.to_instance + "." + att.to_port +
-                             " is not a declared input interaction");
+            fail("attachment target " + att.to_instance + "." + att.to_port +
+                     " is not a declared input interaction",
+                 att.to_loc.known() ? att.to_loc : att.loc);
         }
         if (att.from_instance == att.to_instance) {
-            throw ModelError("self-attachment on instance " + att.from_instance);
+            fail("self-attachment on instance " + att.from_instance, att.loc);
         }
         if (!attached_out.insert({att.from_instance, att.from_port}).second) {
-            throw ModelError("output " + att.from_instance + "." + att.from_port +
-                             " attached more than once (UNI)");
+            fail("output " + att.from_instance + "." + att.from_port +
+                     " attached more than once (UNI)",
+                 att.from_loc.known() ? att.from_loc : att.loc);
         }
         if (!attached_in.insert({att.to_instance, att.to_port}).second) {
-            throw ModelError("input " + att.to_instance + "." + att.to_port +
-                             " attached more than once (UNI)");
+            fail("input " + att.to_instance + "." + att.to_port +
+                     " attached more than once (UNI)",
+                 att.to_loc.known() ? att.to_loc : att.loc);
         }
     }
 }

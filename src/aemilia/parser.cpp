@@ -9,13 +9,18 @@
 namespace dpma::aemilia {
 namespace {
 
+SourceLoc loc_of(const Token& token) {
+    return SourceLoc{token.line, token.column};
+}
+
 class Parser {
 public:
     explicit Parser(std::string_view input) : tokens_(tokenize(input)) {}
 
-    adl::ArchiType parse_archi_type() {
+    adl::ArchiType parse_archi_type(bool run_validate) {
         adl::ArchiType archi;
         expect_keyword("ARCHI_TYPE");
+        archi.loc = loc_of(current());
         archi.name = expect(TokenKind::Identifier).text;
         expect(TokenKind::LParen);
         expect_keyword("void");
@@ -42,7 +47,7 @@ public:
         }
         expect_keyword("END");
         expect(TokenKind::EndOfInput);
-        adl::validate(archi);
+        if (run_validate) adl::validate(archi);
         return archi;
     }
 
@@ -51,6 +56,7 @@ public:
         while (!at(TokenKind::EndOfInput)) {
             expect_keyword("MEASURE");
             adl::Measure measure;
+            measure.loc = loc_of(current());
             measure.name = expect(TokenKind::Identifier).text;
             expect_keyword("IS");
             do {
@@ -115,11 +121,25 @@ private:
         return negative ? -value : value;
     }
 
+    long expect_integer(const char* what) {
+        bool negative = false;
+        if (accept(TokenKind::Minus)) negative = true;
+        const Token token = expect(TokenKind::Number);
+        if (token.text.find('.') != std::string::npos) {
+            throw ParseError(std::string(what) + " must be integer valued, got '" +
+                                 token.text + "'",
+                             token.line, token.column);
+        }
+        const long value = std::strtol(token.text.c_str(), nullptr, 10);
+        return negative ? -value : value;
+    }
+
     // --- element types ------------------------------------------------------
 
     adl::ElemType parse_elem_type() {
         expect_keyword("ELEM_TYPE");
         adl::ElemType type;
+        type.loc = loc_of(current());
         type.name = expect(TokenKind::Identifier).text;
         expect(TokenKind::LParen);
         expect_keyword("void");
@@ -131,9 +151,9 @@ private:
             type.behaviors.push_back(parse_behavior());
         }
         expect_keyword("INPUT_INTERACTIONS");
-        type.input_interactions = parse_interaction_list();
+        parse_interaction_list(type.input_interactions, type.input_interaction_locs);
         expect_keyword("OUTPUT_INTERACTIONS");
-        type.output_interactions = parse_interaction_list();
+        parse_interaction_list(type.output_interactions, type.output_interaction_locs);
         return type;
     }
 
@@ -142,21 +162,22 @@ private:
                peek_keyword("ARCHI_TOPOLOGY");
     }
 
-    std::vector<std::string> parse_interaction_list() {
-        std::vector<std::string> names;
-        if (accept_keyword("void")) return names;
+    void parse_interaction_list(std::vector<std::string>& names,
+                                std::vector<SourceLoc>& locs) {
+        if (accept_keyword("void")) return;
         expect_keyword("UNI");
         while (true) {
+            locs.push_back(loc_of(current()));
             names.push_back(expect(TokenKind::Identifier).text);
             if (!accept(TokenKind::Semicolon)) break;
             accept_keyword("UNI");  // optional repeated qualifier
             if (at_section_boundary()) break;  // trailing semicolon
         }
-        return names;
     }
 
     adl::BehaviorDef parse_behavior() {
         adl::BehaviorDef def;
+        def.loc = loc_of(current());
         def.name = expect(TokenKind::Identifier).text;
         expect(TokenKind::LParen);
         if (!accept_keyword("void")) {
@@ -187,6 +208,7 @@ private:
 
     adl::Alternative parse_alternative() {
         adl::Alternative alt;
+        alt.loc = loc_of(current());
         if (accept_keyword("cond")) {
             expect(TokenKind::LParen);
             alt.guard = parse_bool_expr();
@@ -199,6 +221,7 @@ private:
             alt.actions.push_back(parse_action());
             expect(TokenKind::Dot);
         }
+        alt.continuation.loc = loc_of(current());
         alt.continuation.behavior = expect(TokenKind::Identifier).text;
         expect(TokenKind::LParen);
         if (!at(TokenKind::RParen)) {
@@ -214,6 +237,7 @@ private:
     adl::Action parse_action() {
         expect(TokenKind::Less);
         adl::Action action;
+        action.loc = loc_of(current());
         action.name = expect(TokenKind::Identifier).text;
         expect(TokenKind::Comma);
         action.rate = parse_rate();
@@ -377,14 +401,15 @@ private:
 
     adl::Instance parse_instance() {
         adl::Instance inst;
+        inst.loc = loc_of(current());
         inst.name = expect(TokenKind::Identifier).text;
         expect(TokenKind::Colon);
         inst.type = expect(TokenKind::Identifier).text;
         expect(TokenKind::LParen);
         if (!at(TokenKind::RParen)) {
-            inst.args.push_back(static_cast<long>(expect_number()));
+            inst.args.push_back(expect_integer("instance arguments"));
             while (accept(TokenKind::Comma)) {
-                inst.args.push_back(static_cast<long>(expect_number()));
+                inst.args.push_back(expect_integer("instance arguments"));
             }
         }
         expect(TokenKind::RParen);
@@ -393,13 +418,16 @@ private:
 
     adl::Attachment parse_attachment() {
         adl::Attachment att;
+        att.loc = loc_of(current());
         expect_keyword("FROM");
         att.from_instance = expect(TokenKind::Identifier).text;
         expect(TokenKind::Dot);
+        att.from_loc = loc_of(current());
         att.from_port = expect(TokenKind::Identifier).text;
         expect_keyword("TO");
         att.to_instance = expect(TokenKind::Identifier).text;
         expect(TokenKind::Dot);
+        att.to_loc = loc_of(current());
         att.to_port = expect(TokenKind::Identifier).text;
         return att;
     }
@@ -408,6 +436,7 @@ private:
 
     adl::RewardClause parse_reward_clause() {
         adl::RewardClause clause;
+        clause.loc = loc_of(current());
         if (accept_keyword("ENABLED")) {
             expect(TokenKind::LParen);
             const std::string instance = expect(TokenKind::Identifier).text;
@@ -450,7 +479,12 @@ private:
 
 adl::ArchiType parse_archi_type(std::string_view input) {
     Parser parser(input);
-    return parser.parse_archi_type();
+    return parser.parse_archi_type(/*run_validate=*/true);
+}
+
+adl::ArchiType parse_archi_type_unchecked(std::string_view input) {
+    Parser parser(input);
+    return parser.parse_archi_type(/*run_validate=*/false);
 }
 
 std::vector<adl::Measure> parse_measures(std::string_view input) {

@@ -49,9 +49,16 @@
 namespace dpma::aemilia {
 
 /// Parses a full architectural type.  Throws ParseError (with position) on
-/// syntax errors and ModelError on semantic ones (via adl::validate, which
-/// is run on the result before returning).
+/// syntax errors and ModelError (also with position) on semantic ones (via
+/// adl::validate, which is run on the result before returning).  Every AST
+/// node of the result carries the SourceLoc of its defining token.
 [[nodiscard]] adl::ArchiType parse_archi_type(std::string_view input);
+
+/// Parses without running adl::validate on the result: the AST may be
+/// semantically ill-formed (unknown behaviours, dangling attachments, ...).
+/// This is the entry point of the semantic linter (dpma::analysis), which
+/// wants to collect *all* problems instead of throwing on the first one.
+[[nodiscard]] adl::ArchiType parse_archi_type_unchecked(std::string_view input);
 
 /// Parses a sequence of MEASURE definitions.
 [[nodiscard]] std::vector<adl::Measure> parse_measures(std::string_view input);

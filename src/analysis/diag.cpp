@@ -1,0 +1,160 @@
+#include "analysis/diag.hpp"
+
+#include "obs/json.hpp"
+
+namespace dpma::analysis {
+namespace {
+
+struct CodeInfo {
+    Code code;
+    const char* name;
+    Severity severity;
+};
+
+// One row per Code enumerator, in declaration order.  code_count() is
+// asserted against the fixture directory in the test suite, so adding a code
+// without a fixture fails loudly.
+constexpr CodeInfo kCodes[] = {
+    {Code::ParseError, "parse-error", Severity::Error},
+    {Code::DuplicateElemType, "duplicate-elem-type", Severity::Error},
+    {Code::DuplicateBehavior, "duplicate-behavior", Severity::Error},
+    {Code::DuplicateInteraction, "duplicate-interaction", Severity::Error},
+    {Code::DuplicateInstance, "duplicate-instance", Severity::Error},
+    {Code::UndeclaredBehavior, "undeclared-behavior", Severity::Error},
+    {Code::CallArityMismatch, "call-arity-mismatch", Severity::Error},
+    {Code::UndeclaredElemType, "undeclared-elem-type", Severity::Error},
+    {Code::InstanceArityMismatch, "instance-arity-mismatch", Severity::Error},
+    {Code::UnknownAttachmentInstance, "unknown-attachment-instance", Severity::Error},
+    {Code::AttachmentNotOutput, "attachment-not-output", Severity::Error},
+    {Code::AttachmentNotInput, "attachment-not-input", Severity::Error},
+    {Code::DuplicateAttachment, "duplicate-attachment", Severity::Error},
+    {Code::SelfAttachment, "self-attachment", Severity::Error},
+    {Code::SyncTwoActive, "sync-two-active", Severity::Error},
+    {Code::ImmediateCycle, "immediate-cycle", Severity::Error},
+    {Code::UnusedElemType, "unused-elem-type", Severity::Warning},
+    {Code::UnusedInteraction, "unused-interaction", Severity::Warning},
+    {Code::UnattachedInteraction, "unattached-interaction", Severity::Warning},
+    {Code::SyncAllPassive, "sync-all-passive", Severity::Warning},
+    {Code::UnreachableBehavior, "unreachable-behavior", Severity::Warning},
+    {Code::LocalDeadlock, "local-deadlock", Severity::Warning},
+    {Code::AnalysisIncomplete, "analysis-incomplete", Severity::Warning},
+    {Code::UnknownMeasureInstance, "unknown-measure-instance", Severity::Error},
+    {Code::UnknownMeasureAction, "unknown-measure-action", Severity::Error},
+    {Code::UnknownMeasureState, "unknown-measure-state", Severity::Error},
+    {Code::InStateTransReward, "in-state-trans-reward", Severity::Error},
+    {Code::DuplicateMeasure, "duplicate-measure", Severity::Warning},
+};
+
+const CodeInfo& info(Code code) {
+    for (const CodeInfo& row : kCodes) {
+        if (row.code == code) return row;
+    }
+    return kCodes[0];
+}
+
+void append_location(std::string& out, const Span& span) {
+    out += span.file.empty() ? "<input>" : span.file;
+    if (span.loc.known()) {
+        out += ':';
+        out += std::to_string(span.loc.line);
+        out += ':';
+        out += std::to_string(span.loc.column);
+    }
+    out += ": ";
+}
+
+std::string span_json(const Span& span) {
+    std::string out = "{\"file\": " + obs::json_quote(span.file) +
+                      ", \"line\": " + std::to_string(span.loc.line) +
+                      ", \"column\": " + std::to_string(span.loc.column) + "}";
+    return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) {
+    switch (severity) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+const char* code_name(Code code) { return info(code).name; }
+
+Severity code_severity(Code code) { return info(code).severity; }
+
+std::size_t code_count() { return sizeof kCodes / sizeof kCodes[0]; }
+
+const std::vector<Code>& all_codes() {
+    static const std::vector<Code> codes = [] {
+        std::vector<Code> out;
+        out.reserve(code_count());
+        for (const CodeInfo& row : kCodes) out.push_back(row.code);
+        return out;
+    }();
+    return codes;
+}
+
+std::string render_text(const std::vector<Diagnostic>& diagnostics) {
+    std::string out;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const Diagnostic& d : diagnostics) {
+        if (d.severity == Severity::Error) ++errors;
+        if (d.severity == Severity::Warning) ++warnings;
+        append_location(out, d.span);
+        out += severity_name(d.severity);
+        out += ": ";
+        out += d.message;
+        out += " [";
+        out += code_name(d.code);
+        out += "]\n";
+        for (const Note& note : d.notes) {
+            out += "  ";
+            append_location(out, note.span);
+            out += "note: ";
+            out += note.message;
+            out += '\n';
+        }
+    }
+    if (!diagnostics.empty()) {
+        out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+               " warning(s)\n";
+    }
+    return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diagnostics) {
+    std::string out = "{\n  \"diagnostics\": [";
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic& d = diagnostics[i];
+        if (d.severity == Severity::Error) ++errors;
+        if (d.severity == Severity::Warning) ++warnings;
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"severity\": ";
+        out += obs::json_quote(severity_name(d.severity));
+        out += ", \"code\": ";
+        out += obs::json_quote(code_name(d.code));
+        out += ", \"message\": ";
+        out += obs::json_quote(d.message);
+        out += ", \"span\": ";
+        out += span_json(d.span);
+        out += ", \"notes\": [";
+        for (std::size_t n = 0; n < d.notes.size(); ++n) {
+            if (n != 0) out += ", ";
+            out += "{\"message\": " + obs::json_quote(d.notes[n].message) +
+                   ", \"span\": " + span_json(d.notes[n].span) + "}";
+        }
+        out += "]}";
+    }
+    out += diagnostics.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"errors\": " + std::to_string(errors) + ",\n";
+    out += "  \"warnings\": " + std::to_string(warnings) + "\n}\n";
+    return out;
+}
+
+}  // namespace dpma::analysis

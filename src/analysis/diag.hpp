@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file diag.hpp
+/// Structured diagnostics for the semantic analysis of Æmilia architectural
+/// descriptions and measure files — the front-loaded validity layer the
+/// TwoTowers toolset runs before any functional or Markovian analysis.
+///
+/// A Diagnostic is a (severity, code, message, span, related notes) record.
+/// Codes are stable kebab-case identifiers (see DESIGN.md for the catalog);
+/// each has a fixed default severity.  Rendering is either clang-style text
+///
+///     specs/rpc.aem:12:7: error: behaviour 'Idle' invokes undeclared
+///     behaviour 'Buzy' [undeclared-behavior]
+///     specs/rpc.aem:3:13: note: in element type 'Server_Type'
+///
+/// or strict JSON (obs::json helpers), consumed by `dpma_cli lint
+/// --format json` and validated in the test suite with tools/json_check.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/source.hpp"
+
+namespace dpma::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] const char* severity_name(Severity severity);
+
+/// Every diagnostic the linter can emit.  Stable order: new codes go at the
+/// end of their group so the rendered names never change meaning.
+enum class Code {
+    // Syntax (a ParseError surfaced as a collected diagnostic).
+    ParseError,
+    // Architectural structure (errors).
+    DuplicateElemType,
+    DuplicateBehavior,
+    DuplicateInteraction,
+    DuplicateInstance,
+    UndeclaredBehavior,
+    CallArityMismatch,
+    UndeclaredElemType,
+    InstanceArityMismatch,
+    UnknownAttachmentInstance,
+    AttachmentNotOutput,
+    AttachmentNotInput,
+    DuplicateAttachment,
+    SelfAttachment,
+    // Rate-kind misuse on synchronisations (Markovian-phase validity).
+    SyncTwoActive,
+    ImmediateCycle,
+    // Architectural hygiene (warnings).
+    UnusedElemType,
+    UnusedInteraction,
+    UnattachedInteraction,
+    SyncAllPassive,
+    UnreachableBehavior,
+    LocalDeadlock,
+    AnalysisIncomplete,
+    // Measure files.
+    UnknownMeasureInstance,
+    UnknownMeasureAction,
+    UnknownMeasureState,
+    InStateTransReward,
+    DuplicateMeasure,
+};
+
+/// Kebab-case identifier rendered in brackets after the message, e.g.
+/// "undeclared-behavior".
+[[nodiscard]] const char* code_name(Code code);
+
+/// The severity the linter assigns to the code.
+[[nodiscard]] Severity code_severity(Code code);
+
+/// Number of distinct diagnostic codes (for catalog-coverage tests).
+[[nodiscard]] std::size_t code_count();
+
+/// All codes, in declaration order.
+[[nodiscard]] const std::vector<Code>& all_codes();
+
+/// A position in a named source file.  `file` may be empty (stdin / string
+/// input); loc may be unknown for programmatic constructs.
+struct Span {
+    std::string file;
+    SourceLoc loc;
+};
+
+/// Secondary location attached to a diagnostic ("in element type ...").
+struct Note {
+    std::string message;
+    Span span;
+};
+
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    Code code = Code::ParseError;
+    std::string message;
+    Span span;
+    std::vector<Note> notes;
+};
+
+/// Clang-style one-line-per-entry rendering of \p diagnostics (notes
+/// indented under their parent), ending with a summary line when non-empty.
+[[nodiscard]] std::string render_text(const std::vector<Diagnostic>& diagnostics);
+
+/// Strict-JSON object: {"diagnostics": [...], "errors": N, "warnings": N}.
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace dpma::analysis

@@ -21,9 +21,21 @@ public:
 
 /// Thrown when a model is structurally ill-formed (dangling attachment,
 /// unknown behaviour, two active parties in a synchronisation, ...).
+/// When the model came from a textual specification the 1-based line/column
+/// of the offending construct is attached; programmatic models leave them 0.
 class ModelError : public Error {
 public:
-    using Error::Error;
+    explicit ModelError(std::string message, int line = 0, int column = 0)
+        : Error(std::move(message)), line_(line), column_(column) {}
+
+    /// 1-based line of the offending construct; 0 when unknown.
+    [[nodiscard]] int line() const noexcept { return line_; }
+    /// 1-based column of the offending construct; 0 when unknown.
+    [[nodiscard]] int column() const noexcept { return column_; }
+
+private:
+    int line_ = 0;
+    int column_ = 0;
 };
 
 /// Thrown when parsing an Æmilia specification or a measure definition fails.

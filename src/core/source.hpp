@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file source.hpp
+/// Source positions for everything that originates in a textual Æmilia or
+/// measure file.  Models built programmatically (dpma::models) leave the
+/// default-constructed "unknown" location; the parser (dpma::aemilia) fills
+/// them in, and the semantic linter (dpma::analysis) threads them into every
+/// diagnostic it emits.
+
+#include <string>
+
+namespace dpma {
+
+/// A 1-based (line, column) position; line 0 means "unknown" (programmatic
+/// model, no concrete syntax behind the node).
+struct SourceLoc {
+    int line = 0;
+    int column = 0;
+
+    [[nodiscard]] bool known() const noexcept { return line > 0; }
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) noexcept = default;
+};
+
+/// "line:column", or "?" when the location is unknown.
+[[nodiscard]] inline std::string to_string(const SourceLoc& loc) {
+    if (!loc.known()) return "?";
+    return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace dpma

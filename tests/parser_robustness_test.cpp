@@ -10,6 +10,20 @@
 namespace dpma::aemilia {
 namespace {
 
+/// Every parse failure must carry a usable source span: ParseError always
+/// has line and column, parser-raised ModelError (via adl::validate on the
+/// parsed AST) always has at least a line.  Called from every catch block
+/// below so the whole robustness corpus doubles as a span-coverage test.
+void expect_span(const ParseError& error) {
+    EXPECT_GE(error.line(), 1) << error.what();
+    EXPECT_GE(error.column(), 1) << error.what();
+}
+
+void expect_span(const ModelError& error) {
+    EXPECT_GE(error.line(), 1) << error.what();
+    EXPECT_GE(error.column(), 1) << error.what();
+}
+
 /// Mutation robustness: corrupting a valid specification at a random
 /// position must either still parse (benign mutation, e.g. inside a
 /// comment) or raise dpma::Error — never crash, hang or accept garbage
@@ -33,8 +47,12 @@ TEST_P(ParserMutation, CorruptedSpecificationsFailGracefully) {
         }
         try {
             (void)parse_archi_type(mutated);
-        } catch (const Error&) {
-            // expected for most mutations
+        } catch (const ParseError& e) {
+            expect_span(e);  // expected for most mutations
+        } catch (const ModelError& e) {
+            expect_span(e);
+        } catch (const Error& e) {
+            ADD_FAILURE() << "parse failure without a source span: " << e.what();
         }
     }
     SUCCEED();
@@ -47,7 +65,12 @@ TEST(ParserRobustness, TruncationsOfTheSpecFailGracefully) {
     for (std::size_t cut = 0; cut < pristine.size(); cut += 97) {
         try {
             (void)parse_archi_type(pristine.substr(0, cut));
-        } catch (const Error&) {
+        } catch (const ParseError& e) {
+            expect_span(e);
+        } catch (const ModelError& e) {
+            expect_span(e);
+        } catch (const Error& e) {
+            ADD_FAILURE() << "parse failure without a source span: " << e.what();
         }
     }
     SUCCEED();
@@ -57,6 +80,46 @@ TEST(ParserRobustness, EmptyAndWhitespaceInputs) {
     EXPECT_THROW((void)parse_archi_type(""), Error);
     EXPECT_THROW((void)parse_archi_type("   \n\t // just a comment\n"), Error);
     EXPECT_THROW((void)parse_measures(""), Error);
+}
+
+TEST(ParserRobustness, SyntaxErrorsReportLineAndColumn) {
+    try {
+        (void)parse_archi_type("ARCHI_TYPE T(void)\nARCHI_ELEM_TYPES\n  garbage here\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_EQ(e.column(), 3);
+    }
+    try {
+        (void)parse_measures("MEASURE m IS\n  ENABLED(X) -> STATE_REWARD(1)\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        expect_span(e);
+    }
+}
+
+TEST(ParserRobustness, SemanticErrorsReportTheOffendingLocation) {
+    // `Missing()` starts at line 5, column 30; adl::validate anchors the
+    // unknown-behaviour error on the invocation site.
+    const std::string spec =
+        "ARCHI_TYPE T(void)\n"
+        "ARCHI_ELEM_TYPES\n"
+        "ELEM_TYPE A(void)\n"
+        "  BEHAVIOR\n"
+        "    B(void; void) = <a, _> . Missing()\n"
+        "  INPUT_INTERACTIONS UNI a\n"
+        "  OUTPUT_INTERACTIONS void\n"
+        "ARCHI_TOPOLOGY\n"
+        "  ARCHI_ELEM_INSTANCES\n"
+        "    X : A()\n"
+        "END\n";
+    try {
+        (void)parse_archi_type(spec);
+        FAIL() << "expected ModelError";
+    } catch (const ModelError& e) {
+        EXPECT_EQ(e.line(), 5);
+        EXPECT_EQ(e.column(), 30);
+    }
 }
 
 TEST(ParserRobustness, DeeplyNestedExpressionsDoNotOverflow) {

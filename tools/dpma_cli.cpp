@@ -4,6 +4,7 @@
 ///
 ///   dpma_cli info     model.aem
 ///   dpma_cli dot      model.aem                       > model.dot
+///   dpma_cli lint     model.aem [measures.msr] [--format text|json]
 ///   dpma_cli check    model.aem --high L1,L2 --low C  [--traces]
 ///   dpma_cli solve    model.aem measures.msr
 ///   dpma_cli simulate model.aem measures.msr [--horizon H] [--warmup W]
@@ -22,11 +23,20 @@
 /// global action labels of the power-management commands (as printed by
 /// `info`), --low names the observing instance.
 ///
-/// Exit status: 0 = check passed / command succeeded, 1 = check failed,
-/// 2 = usage error, 3 = Æmilia parse error, 4 = analysis error (numerical
-/// failure, bad measure, unwritable output, ...).  Trace and metrics files
-/// are written even when the command fails — a trace of a failing run is
-/// precisely the one worth looking at.
+/// `lint` runs the semantic analyser (src/analysis) and prints every
+/// diagnostic with its file:line:column span — clang-style text by default,
+/// strict JSON with --format json.  Exit 0 when there are no errors
+/// (warnings allowed), 1 otherwise.  All other commands run the same lint
+/// automatically before touching the model: a spec with lint errors fails
+/// fast with the diagnostics on stderr (exit 4) instead of dying somewhere
+/// inside composition or solving.
+///
+/// Exit status: 0 = check passed / command succeeded, 1 = check or lint
+/// failed, 2 = usage error, 3 = Æmilia parse error, 4 = analysis error
+/// (lint errors under a non-lint command, numerical failure, bad measure,
+/// unwritable output, ...).  Trace and metrics files are written even when
+/// the command fails — a trace of a failing run is precisely the one worth
+/// looking at.
 ///
 /// `sweep` solves the model at every point of a parameter range on the
 /// experiment engine (src/exp): the model is composed *once*, and each point
@@ -46,6 +56,7 @@
 
 #include "adl/compose.hpp"
 #include "aemilia/parser.hpp"
+#include "analysis/lint.hpp"
 #include "bisim/hml.hpp"
 #include "core/error.hpp"
 #include "core/text.hpp"
@@ -74,6 +85,8 @@ using namespace dpma;
                  "usage:\n"
                  "  dpma_cli info     <model.aem>\n"
                  "  dpma_cli dot      <model.aem>\n"
+                 "  dpma_cli lint     <model.aem> [<measures.msr>] "
+                 "[--format text|json]\n"
                  "  dpma_cli check    <model.aem> --high L1,L2,... --low INSTANCE "
                  "[--traces]\n"
                  "  dpma_cli solve    <model.aem> <measures.msr>\n"
@@ -97,8 +110,43 @@ std::string read_file(const std::string& path) {
     return buffer.str();
 }
 
+/// Parses and lints \p path.  ParseError propagates (exit 3); lint errors
+/// print their diagnostics to stderr and throw Error (exit 4) so the model
+/// never reaches composition.  Lint warnings are printed and tolerated.
+adl::ArchiType load_archi(const std::string& path) {
+    adl::ArchiType archi = aemilia::parse_archi_type_unchecked(read_file(path));
+    const analysis::LintResult lint = analysis::lint_model(archi, path);
+    if (!lint.diagnostics.empty()) {
+        std::fputs(analysis::render_text(lint.diagnostics).c_str(), stderr);
+    }
+    if (!lint.ok()) {
+        throw Error(path + " failed semantic analysis with " +
+                    std::to_string(lint.error_count()) +
+                    " error(s); diagnostics above, or run `dpma_cli lint`");
+    }
+    return archi;
+}
+
 adl::ComposedModel load_model(const std::string& path) {
-    return adl::compose(aemilia::parse_archi_type(read_file(path)));
+    return adl::compose(load_archi(path));
+}
+
+/// Parses and lints a measure file against the architecture it will be
+/// evaluated on.  Same contract as load_archi.
+std::vector<adl::Measure> load_measures(const std::string& path, const adl::ArchiType& archi,
+                                        const std::string& archi_path) {
+    std::vector<adl::Measure> measures = aemilia::parse_measures(read_file(path));
+    analysis::LintResult lint;
+    analysis::lint_measures(archi, measures, path, archi_path, lint);
+    if (!lint.diagnostics.empty()) {
+        std::fputs(analysis::render_text(lint.diagnostics).c_str(), stderr);
+    }
+    if (!lint.ok()) {
+        throw Error(path + " failed semantic analysis with " +
+                    std::to_string(lint.error_count()) +
+                    " error(s); diagnostics above, or run `dpma_cli lint`");
+    }
+    return measures;
 }
 
 /// Pulls `--name value` out of the argument list; returns fallback when absent.
@@ -161,6 +209,33 @@ int cmd_dot(const std::string& path) {
     return 0;
 }
 
+int cmd_lint(const std::string& model_path, std::vector<std::string> args) {
+    const std::string format = option(args, "--format", "text");
+    std::string measures_path;
+    if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
+        measures_path = args[0];
+        args.erase(args.begin());
+    }
+    if (!args.empty() || (format != "text" && format != "json")) usage();
+
+    const std::string spec_text = read_file(model_path);
+    analysis::LintResult result;
+    if (measures_path.empty()) {
+        result = analysis::lint_text(spec_text, model_path);
+    } else {
+        result = analysis::lint_text(spec_text, model_path, read_file(measures_path),
+                                     measures_path);
+    }
+    if (format == "json") {
+        std::fputs(analysis::render_json(result.diagnostics).c_str(), stdout);
+    } else if (result.clean()) {
+        std::printf("%s: no problems found\n", model_path.c_str());
+    } else {
+        std::fputs(analysis::render_text(result.diagnostics).c_str(), stdout);
+    }
+    return result.ok() ? 0 : 1;
+}
+
 int cmd_check(const std::string& path, std::vector<std::string> args) {
     const std::string high = option(args, "--high", "");
     const std::string low = option(args, "--low", "");
@@ -200,8 +275,9 @@ int cmd_check(const std::string& path, std::vector<std::string> args) {
 }
 
 int cmd_solve(const std::string& model_path, const std::string& measures_path) {
-    const adl::ComposedModel model = load_model(model_path);
-    const auto measures = aemilia::parse_measures(read_file(measures_path));
+    const adl::ArchiType archi = load_archi(model_path);
+    const auto measures = load_measures(measures_path, archi, model_path);
+    const adl::ComposedModel model = adl::compose(archi);
     const ctmc::MarkovModel markov = ctmc::build_markov(model);
     const auto pi = ctmc::steady_state(markov.chain);
     std::printf("CTMC: %zu tangible states\n", markov.chain.num_states());
@@ -224,8 +300,9 @@ int cmd_simulate(const std::string& model_path, const std::string& measures_path
         std::strtod(option(args, "--confidence", "0.90").c_str(), nullptr);
     if (!args.empty()) usage();
 
-    const adl::ComposedModel model = load_model(model_path);
-    const auto measures = aemilia::parse_measures(read_file(measures_path));
+    const adl::ArchiType archi = load_archi(model_path);
+    const auto measures = load_measures(measures_path, archi, model_path);
+    const adl::ComposedModel model = adl::compose(archi);
     const sim::Simulator simulator(model, measures);
     sim::SimOptions options;
     options.horizon = horizon;
@@ -284,12 +361,13 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
         throw Error("--jobs needs a non-negative integer, got '" + jobs_text + "'");
     }
 
-    const auto measures = aemilia::parse_measures(read_file(measures_path));
+    const adl::ArchiType archi = load_archi(model_path);
+    const auto measures = load_measures(measures_path, archi, model_path);
 
     // Compose once; every sweep point patches this skeleton's rates.
     exp::ModelCache cache;
     const auto skeleton = cache.composed(
-        "sweep", [&] { return load_model(model_path); });
+        "sweep", [&] { return adl::compose(archi); });
     // Validate the parameter before fanning out: a typo should die with one
     // clear message, not once per point.
     (void)exp::with_exp_rate(*skeleton, instance, action, lo);
@@ -384,6 +462,8 @@ int main(int argc, char** argv) {
             status = cmd_info(model_path);
         } else if (command == "dot" && rest.empty()) {
             status = cmd_dot(model_path);
+        } else if (command == "lint") {
+            status = cmd_lint(model_path, std::move(rest));
         } else if (command == "check") {
             status = cmd_check(model_path, std::move(rest));
         } else if (command == "solve" && rest.size() == 1) {
@@ -403,6 +483,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "parse error at %d:%d: %s\n", e.line(), e.column(),
                      e.what());
         status = 3;
+    } catch (const ModelError& e) {
+        if (e.line() > 0) {
+            std::fprintf(stderr, "model error at %d:%d: %s\n", e.line(), e.column(),
+                         e.what());
+        } else {
+            std::fprintf(stderr, "error: %s\n", e.what());
+        }
+        status = 4;
     } catch (const Error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         status = 4;
