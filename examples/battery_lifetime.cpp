@@ -1,20 +1,37 @@
 /// \file battery_lifetime.cpp
 /// The question behind the paper's title — what does the DPM buy a
-/// *battery-powered* appliance? — answered with the library's first-passage
-/// simulation: given a battery capacity, how long until the rpc server
-/// drains it, and how many requests does it serve before dying?
+/// *battery-powered* appliance? — answered with the battery subsystem
+/// (src/battery): the same rpc trajectories replayed into three battery
+/// models of increasing realism.
 ///
-/// Two estimates are compared:
-///  * the fluid approximation  lifetime ~ capacity / steady-state power
-///    (from the CTMC solution), and
-///  * the simulated first-passage time of the accumulated-energy reward
-///    (exact crossing, 90% CI) on the general model.
+///  * ideal   — linear charge counter; lifetime ~ capacity / power.  This is
+///              the fluid approximation the old version of this example
+///              hard-coded by hand.
+///  * peukert — rate-capacity effect only: heavy load drains the battery
+///              superlinearly, rest periods buy nothing extra.
+///  * kibam   — the kinetic two-well model: heavy load also *strands* bound
+///              charge, and the idle periods the DPM creates let it flow
+///              back.  Sleep is now worth more than its average-power
+///              savings — which is exactly the effect that makes a battery
+///              the right judge of a DPM policy.
+///
+/// For each battery x {NO-DPM, DPM} the program reports the analytic bounds
+/// from the Markovian model (fluid at steady-state power, refined along the
+/// transient power profile) and the simulated lifetime on the *general*
+/// model (replications with CIs), plus the requests served per charge.
+///
+/// Censoring: the old example bounded every simulation with
+/// `4 * capacity / NO-DPM power`, silently truncating first-passage times
+/// when the DPM run outlived the bound — censored replications were folded
+/// into the mean, biasing it low.  Here the horizon scales with each
+/// configuration's *own* fluid estimate and simulate_lifetime() counts
+/// censored replications separately; this program prints them and fails
+/// loudly if any survive.
 
 #include <cstdio>
 
+#include "battery/coupling.hpp"
 #include "ctmc/ctmc.hpp"
-#include "ctmc/reward.hpp"
-#include "ctmc/solve.hpp"
 #include "models/rpc.hpp"
 #include "sim/gsmp.hpp"
 
@@ -23,71 +40,98 @@ namespace {
 using namespace dpma;
 namespace mr = models::rpc;
 
-struct Lifetime {
-    double fluid;            ///< capacity / steady-state power (msec)
-    double simulated;        ///< mean first-passage time (msec)
-    double half_width;       ///< 90% CI
-    double requests_served;  ///< mean requests completed until depletion
+struct Row {
+    battery::CtmcLifetime bounds;      ///< analytic, Markovian model
+    battery::LifetimeEstimate replay;  ///< simulated, general model
 };
 
-Lifetime analyse(double shutdown_timeout, bool dpm, double capacity) {
-    // Fluid bound from the Markovian model.
+Row analyse(const battery::BatteryParams& params, double shutdown_timeout, bool dpm) {
+    // Analytic bounds from the Markovian phase.
     const adl::ComposedModel markov_model =
         mr::compose(mr::markovian(shutdown_timeout, dpm));
     const ctmc::MarkovModel markov = ctmc::build_markov(markov_model);
-    const auto pi = ctmc::steady_state(markov.chain);
     const auto measures = mr::measures();
-    const double power = ctmc::evaluate_measure(markov, markov_model, pi,
-                                                measures[mr::kEnergyRate]);
+    Row row;
+    row.bounds = battery::ctmc_lifetime(markov, markov_model,
+                                        measures[mr::kEnergyRate], params);
 
-    // First-passage simulation on the general model.
+    // Trajectory replay on the general model.  The censoring horizon scales
+    // with this configuration's own fluid estimate — not with the NO-DPM
+    // power — so a long-lived DPM run is not silently truncated.
     const adl::ComposedModel general_model =
         mr::compose(mr::general(shutdown_timeout, dpm));
     const sim::Simulator simulator(general_model, measures);
-    sim::SimOptions options;
-    options.horizon = 4.0 * capacity / power;  // generous depletion bound
-    options.seed = 99;
-    const int reps = 20;
-    const sim::Estimate lifetime = sim::simulate_depletion(
-        simulator, mr::kEnergyRate, capacity, options, reps, 0.90);
-
-    // Requests served until depletion: raw throughput total at the stop.
-    double requests = 0.0;
-    for (int r = 0; r < reps; ++r) {
-        sim::SimOptions rep = options;
-        rep.seed = sim::Rng::derive_seed(options.seed, static_cast<std::uint64_t>(r) + 7777);
-        const sim::DepletionResult result =
-            simulator.run_until(mr::kEnergyRate, capacity, rep);
-        requests += result.totals[mr::kThroughput];
-    }
-    requests /= reps;
-
-    return Lifetime{capacity / power, lifetime.mean, lifetime.half_width, requests};
+    battery::ReplayOptions replay;
+    replay.horizon = 8.0 * row.bounds.fluid;
+    replay.seed = 99;
+    replay.replications = 10;
+    replay.confidence = 0.90;
+    row.replay = battery::simulate_lifetime(simulator, mr::kEnergyRate, params, replay);
+    return row;
 }
 
 }  // namespace
 
 int main() {
-    std::printf("== battery lifetime of the rpc server (capacity 50,000 units) ==\n\n");
-    const double capacity = 50000.0;
+    const double capacity = 20000.0;
+    // Well below the general model's actual idle period (~11.3 ms), where the
+    // DPM genuinely sleeps.  A timeout *near* the idle period lands in the
+    // paper's counterproductive region (Fig. 3) and the DPM buys almost
+    // nothing — battery or not.
+    const double shutdown_timeout = 2.0;
+    std::printf("== battery lifetime of the rpc server (capacity %.0f units, "
+                "timeout %.0f ms) ==\n\n",
+                capacity, shutdown_timeout);
 
-    std::printf("%-22s %14s %20s %16s\n", "configuration", "fluid est. [s]",
-                "simulated [s] (90%CI)", "requests served");
-    for (const auto& [label, timeout, dpm] :
-         {std::tuple{"NO-DPM", 10.0, false}, std::tuple{"DPM timeout=10ms", 10.0, true},
-          std::tuple{"DPM timeout=2ms", 2.0, true},
-          std::tuple{"DPM timeout=0 (eager)", 0.0, true}}) {
-        const Lifetime lt = analyse(timeout, dpm, capacity);
-        std::printf("%-22s %14.2f %13.2f ± %-6.2f %16.0f\n", label, lt.fluid / 1000.0,
-                    lt.simulated / 1000.0, lt.half_width / 1000.0, lt.requests_served);
+    battery::BatteryParams params;
+    params.capacity = capacity;
+    params.kibam_c = 0.5;
+    params.kibam_rate = 1e-3;
+
+    int censored_total = 0;
+    double ratios[3] = {0.0, 0.0, 0.0};
+    int kind_index = 0;
+    for (const auto kind :
+         {battery::BatteryParams::Kind::Ideal, battery::BatteryParams::Kind::Peukert,
+          battery::BatteryParams::Kind::Kibam}) {
+        params.kind = kind;
+        std::printf("--- %s battery ---\n", params.kind_name());
+        std::printf("%-8s %11s %13s %23s %10s %9s\n", "config", "fluid [s]",
+                    "refined [s]", "simulated [s] (90%CI)", "requests", "censored");
+        double lifetimes[2] = {0.0, 0.0};
+        for (const bool dpm : {false, true}) {
+            const Row row = analyse(params, shutdown_timeout, dpm);
+            lifetimes[dpm ? 1 : 0] = row.replay.mean;
+            censored_total += row.replay.censored;
+            std::printf("%-8s %11.2f %13.2f %12.2f ± %-8.2f %10.0f %9d\n",
+                        dpm ? "DPM" : "NO-DPM", row.bounds.fluid / 1000.0,
+                        row.bounds.refined / 1000.0, row.replay.mean / 1000.0,
+                        row.replay.half_width / 1000.0,
+                        row.replay.mean_totals[mr::kThroughput], row.replay.censored);
+        }
+        ratios[kind_index++] = lifetimes[1] / lifetimes[0];
+        std::printf("DPM/NO-DPM lifetime ratio: %.3f\n\n",
+                    lifetimes[1] / lifetimes[0]);
+    }
+
+    if (censored_total > 0) {
+        std::fprintf(stderr,
+                     "ERROR: %d replication(s) were censored at the horizon — the "
+                     "reported means exclude them; raise the horizon factor\n",
+                     censored_total);
+        return 1;
     }
 
     std::printf(
-        "\n(two things to read off: the DPM can nearly double the battery\n"
-        " life *and* the total requests served per charge; and the fluid\n"
-        " estimate — which comes from the Markovian model — is badly wrong\n"
-        " for timeout=10ms, because in the general model that timeout sits\n"
-        " in the counterproductive region near the 11.3 ms idle period.\n"
-        " This is Fig. 7's Markov-vs-general gap restated in battery terms.)\n");
-    return 0;
+        "(three things to read off: the *ideal* ratio %.3f IS the average-power\n"
+        " ratio of the simulated trajectories — all a mean-power analysis can\n"
+        " promise; under *peukert* both lifetimes shrink but the ratio barely\n"
+        " moves (%.3f); under *kibam* the NO-DPM server strands bound charge\n"
+        " while the DPM's sleep periods recover it, so the ratio %.3f exceeds\n"
+        " the ideal one — DPM sleep is worth more than its average-power\n"
+        " savings to a real battery.  The fluid/refined columns are the\n"
+        " analytic bounds from the Markovian substitute of the same system,\n"
+        " solved without simulating.)\n",
+        ratios[0], ratios[1], ratios[2]);
+    return ratios[2] > ratios[0] ? 0 : 1;
 }

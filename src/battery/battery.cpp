@@ -1,0 +1,353 @@
+#include "battery/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dpma::battery {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool positive_finite(double v) { return std::isfinite(v) && v > 0.0; }
+
+void require_power(double power) {
+    DPMA_REQUIRE(std::isfinite(power) && power >= 0.0,
+                 "battery power must be finite and >= 0");
+}
+
+void require_dt(double dt) {
+    DPMA_REQUIRE(std::isfinite(dt) && dt >= 0.0,
+                 "battery step length must be finite and >= 0");
+}
+
+/// Linear charge counter: remaining -= power * dt.
+class IdealBattery final : public BatteryModel {
+public:
+    explicit IdealBattery(const BatteryParams& params) : BatteryModel(params) {
+        reset();
+    }
+
+    [[nodiscard]] std::unique_ptr<BatteryModel> clone() const override {
+        auto copy = std::make_unique<IdealBattery>(params_);
+        copy->remaining_ = remaining_;
+        copy->delivered_ = delivered_;
+        return copy;
+    }
+
+    void reset() override {
+        remaining_ = params_.capacity;
+        delivered_ = 0.0;
+    }
+
+    double advance(double power, double dt) override {
+        require_power(power);
+        require_dt(dt);
+        if (depleted() || dt == 0.0) {
+            return kNaN;
+        }
+        const double tau = time_to_depletion(power);
+        if (tau <= dt) {
+            delivered_ += power * tau;
+            remaining_ = 0.0;
+            return tau;
+        }
+        remaining_ -= power * dt;
+        delivered_ += power * dt;
+        return kNaN;
+    }
+
+    [[nodiscard]] double time_to_depletion(double power) const override {
+        require_power(power);
+        if (depleted()) {
+            return 0.0;
+        }
+        return power > 0.0 ? remaining_ / power : kNever;
+    }
+
+    [[nodiscard]] bool depleted() const override { return remaining_ <= 0.0; }
+    [[nodiscard]] double state_of_charge() const override {
+        return std::max(remaining_, 0.0) / params_.capacity;
+    }
+    [[nodiscard]] double delivered_charge() const override { return delivered_; }
+
+private:
+    double remaining_ = 0.0;
+    double delivered_ = 0.0;
+};
+
+/// Peukert's law: a constant load P drains the effective (rated) charge at
+/// rate P_ref * (P / P_ref)^alpha.  With alpha > 1 the battery delivers its
+/// nominal capacity only at P <= P_ref and less above it.  Memoryless, so a
+/// piecewise-constant load just switches the drain rate per step.
+class PeukertBattery final : public BatteryModel {
+public:
+    explicit PeukertBattery(const BatteryParams& params) : BatteryModel(params) {
+        reset();
+    }
+
+    [[nodiscard]] std::unique_ptr<BatteryModel> clone() const override {
+        auto copy = std::make_unique<PeukertBattery>(params_);
+        copy->remaining_ = remaining_;
+        copy->delivered_ = delivered_;
+        return copy;
+    }
+
+    void reset() override {
+        remaining_ = params_.capacity;
+        delivered_ = 0.0;
+    }
+
+    double advance(double power, double dt) override {
+        require_power(power);
+        require_dt(dt);
+        if (depleted() || dt == 0.0) {
+            return kNaN;
+        }
+        const double tau = time_to_depletion(power);
+        if (tau <= dt) {
+            delivered_ += power * tau;
+            remaining_ = 0.0;
+            return tau;
+        }
+        remaining_ -= drain_rate(power) * dt;
+        delivered_ += power * dt;
+        return kNaN;
+    }
+
+    [[nodiscard]] double time_to_depletion(double power) const override {
+        require_power(power);
+        if (depleted()) {
+            return 0.0;
+        }
+        const double rate = drain_rate(power);
+        return rate > 0.0 ? remaining_ / rate : kNever;
+    }
+
+    [[nodiscard]] bool depleted() const override { return remaining_ <= 0.0; }
+    [[nodiscard]] double state_of_charge() const override {
+        return std::max(remaining_, 0.0) / params_.capacity;
+    }
+    [[nodiscard]] double delivered_charge() const override { return delivered_; }
+
+private:
+    [[nodiscard]] double drain_rate(double power) const {
+        if (power == 0.0) {
+            return 0.0;
+        }
+        return params_.peukert_reference_power *
+               std::pow(power / params_.peukert_reference_power,
+                        params_.peukert_exponent);
+    }
+
+    double remaining_ = 0.0;
+    double delivered_ = 0.0;
+};
+
+/// Kinetic battery model.  The textbook state is (y1 available, y2 bound)
+/// with heights h1 = y1/c, h2 = y2/(1-c) and flow k*(h2 - h1):
+///
+///     y1' = -I + k*(h2 - h1),    y2' = -k*(h2 - h1).
+///
+/// We integrate the equivalent pair (y = y1 + y2, g = h2 - h1) instead,
+/// which decouples under a constant load I:
+///
+///     y(t) = y0 - I*t
+///     g(t) = g* + (g0 - g*) * exp(-k'*t),   g* = I / (c*k'),  k' = k/(c(1-c))
+///
+/// and recover y1 = c * (y - (1-c)*g).  This is numerically friendlier than
+/// the published y1(t) formula (no cancellation between large well contents)
+/// and makes the invariants obvious: total charge falls linearly, the height
+/// gap relaxes exponentially toward the load-proportional equilibrium g*.
+/// Depletion is y1 = 0; within a step y1(t) has at most one down-crossing
+/// (its derivative -I + c*k'*g(t) is monotone in t), located by bisection to
+/// ~1e-15 relative precision.
+class KibamBattery final : public BatteryModel {
+public:
+    explicit KibamBattery(const BatteryParams& params) : BatteryModel(params) {
+        reset();
+    }
+
+    [[nodiscard]] std::unique_ptr<BatteryModel> clone() const override {
+        auto copy = std::make_unique<KibamBattery>(params_);
+        copy->y_ = y_;
+        copy->gap_ = gap_;
+        copy->delivered_ = delivered_;
+        copy->recovered_ = recovered_;
+        copy->dead_ = dead_;
+        return copy;
+    }
+
+    void reset() override {
+        y_ = params_.capacity;
+        gap_ = 0.0;  // full battery: both wells at height 1
+        delivered_ = 0.0;
+        recovered_ = 0.0;
+        dead_ = false;
+    }
+
+    double advance(double power, double dt) override {
+        require_power(power);
+        require_dt(dt);
+        if (dead_ || dt == 0.0) {
+            return kNaN;
+        }
+        const double tau = crossing_time(power, dt);
+        const double step = std::isnan(tau) ? dt : tau;
+        const double y1_before = available();
+        y_ -= power * step;
+        gap_ = gap_at(power, step);
+        delivered_ += power * step;
+        // Bound -> available flow over the step: whatever y1 gained beyond
+        // the load it served.  Clamp tiny negative round-off at rest.
+        recovered_ += std::max(available() - y1_before + power * step, 0.0);
+        if (!std::isnan(tau)) {
+            dead_ = true;
+            return tau;
+        }
+        return kNaN;
+    }
+
+    [[nodiscard]] double time_to_depletion(double power) const override {
+        require_power(power);
+        if (dead_) {
+            return 0.0;
+        }
+        if (power == 0.0) {
+            return kNever;
+        }
+        // y falls linearly, so y1 = c*(y - (1-c)*g) <= c*y hits zero no
+        // later than y does: tau <= y0 / I brackets the crossing.
+        const double bound = y_ / power;
+        const double tau = crossing_time(power, bound * (1.0 + 1e-12) + 1e-300);
+        return std::isnan(tau) ? bound : tau;
+    }
+
+    [[nodiscard]] bool depleted() const override { return dead_; }
+    [[nodiscard]] double state_of_charge() const override {
+        return std::max(y_, 0.0) / params_.capacity;
+    }
+    [[nodiscard]] double delivered_charge() const override { return delivered_; }
+    [[nodiscard]] double recovered_charge() const override { return recovered_; }
+
+    /// Available charge y1 right now (test hook).
+    [[nodiscard]] double available() const {
+        return params_.kibam_c * (y_ - (1.0 - params_.kibam_c) * gap_);
+    }
+
+private:
+    /// g(t) after holding load \p power for time \p t from the current state.
+    [[nodiscard]] double gap_at(double power, double t) const {
+        const double k = params_.kibam_rate;
+        const double g_star = power / (params_.kibam_c * k);
+        return g_star + (gap_ - g_star) * std::exp(-k * t);
+    }
+
+    /// y1(t) under constant \p power, from the current state.
+    [[nodiscard]] double available_at(double power, double t) const {
+        const double c = params_.kibam_c;
+        return c * (y_ - power * t - (1.0 - c) * gap_at(power, t));
+    }
+
+    /// First t in (0, dt] with y1(t) <= 0, or NaN when y1 stays positive on
+    /// the whole step.  y1' = -I + c*k'*g(t) is monotone in t (g is), so y1
+    /// is concave or convex on the step and a sign change at dt pins a
+    /// unique down-crossing — bisection cannot miss it.
+    [[nodiscard]] double crossing_time(double power, double dt) const {
+        if (available() <= 0.0) {
+            return 0.0;  // should not happen while !dead_, but be safe
+        }
+        if (available_at(power, dt) > 0.0) {
+            return kNaN;
+        }
+        double lo = 0.0;
+        double hi = dt;
+        for (int i = 0; i < 200 && (hi - lo) > 1e-15 * dt; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            (available_at(power, mid) > 0.0 ? lo : hi) = mid;
+        }
+        return hi;
+    }
+
+    double y_ = 0.0;          ///< total charge in both wells
+    double gap_ = 0.0;        ///< height gap h2 - h1
+    double delivered_ = 0.0;
+    double recovered_ = 0.0;
+    bool dead_ = false;
+};
+
+}  // namespace
+
+void BatteryParams::validate() const {
+    if (!positive_finite(capacity)) {
+        throw Error("battery capacity must be positive and finite");
+    }
+    switch (kind) {
+        case Kind::Ideal:
+            break;
+        case Kind::Peukert:
+            if (!std::isfinite(peukert_exponent) || peukert_exponent < 1.0) {
+                throw Error("peukert exponent must be finite and >= 1");
+            }
+            if (!positive_finite(peukert_reference_power)) {
+                throw Error("peukert reference power must be positive and finite");
+            }
+            break;
+        case Kind::Kibam:
+            if (!std::isfinite(kibam_c) || kibam_c <= 0.0 || kibam_c >= 1.0) {
+                throw Error("kibam well fraction c must lie strictly in (0, 1)");
+            }
+            if (!positive_finite(kibam_rate)) {
+                throw Error("kibam rate k' must be positive and finite");
+            }
+            break;
+    }
+}
+
+const char* BatteryParams::kind_name() const noexcept {
+    switch (kind) {
+        case Kind::Ideal:
+            return "ideal";
+        case Kind::Peukert:
+            return "peukert";
+        case Kind::Kibam:
+            return "kibam";
+    }
+    return "?";
+}
+
+BatteryParams::Kind BatteryParams::kind_from(const std::string& name) {
+    if (name == "ideal") {
+        return Kind::Ideal;
+    }
+    if (name == "peukert") {
+        return Kind::Peukert;
+    }
+    if (name == "kibam") {
+        return Kind::Kibam;
+    }
+    throw Error("unknown battery model '" + name +
+                "' (expected ideal, peukert or kibam)");
+}
+
+std::unique_ptr<BatteryModel> make_battery(const BatteryParams& params) {
+    params.validate();
+    switch (params.kind) {
+        case BatteryParams::Kind::Ideal:
+            return std::make_unique<IdealBattery>(params);
+        case BatteryParams::Kind::Peukert:
+            return std::make_unique<PeukertBattery>(params);
+        case BatteryParams::Kind::Kibam:
+            return std::make_unique<KibamBattery>(params);
+    }
+    throw Error("unknown battery kind");
+}
+
+double constant_power_lifetime(const BatteryParams& params, double power) {
+    const auto model = make_battery(params);
+    return model->time_to_depletion(power);
+}
+
+}  // namespace dpma::battery

@@ -1,0 +1,167 @@
+#include "battery/lifetime.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/stats_math.hpp"
+#include "ctmc/solve.hpp"
+#include "exp/runner.hpp"
+#include "models/rpc.hpp"
+#include "models/streaming.hpp"
+#include "sim/gsmp.hpp"
+
+namespace dpma::battery {
+
+namespace {
+
+/// Capacity-independent invariants of one (system, dpm) configuration,
+/// shared by every capacity point of the sweep.
+struct SystemContext {
+    adl::ComposedModel model;
+    std::unique_ptr<sim::Simulator> simulator;
+    std::size_t power_measure = 0;
+    std::size_t served_measure = 0;
+    double steady_power = 0.0;
+    PowerProfile profile;
+};
+
+struct StudyContext {
+    SystemContext without_dpm;
+    SystemContext with_dpm;
+
+    [[nodiscard]] const SystemContext& of(bool dpm) const {
+        return dpm ? with_dpm : without_dpm;
+    }
+};
+
+void build_system(SystemContext& out, const StudyOptions& options, bool dpm) {
+    std::vector<adl::Measure> measures;
+    if (options.system == "rpc") {
+        const double timeout = options.control < 0.0
+                                   ? models::rpc::Params{}.shutdown_timeout
+                                   : options.control;
+        out.model = models::rpc::compose(models::rpc::markovian(timeout, dpm));
+        measures = models::rpc::measures();
+        out.power_measure = models::rpc::kEnergyRate;
+        out.served_measure = models::rpc::kThroughput;
+    } else {
+        const double period = options.control < 0.0
+                                  ? models::streaming::Params{}.awake_period
+                                  : options.control;
+        out.model =
+            models::streaming::compose(models::streaming::markovian(period, dpm));
+        measures = models::streaming::measures();
+        out.power_measure = models::streaming::kEnergyRate;
+        out.served_measure = models::streaming::kHits;
+    }
+    out.simulator = std::make_unique<sim::Simulator>(out.model, std::move(measures));
+
+    const ctmc::MarkovModel markov = ctmc::build_markov(out.model);
+    const std::vector<double> power = tangible_power(
+        markov, out.model, out.simulator->measures()[out.power_measure]);
+    const std::vector<double> pi = ctmc::steady_state(markov.chain);
+    KahanSum mean_power;
+    for (std::size_t s = 0; s < pi.size(); ++s) {
+        mean_power.add(pi[s] * power[s]);
+    }
+    out.steady_power = mean_power.value();
+    out.profile = transient_power_profile(markov.chain, markov.initial_distribution,
+                                          power, options.profile);
+}
+
+}  // namespace
+
+void StudyOptions::validate() const {
+    if (system != "rpc" && system != "streaming") {
+        throw Error("unknown system '" + system + "' (expected rpc or streaming)");
+    }
+    // The swept capacities stand in for battery.capacity, so check them with
+    // the same rule; the rest of the battery params validate as usual.
+    if (capacities.empty()) {
+        throw Error("need at least one battery capacity");
+    }
+    for (const double capacity : capacities) {
+        BatteryParams probe = battery;
+        probe.capacity = capacity;
+        probe.validate();
+    }
+    if (replications < 1) {
+        throw Error("need at least one replication");
+    }
+    if (!(confidence > 0.0) || !(confidence < 1.0)) {
+        throw Error("confidence must lie in (0, 1)");
+    }
+    if (!std::isfinite(horizon_factor) || horizon_factor <= 0.0) {
+        throw Error("horizon factor must be positive and finite");
+    }
+    if (!std::isfinite(control)) {
+        throw Error("control parameter must be finite (negative = model default)");
+    }
+}
+
+exp::Experiment lifetime_experiment(const StudyOptions& options) {
+    options.validate();
+
+    auto context = std::make_shared<StudyContext>();
+    build_system(context->without_dpm, options, false);
+    build_system(context->with_dpm, options, true);
+
+    exp::Experiment experiment;
+    experiment.name = "lifetime " + options.system + " " +
+                      std::string(options.battery.kind_name());
+    experiment.grid.axis(exp::Axis::list("capacity", options.capacities))
+        .axis(exp::Axis::toggle("dpm"));
+    for (const char* name : kLifetimeMeasures) {
+        experiment.measures.emplace_back(name);
+    }
+
+    const BatteryParams family = options.battery;
+    const int replications = options.replications;
+    const double confidence = options.confidence;
+    const double horizon_factor = options.horizon_factor;
+    experiment.eval = [context, family, replications, confidence, horizon_factor](
+                          const exp::Point& point, const exp::PointContext& pc) {
+        const SystemContext& system = context->of(point.flag("dpm"));
+        BatteryParams params = family;
+        params.capacity = point.at("capacity");
+
+        const double fluid = constant_power_lifetime(params, system.steady_power);
+        const double refined = profile_lifetime(system.profile, params);
+        DPMA_ASSERT(std::isfinite(fluid), "steady-state power must be positive");
+
+        ReplayOptions replay;
+        replay.horizon = horizon_factor * fluid;
+        replay.seed = pc.seed();
+        replay.replications = replications;
+        replay.confidence = confidence;
+        const LifetimeEstimate estimate = simulate_lifetime(
+            *system.simulator, system.power_measure, params, replay);
+
+        exp::PointResult result;
+        result.values = {estimate.mean,
+                         estimate.mean_totals[system.served_measure],
+                         static_cast<double>(estimate.censored),
+                         fluid,
+                         refined,
+                         estimate.mean_recovered};
+        result.half_widths = {estimate.half_width, 0.0, 0.0, 0.0, 0.0, 0.0};
+        std::ostringstream diagnostics;
+        diagnostics << "{\"battery\":" << estimate.json() << "}";
+        result.diagnostics = diagnostics.str();
+        return result;
+    };
+    return experiment;
+}
+
+exp::ResultSet run_lifetime_study(const StudyOptions& options) {
+    const exp::Experiment experiment = lifetime_experiment(options);
+    exp::RunOptions run;
+    run.jobs = options.jobs;
+    run.base_seed = options.base_seed;
+    return exp::run(experiment, run);
+}
+
+}  // namespace dpma::battery

@@ -114,9 +114,24 @@ DepletionResult Simulator::run_until(std::size_t measure_index, double threshold
     return out;
 }
 
+ObservedResult Simulator::run_observed(const SimOptions& options,
+                                       TrajectoryObserver& observer) const {
+    DPMA_REQUIRE(options.warmup == 0.0, "run_observed accumulates from time zero");
+    ObservedResult out;
+    out.time = options.horizon;
+    const RunResult raw =
+        run_impl(options, nullptr, nullptr, &out.time, &out.stopped, nullptr, &observer);
+    out.totals = raw.values;
+    out.events = raw.events;
+    return out;
+}
+
 RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
                               std::vector<TraceEvent>* trace, double* stop_time,
-                              bool* depleted, BatchSink* batches) const {
+                              bool* depleted, BatchSink* batches,
+                              TrajectoryObserver* observer) const {
+    DPMA_ASSERT(stop == nullptr || observer == nullptr,
+                "stop spec and trajectory observer are mutually exclusive");
     DPMA_NAMED_SPAN(span, "sim.run", "sim");
     span.arg("horizon", options.horizon);
     DPMA_REQUIRE(options.horizon > 0.0, "simulation horizon must be positive");
@@ -204,6 +219,18 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
         return stop != nullptr && totals[stop->measure].value() >= stop->threshold;
     };
 
+    // Reports the residence interval [from, to) to the observer; returns the
+    // observer's stop time when it ends the run there, NaN otherwise.
+    const auto observe = [&](lts::StateId s, double from, double to) -> double {
+        if (observer == nullptr || to <= from) {
+            return std::numeric_limits<double>::quiet_NaN();
+        }
+        const double at = observer->residence(s, from, to);
+        if (at < 0.0) return std::numeric_limits<double>::quiet_NaN();
+        DPMA_ASSERT(at >= from && at <= to, "observer stop time outside the interval");
+        return at;
+    };
+
     std::uint64_t immediate_burst = 0;
     while (now < t_end) {
         // Maximal progress: drain immediate transitions without advancing time.
@@ -236,13 +263,21 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
         const auto out = model_.graph.out(state);
         if (out.empty()) {
             // Deadlock: the remaining time is spent here.
-            const double crossing = accumulate_state_time(state, now, t_end);
-            if (!std::isnan(crossing)) {
-                if (stop_time != nullptr) *stop_time = crossing;
+            double seg_end = t_end;
+            bool observer_stop = false;
+            if (const double at = observe(state, now, t_end); !std::isnan(at)) {
+                seg_end = at;
+                observer_stop = true;
+            }
+            const double crossing = accumulate_state_time(state, now, seg_end);
+            if (!std::isnan(crossing) || observer_stop) {
+                if (stop_time != nullptr) {
+                    *stop_time = observer_stop ? seg_end : crossing;
+                }
                 if (depleted != nullptr) *depleted = true;
                 finished = true;
             }
-            now = t_end;
+            now = seg_end;
             break;
         }
         next_clocks.clear();
@@ -262,6 +297,15 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
 
         // Advance time to the earliest expiry.
         const double fire_time = now + min_remaining;
+        if (const double at = observe(state, now, std::min(fire_time, t_end));
+            !std::isnan(at)) {
+            (void)accumulate_state_time(state, now, at);
+            if (stop_time != nullptr) *stop_time = at;
+            if (depleted != nullptr) *depleted = true;
+            finished = true;
+            now = at;
+            break;
+        }
         const double crossing =
             accumulate_state_time(state, now, std::min(fire_time, t_end));
         if (!std::isnan(crossing)) {

@@ -65,6 +65,32 @@ struct DepletionResult {
     std::vector<double> totals;
 };
 
+/// Observes a simulated trajectory as the sequence of its constant-state
+/// residence intervals — the coupling point for continuous side models that
+/// integrate something over the trajectory (a battery draining at the
+/// current state's power, a thermal model, ...).  Immediate firings take
+/// zero time and are not reported; the final (horizon-truncated) interval
+/// is.  The observer may end the run early by returning a stop instant
+/// (e.g. the exact battery-depletion crossing inside the interval).
+class TrajectoryObserver {
+public:
+    virtual ~TrajectoryObserver() = default;
+
+    /// One residence interval [from, to) spent in composed state \p state.
+    /// Return a stop time within [from, to] to end the run there, or any
+    /// negative value to continue.
+    virtual double residence(lts::StateId state, double from, double to) = 0;
+};
+
+/// Outcome of an observed (run_observed) simulation.
+struct ObservedResult {
+    double time = 0.0;     ///< observer stop time, or the horizon
+    bool stopped = false;  ///< did the observer end the run?
+    /// Raw accumulated totals of every measure at `time` (not time-averaged).
+    std::vector<double> totals;
+    std::uint64_t events = 0;  ///< transitions fired before `time`
+};
+
 /// GSMP simulator bound to a composed model and a list of measures.
 /// Per-state and per-action reward rates are precomputed once, so repeated
 /// runs are cheap.
@@ -84,8 +110,23 @@ public:
     [[nodiscard]] DepletionResult run_until(std::size_t measure_index, double threshold,
                                             const SimOptions& options) const;
 
+    /// Runs from time 0 (no warmup), reporting every residence interval to
+    /// \p observer, until the observer stops the run or the horizon is
+    /// reached.  Measure totals in the result are accumulated exactly up to
+    /// the stop instant (state rewards accrue linearly within a state).
+    [[nodiscard]] ObservedResult run_observed(const SimOptions& options,
+                                              TrajectoryObserver& observer) const;
+
     [[nodiscard]] const std::vector<adl::Measure>& measures() const noexcept {
         return measures_;
+    }
+
+    /// Total STATE_REWARD accrual rate of measure \p measure_index in every
+    /// composed state — e.g. the power the battery sees per state.  Indexed
+    /// by composed-graph StateId.
+    [[nodiscard]] const std::vector<double>& state_reward_rates(
+        std::size_t measure_index) const {
+        return state_reward_rate_.at(measure_index);
     }
 
 private:
@@ -103,9 +144,12 @@ private:
         std::vector<std::vector<double>> totals;
     };
 
+    /// \p stop and \p observer are mutually exclusive ways to end the run
+    /// early; the public entry points never combine them.
     RunResult run_impl(const SimOptions& options, const StopSpec* stop,
                        std::vector<TraceEvent>* trace, double* stop_time,
-                       bool* depleted, BatchSink* batches = nullptr) const;
+                       bool* depleted, BatchSink* batches = nullptr,
+                       TrajectoryObserver* observer = nullptr) const;
 
     friend std::vector<BatchEstimate> batch_means_impl(const Simulator&,
                                                        const BatchOptions&);

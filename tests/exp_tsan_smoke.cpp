@@ -18,6 +18,7 @@
 
 #include "adl/compose.hpp"
 #include "adl/measure.hpp"
+#include "battery/coupling.hpp"
 #include "bisim/partition.hpp"
 #include "exp/cache.hpp"
 #include "exp/experiment.hpp"
@@ -78,6 +79,39 @@ exp::Experiment sweep(exp::ModelCache& cache) {
             result.values.push_back(e.mean);
             result.half_widths.push_back(e.half_width);
         }
+        return result;
+    };
+    return experiment;
+}
+
+/// Battery replay determinism: a capacity sweep whose points all replay
+/// trajectories from the *same* shared Simulator into KiBaM batteries
+/// (battery::simulate_lifetime reads the simulator and bumps shared obs
+/// instruments from every pool worker — exactly the surface TSan should
+/// watch).  Point seeds come from the engine, so a parallel sweep must be
+/// bit-identical to the serial one.
+exp::Experiment battery_sweep(const sim::Simulator& simulator) {
+    exp::Experiment experiment;
+    experiment.name = "battery_smoke";
+    experiment.grid.axis(exp::Axis::linspace("capacity", 8.0, 48.0, 6));
+    experiment.measures = {"lifetime", "censored", "delivered", "recovered"};
+    experiment.eval = [&simulator](const exp::Point& point,
+                                   const exp::PointContext& context) {
+        battery::BatteryParams params;
+        params.kind = battery::BatteryParams::Kind::Kibam;
+        params.capacity = point.at("capacity");
+        params.kibam_c = 0.5;
+        params.kibam_rate = 0.05;
+        battery::ReplayOptions replay;
+        replay.horizon = 24.0 * params.capacity;  // generous vs E[power] = 2/3
+        replay.seed = context.seed();
+        replay.replications = 4;
+        const battery::LifetimeEstimate estimate =
+            battery::simulate_lifetime(simulator, 0, params, replay);
+        exp::PointResult result;
+        result.values = {estimate.mean, static_cast<double>(estimate.censored),
+                         estimate.mean_delivered, estimate.mean_recovered};
+        result.half_widths = {estimate.half_width, 0.0, 0.0, 0.0};
         return result;
     };
     return experiment;
@@ -163,5 +197,28 @@ int main() {
     std::printf("OK: %zu points bit-identical across jobs counts (cache %llu/%llu)\n",
                 a.size(), static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses));
+
+    // Battery replay sweep over the same shared simulator.
+    const adl::ComposedModel model = adl::compose(cell_system());
+    const sim::Simulator simulator(model, cell_measures());
+    const exp::Experiment lifetime = battery_sweep(simulator);
+    const exp::ResultSet c = exp::run(lifetime, serial);
+    const exp::ResultSet d = exp::run(lifetime, parallel);
+    if (c.size() != d.size()) {
+        std::fprintf(stderr, "FAIL: %zu serial battery points vs %zu parallel\n",
+                     c.size(), d.size());
+        return 1;
+    }
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        if (c.at(i).result.values != d.at(i).result.values ||
+            c.at(i).result.half_widths != d.at(i).result.half_widths) {
+            std::fprintf(stderr,
+                         "FAIL: battery point %zu differs between jobs=1 and jobs=4\n",
+                         i);
+            return 1;
+        }
+    }
+    std::printf("OK: %zu battery replay points bit-identical across jobs counts\n",
+                c.size());
     return 0;
 }

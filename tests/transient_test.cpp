@@ -106,6 +106,61 @@ TEST(TransientRpc, InitialDistributionIsRespected) {
 }
 
 
+TEST(TransientEdges, TimeZeroNormalisesTheInitialDistribution) {
+    // t = 0 must return the initial distribution itself — normalised, since
+    // callers may pass unnormalised weights.
+    const Ctmc chain = random_chain(1, 5);
+    const auto pi = transient(chain, {{0, 2.0}, {3, 2.0}}, 0.0);
+    EXPECT_NEAR(pi[0], 0.5, 1e-12);
+    EXPECT_NEAR(pi[3], 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(pi[1], 0.0);
+    EXPECT_DOUBLE_EQ(pi[2], 0.0);
+    EXPECT_DOUBLE_EQ(pi[4], 0.0);
+}
+
+TEST(TransientEdges, AbsorbingOnlyChainIsAFixedPoint) {
+    // A chain with no transitions at all (every state absorbing) must leave
+    // the distribution untouched for any horizon — the uniformisation rate
+    // is floored, not divided by zero.
+    const Ctmc chain(3);
+    for (const double t : {0.0, 1.0, 1e6}) {
+        const auto pi = transient(chain, {{1, 1.0}}, t);
+        EXPECT_NEAR(pi[0], 0.0, 1e-12) << "t=" << t;
+        EXPECT_NEAR(pi[1], 1.0, 1e-12) << "t=" << t;
+        EXPECT_NEAR(pi[2], 0.0, 1e-12) << "t=" << t;
+    }
+}
+
+TEST(TransientEdges, AbsorptionMatchesTheExponentialClosedForm) {
+    const double a = 0.6;
+    Ctmc chain(2);
+    chain.add_rate(0, 1, a);  // state 1 is absorbing
+    for (const double t : {0.1, 0.5, 3.0, 50.0}) {
+        const auto pi = transient(chain, {{0, 1.0}}, t);
+        EXPECT_NEAR(pi[1], 1.0 - std::exp(-a * t), 1e-10) << "t=" << t;
+        EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-10) << "t=" << t;
+    }
+}
+
+TEST(TransientEdges, VeryLargeUniformisationHorizonStaysNormalised) {
+    // q*t ~ 1e5: the Poisson weights are evaluated in log space, so the
+    // early terms underflow to exactly zero instead of poisoning the sum;
+    // the result must still be a distribution and must have converged to
+    // the steady state.
+    const Ctmc chain = random_chain(2, 6);
+    const auto pi_t = transient(chain, {{0, 1.0}}, 20000.0);
+    double total = 0.0;
+    for (const double p : pi_t) {
+        EXPECT_GE(p, -1e-12);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    const auto pi_inf = steady_state(chain);
+    for (std::size_t i = 0; i < pi_inf.size(); ++i) {
+        EXPECT_NEAR(pi_t[i], pi_inf[i], 1e-8) << "state " << i;
+    }
+}
+
 TEST(AccumulatedReward, ConstantRewardIntegratesToRateTimesTime) {
     const Ctmc chain = random_chain(3, 6);
     const std::vector<double> rewards(6, 2.5);
@@ -168,6 +223,22 @@ TEST(AccumulatedReward, ColdStartEnergyOfTheRpcServer) {
     }
     EXPECT_GT(cold, stationary_rate * 50.0);
     EXPECT_LT(cold, 3.0 * 50.0);  // bounded by the maximum power
+}
+
+TEST(AccumulatedReward, TimeZeroAccruesNothing) {
+    const Ctmc chain = random_chain(4, 5);
+    const std::vector<double> rewards(5, 3.0);
+    EXPECT_DOUBLE_EQ(accumulated_reward(chain, {{0, 1.0}}, rewards, 0.0), 0.0);
+}
+
+TEST(AccumulatedReward, AbsorbingChainAccruesItsStateRewardLinearly) {
+    const Ctmc chain(2);  // no transitions: both states absorbing
+    const std::vector<double> rewards{4.0, 7.0};
+    // Tolerance: with no exits the uniformisation rate is floored, so the
+    // series truncates after a couple of terms — exact up to that truncation.
+    EXPECT_NEAR(accumulated_reward(chain, {{1, 1.0}}, rewards, 3.0), 21.0, 1e-5);
+    EXPECT_NEAR(accumulated_reward(chain, {{0, 1.0}, {1, 1.0}}, rewards, 2.0),
+                11.0, 1e-5);  // unnormalised initial mass is normalised first
 }
 
 TEST(AccumulatedReward, RejectsMismatchedRewardVector) {

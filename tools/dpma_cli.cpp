@@ -11,6 +11,12 @@
 ///                     [--reps N] [--seed S] [--confidence C]
 ///   dpma_cli sweep    model.aem measures.msr --param I.action=lo:hi:steps
 ///                     [--jobs N] [--json PATH|-] [--csv PATH|-]
+///   dpma_cli lifetime rpc|streaming [--battery ideal|peukert|kibam]
+///                     [--capacity lo:hi:steps] [--control C] [--reps N]
+///                     [--seed S] [--confidence C] [--jobs N]
+///                     [--horizon-factor F] [--peukert-exponent A]
+///                     [--peukert-ref P] [--kibam-c C] [--kibam-rate K]
+///                     [--format text|json] [--json PATH|-] [--csv PATH|-]
 ///
 /// Global options, valid in any position with any command:
 ///
@@ -38,6 +44,13 @@
 /// the command fails — a trace of a failing run is precisely the one worth
 /// looking at.
 ///
+/// `lifetime` runs a battery lifetime study (src/battery) on a built-in
+/// case-study system: capacity x {NO-DPM, DPM} sweep, each point replaying
+/// simulated trajectories into a fresh battery plus the analytic
+/// fluid/refined bounds from the CTMC.  Battery parameters must be positive
+/// and finite (kibam-c strictly inside (0,1)); anything else is a usage
+/// error (exit 2).
+///
 /// `sweep` solves the model at every point of a parameter range on the
 /// experiment engine (src/exp): the model is composed *once*, and each point
 /// patches the exponential rate of the transitions matching I.action (either
@@ -46,6 +59,7 @@
 /// whole sweep.  Points run in parallel (--jobs, default DPMA_JOBS /
 /// hardware_concurrency); results are identical for every jobs count.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +71,7 @@
 #include "adl/compose.hpp"
 #include "aemilia/parser.hpp"
 #include "analysis/lint.hpp"
+#include "battery/lifetime.hpp"
 #include "bisim/hml.hpp"
 #include "core/error.hpp"
 #include "core/text.hpp"
@@ -95,6 +110,12 @@ using namespace dpma;
                  "  dpma_cli sweep    <model.aem> <measures.msr> "
                  "--param <instance.action>=<lo>:<hi>:<steps> [--jobs N] "
                  "[--json PATH|-] [--csv PATH|-]\n"
+                 "  dpma_cli lifetime <rpc|streaming> "
+                 "[--battery ideal|peukert|kibam] [--capacity lo:hi:steps] "
+                 "[--control C] [--reps N] [--seed S] [--confidence C] "
+                 "[--jobs N] [--horizon-factor F] [--peukert-exponent A] "
+                 "[--peukert-ref P] [--kibam-c C] [--kibam-rate K] "
+                 "[--format text|json] [--json PATH|-] [--csv PATH|-]\n"
                  "global options (any command): [--trace FILE] [--metrics FILE] "
                  "[--log-level error|warn|info|debug]\n");
     std::exit(2);
@@ -419,6 +440,144 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
     return 0;
 }
 
+/// Strict full-string double parse; rejects trailing garbage.
+bool parse_double(const std::string& text, double* out) {
+    char* end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+/// Prints a lifetime usage error and returns the usage exit code (2): the
+/// battery parameters are command-line arguments, so a bad value is a usage
+/// error, not an analysis failure.
+int lifetime_usage_error(const std::string& message) {
+    std::fprintf(stderr, "dpma_cli: lifetime: %s\n", message.c_str());
+    return 2;
+}
+
+int cmd_lifetime(const std::string& system, std::vector<std::string> args) {
+    const std::string battery_name = option(args, "--battery", "kibam");
+    const std::string capacity_text = option(args, "--capacity", "1000:4000:4");
+    const std::string control_text = option(args, "--control", "-1");
+    const std::string reps_text = option(args, "--reps", "5");
+    const std::string seed_text = option(args, "--seed", "1");
+    const std::string confidence_text = option(args, "--confidence", "0.95");
+    const std::string jobs_text = option(args, "--jobs", "0");
+    const std::string horizon_text = option(args, "--horizon-factor", "8");
+    const std::string peukert_exp_text = option(args, "--peukert-exponent", "1.2");
+    const std::string peukert_ref_text = option(args, "--peukert-ref", "1");
+    const std::string kibam_c_text = option(args, "--kibam-c", "0.5");
+    const std::string kibam_rate_text = option(args, "--kibam-rate", "0.001");
+    const std::string format = option(args, "--format", "text");
+    const std::string json_path = option(args, "--json", "");
+    const std::string csv_path = option(args, "--csv", "");
+    if (!args.empty()) usage();
+    if (format != "text" && format != "json") {
+        return lifetime_usage_error("--format wants text or json, got '" + format + "'");
+    }
+
+    battery::StudyOptions options;
+    options.system = system;
+    if (system != "rpc" && system != "streaming") {
+        return lifetime_usage_error("unknown system '" + system +
+                                    "' (expected rpc or streaming)");
+    }
+    try {
+        options.battery.kind = battery::BatteryParams::kind_from(battery_name);
+    } catch (const Error& e) {
+        return lifetime_usage_error(e.what());
+    }
+
+    // --capacity lo:hi:steps (linear; steps == 1 keeps just lo).
+    const auto range = split(capacity_text, ':');
+    double lo = 0.0, hi = 0.0;
+    double steps_value = 0.0;
+    if (range.size() != 3 || !parse_double(range[0], &lo) ||
+        !parse_double(range[1], &hi) || !parse_double(range[2], &steps_value) ||
+        steps_value != std::floor(steps_value)) {
+        return lifetime_usage_error("--capacity wants lo:hi:steps, got '" +
+                                    capacity_text + "'");
+    }
+    const auto steps = static_cast<long>(steps_value);
+    if (!std::isfinite(lo) || lo <= 0.0 || !std::isfinite(hi) || hi < lo || steps < 1) {
+        return lifetime_usage_error(
+            "--capacity range must satisfy 0 < lo <= hi, steps >= 1");
+    }
+    const exp::Axis capacity_axis =
+        exp::Axis::linspace("capacity", lo, hi, static_cast<std::size_t>(steps));
+    options.capacities = capacity_axis.values;
+
+    // Every numeric battery/study parameter must parse and pass validate();
+    // both failures are usage errors by the exit-code contract.
+    struct NumericArg {
+        const std::string* text;
+        double* target;
+        const char* name;
+    };
+    const NumericArg numeric[] = {
+        {&control_text, &options.control, "--control"},
+        {&confidence_text, &options.confidence, "--confidence"},
+        {&horizon_text, &options.horizon_factor, "--horizon-factor"},
+        {&peukert_exp_text, &options.battery.peukert_exponent, "--peukert-exponent"},
+        {&peukert_ref_text, &options.battery.peukert_reference_power, "--peukert-ref"},
+        {&kibam_c_text, &options.battery.kibam_c, "--kibam-c"},
+        {&kibam_rate_text, &options.battery.kibam_rate, "--kibam-rate"},
+    };
+    for (const NumericArg& arg : numeric) {
+        if (!parse_double(*arg.text, arg.target)) {
+            return lifetime_usage_error(std::string(arg.name) +
+                                        " wants a number, got '" + *arg.text + "'");
+        }
+    }
+    char* end = nullptr;
+    const long reps = std::strtol(reps_text.c_str(), &end, 10);
+    if (end == reps_text.c_str() || *end != '\0' || reps < 1) {
+        return lifetime_usage_error("--reps wants a positive integer, got '" +
+                                    reps_text + "'");
+    }
+    options.replications = static_cast<int>(reps);
+    options.base_seed =
+        static_cast<std::uint64_t>(std::strtoull(seed_text.c_str(), &end, 10));
+    if (end == seed_text.c_str() || *end != '\0') {
+        return lifetime_usage_error("--seed wants an unsigned integer, got '" +
+                                    seed_text + "'");
+    }
+    const auto jobs = std::strtoul(jobs_text.c_str(), &end, 10);
+    if (end == jobs_text.c_str() || *end != '\0') {
+        return lifetime_usage_error("--jobs wants a non-negative integer, got '" +
+                                    jobs_text + "'");
+    }
+    options.jobs = static_cast<std::size_t>(jobs);
+    try {
+        options.validate();
+    } catch (const Error& e) {
+        return lifetime_usage_error(e.what());
+    }
+
+    const exp::ResultSet results = battery::run_lifetime_study(options);
+    if (format == "json") {
+        std::fputs(results.json().c_str(), stdout);
+    } else {
+        std::printf("lifetime study: %s system, %s battery, %zu capacities x "
+                    "{NO-DPM, DPM}, %d replications\n",
+                    options.system.c_str(), options.battery.kind_name(),
+                    options.capacities.size(), options.replications);
+        std::printf("%-12s %-6s", "capacity", "dpm");
+        for (const std::string& m : results.measures()) std::printf(" %-14s", m.c_str());
+        std::printf("\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const exp::PointRecord& record = results.at(i);
+            std::printf("%-12.6g %-6.0f", record.point.at("capacity"),
+                        record.point.at("dpm"));
+            for (const double v : record.result.values) std::printf(" %-14.8g", v);
+            std::printf("\n");
+        }
+    }
+    if (!json_path.empty()) write_output(json_path, results.json());
+    if (!csv_path.empty()) write_output(csv_path, results.csv());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -476,6 +635,8 @@ int main(int argc, char** argv) {
             const std::string measures_path = rest[0];
             rest.erase(rest.begin());
             status = cmd_sweep(model_path, measures_path, std::move(rest));
+        } else if (command == "lifetime") {
+            status = cmd_lifetime(model_path, std::move(rest));
         } else {
             usage();
         }
