@@ -177,7 +177,8 @@ void first_passage_to_overflow() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const dpma::bench::ScopedObservation observation("ablation_policies", argc, argv);
     ablate_policy();
     ablate_client_timeout();
     ablate_wakeup_power();

@@ -24,10 +24,10 @@
 #include "ctmc/solve.hpp"
 #include "exp/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma;
     using namespace dpma::bench;
-    const ScopedObservation observation;
+    ScopedObservation observation("battery_lifetime", argc, argv);
 
     const double scale = effort_scale();
     const int reps = std::max(2, static_cast<int>(std::lround(10.0 * scale)));
@@ -46,6 +46,7 @@ int main() {
 
     const auto started = std::chrono::steady_clock::now();
     const exp::ResultSet results = battery::run_lifetime_study(options);
+    observation.record(results);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - started;
 

@@ -48,7 +48,8 @@ DiskPoint solve(const md::Config& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const dpma::bench::ScopedObservation observation("disk_breakeven", argc, argv);
     const md::Params defaults;
     std::printf("== disk drive: break-even analysis (DPM survey example) ==\n");
     std::printf("power levels: active %.2f / idle %.2f / sleep %.2f / wake %.2f W; "

@@ -24,10 +24,10 @@
 #include "bench/harness.hpp"
 #include "exp/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
     namespace exp = dpma::exp;
-    const ScopedObservation observation;
+    ScopedObservation observation("fig3_rpc_general", argc, argv);
     std::printf("== Fig. 3 (right): rpc general model, DPM vs NO-DPM ==\n");
     std::printf("(30 replications, 90%% CI half-widths on throughput)\n");
 
@@ -45,6 +45,8 @@ int main() {
         exp::run(rpc_general_experiment(timeouts, true, reps, horizon), options);
     const exp::ResultSet no_dpm =
         exp::run(rpc_general_experiment({10.0}, false, reps, horizon), options);
+    observation.record(sweep);
+    observation.record(no_dpm);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
 
     const RpcPoint base =

@@ -21,10 +21,10 @@
 #include "bench/harness.hpp"
 #include "exp/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
     namespace exp = dpma::exp;
-    const ScopedObservation observation;
+    ScopedObservation observation("fig3_rpc_markov", argc, argv);
     std::printf("== Fig. 3 (left): rpc Markovian model, DPM vs NO-DPM ==\n");
 
     const std::vector<double> timeouts = {0.0,  1.0,  2.0,  3.0,  5.0,  7.5, 10.0,
@@ -34,6 +34,8 @@ int main() {
     exp::RunOptions options;  // jobs from DPMA_JOBS / hardware_concurrency
     const exp::ResultSet sweep = exp::run(rpc_markov_experiment(timeouts, true), options);
     const exp::ResultSet no_dpm = exp::run(rpc_markov_experiment({10.0}, false), options);
+    observation.record(sweep);
+    observation.record(no_dpm);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
 
     const RpcPoint base = rpc_point_from(no_dpm.at(0).result.values, {});

@@ -21,10 +21,10 @@
 #include "bench/harness.hpp"
 #include "exp/runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
     namespace exp = dpma::exp;
-    const ScopedObservation observation;
+    ScopedObservation observation("fig4_streaming_markov", argc, argv);
     std::printf("== Fig. 4: streaming Markovian model, DPM vs NO-DPM ==\n");
 
     const std::vector<double> periods = {0.0,   10.0,  25.0,  50.0,  75.0,
@@ -37,6 +37,8 @@ int main() {
         exp::run(streaming_markov_experiment({100.0}, false), options);
     const exp::ResultSet sweep =
         exp::run(streaming_markov_experiment(periods, true), options);
+    observation.record(no_dpm);
+    observation.record(sweep);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
 
     const StreamingPoint base = streaming_point_from(no_dpm.at(0).result.values, {});

@@ -14,8 +14,9 @@
 
 #include "bench/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
+    const ScopedObservation observation("fig5_validation", argc, argv);
     std::printf("== Fig. 5: validation of the general model (exp) vs Markov ==\n");
     std::printf("(30 replications, 90%% confidence intervals)\n");
 

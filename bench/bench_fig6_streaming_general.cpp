@@ -15,8 +15,9 @@
 
 #include "bench/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
+    const ScopedObservation observation("fig6_streaming_general", argc, argv);
     std::printf("== Fig. 6: streaming general model, DPM vs NO-DPM ==\n");
     std::printf("(10 replications per point)\n");
 

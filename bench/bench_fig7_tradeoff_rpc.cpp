@@ -39,8 +39,9 @@ void mark_dominated(std::vector<TradeoffPoint>& points) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
+    const ScopedObservation observation("fig7_tradeoff_rpc", argc, argv);
     std::printf("== Fig. 7: rpc energy/request vs waiting time tradeoff ==\n");
 
     const std::vector<double> timeouts{0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 11.0,

@@ -15,8 +15,9 @@
 
 #include "bench/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace dpma::bench;
+    const ScopedObservation observation("fig8_tradeoff_streaming", argc, argv);
     std::printf("== Fig. 8: streaming energy/frame vs miss rate tradeoff ==\n");
 
     const std::vector<double> periods{0.0, 25.0, 50.0, 100.0, 200.0,

@@ -38,7 +38,8 @@ void report(const char* name, const adl::ComposedModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const dpma::bench::ScopedObservation observation("sect3_noninterference", argc, argv);
     std::printf("== Sect. 3: noninterference analysis of the DPM ==\n\n");
 
     report("rpc simplified (2.3)",

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "core/error.hpp"
 #include "core/text.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/reward.hpp"
@@ -207,7 +208,33 @@ ScopedObservation::ScopedObservation() {
     obs::set_tracing(true);
 }
 
+ScopedObservation::ScopedObservation(std::string tool, int argc,
+                                     const char* const* argv)
+    : ScopedObservation() {
+    report_file_ = obs::report_path(tool);
+    if (report_file_.empty()) return;  // DPMA_REPORT=0
+    report_ = std::make_unique<obs::RunReport>(std::move(tool));
+    if (argc > 0 && argv != nullptr) {
+        report_->set_args(std::vector<std::string>(argv, argv + argc));
+    }
+}
+
+void ScopedObservation::record(const exp::ResultSet& results) {
+    if (report_ == nullptr) return;
+    report_->add_series(results.json());
+}
+
 ScopedObservation::~ScopedObservation() {
+    if (report_ != nullptr) {
+        // Before the breakdown turns tracing off: the record's span summary
+        // and metrics snapshot should match what gets printed below.
+        try {
+            report_->write(report_file_);
+            std::fprintf(stderr, "run record: %s\n", report_file_.c_str());
+        } catch (const Error& e) {
+            std::fprintf(stderr, "run record failed: %s\n", e.what());
+        }
+    }
     if (!enabled_) return;
     obs::set_tracing(false);
     std::printf("\n### instrumentation breakdown\n");

@@ -14,6 +14,7 @@
 /// sweep — rate points patch a cached skeleton instead of re-exploring the
 /// state space.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "exp/report.hpp"
 #include "models/rpc.hpp"
 #include "models/streaming.hpp"
+#include "obs/run_report.hpp"
 
 namespace dpma::bench {
 
@@ -60,16 +62,33 @@ private:
 /// name, count, total/mean time from obs::span_summary()) followed by the
 /// metrics registry.  Set DPMA_BENCH_BREAKDOWN=0 to silence it (and skip
 /// the tracing overhead).
+///
+/// When constructed with a tool name it additionally writes an
+/// obs::RunReport (run record: provenance, resources, metrics, spans, and
+/// every ResultSet handed to record()) to obs::report_path(tool) on
+/// destruction — "BENCH_<tool>.json" by default, DPMA_REPORT to move or
+/// disable it.  Record-writing is independent of DPMA_BENCH_BREAKDOWN.
 class ScopedObservation {
 public:
     ScopedObservation();
+    /// \p argc/\p argv, when given, are stored in the record verbatim.
+    explicit ScopedObservation(std::string tool, int argc = 0,
+                               const char* const* argv = nullptr);
     ~ScopedObservation();
 
     ScopedObservation(const ScopedObservation&) = delete;
     ScopedObservation& operator=(const ScopedObservation&) = delete;
 
+    /// Adds \p results as one series of the run record (no-op without a
+    /// tool name).
+    void record(const exp::ResultSet& results);
+
 private:
     bool enabled_ = false;
+    // Set by the tool-name ctor only; the RunReport's wall clock starts with
+    // the bench, so the record's wall_s covers the whole main().
+    std::string report_file_;
+    std::unique_ptr<obs::RunReport> report_;
 };
 
 /// One point of the rpc performance comparison (Fig. 3): derived per-request

@@ -1,0 +1,145 @@
+#include "exp/events.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace dpma::exp {
+namespace {
+
+std::uint64_t wall_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string params_json(const Point& point) {
+    std::string out = "{";
+    for (std::size_t p = 0; p < point.coords.size(); ++p) {
+        if (p > 0) out += ",";
+        out += obs::json_quote(point.coords[p].first) + ":" +
+               obs::json_number(point.coords[p].second);
+    }
+    out += "}";
+    return out;
+}
+
+std::string measure_map_json(const std::vector<std::string>& measures,
+                             const std::vector<double>& values) {
+    std::string out = "{";
+    for (std::size_t m = 0; m < measures.size(); ++m) {
+        if (m > 0) out += ",";
+        out += obs::json_quote(measures[m]) + ":" +
+               obs::json_number(m < values.size() ? values[m] : 0.0);
+    }
+    out += "}";
+    return out;
+}
+
+}  // namespace
+
+EventOptions events_from_env() {
+    EventOptions options;
+    const char* env = std::getenv("DPMA_EVENTS");
+    if (env == nullptr) return options;
+    const std::string value(env);
+    if (value.empty() || value == "0") return options;
+    if (const char* timing = std::getenv("DPMA_EVENTS_TIMING")) {
+        options.timing = std::string_view(timing) != "0";
+    }
+    if (value == "-" || value == "stderr") {
+        options.sink = [](const std::string& line) {
+            std::fprintf(stderr, "%s\n", line.c_str());
+            std::fflush(stderr);
+        };
+        return options;
+    }
+    // Append: several sweeps in one process (e.g. a bench binary running the
+    // DPM and NO-DPM series) share one stream.
+    auto out = std::make_shared<std::ofstream>(value, std::ios::binary | std::ios::app);
+    if (!*out) throw Error("DPMA_EVENTS: cannot open " + value);
+    options.sink = [out](const std::string& line) {
+        *out << line << '\n';
+        out->flush();  // heartbeats must be visible while the sweep runs
+    };
+    return options;
+}
+
+SweepEvents::SweepEvents(EventOptions options, const std::string& experiment,
+                         const std::vector<std::string>& measures, std::size_t total)
+    : options_(std::move(options)),
+      experiment_(experiment),
+      measures_(measures),
+      total_(total) {
+    if (!active()) return;
+    start_ns_ = wall_now_ns();
+    emit("{\"type\":\"sweep_started\",\"experiment\":" + obs::json_quote(experiment_) +
+         ",\"total\":" + std::to_string(total_) + "}");
+}
+
+void SweepEvents::point(const Point& point, const PointResult& result) {
+    if (!active()) return;
+    emit("{\"type\":\"point_started\",\"index\":" + std::to_string(point.index) +
+         ",\"params\":" + params_json(point) + "}");
+
+    std::string finished =
+        "{\"type\":\"point_finished\",\"index\":" + std::to_string(point.index) +
+        ",\"values\":" + measure_map_json(measures_, result.values) +
+        ",\"half_widths\":" + measure_map_json(measures_, result.half_widths);
+    if (options_.timing) {
+        finished += ",\"elapsed_s\":" + obs::json_number(result.elapsed_s);
+    }
+    finished += "}";
+    emit(finished);
+
+    ++completed_;
+    double point_hw = 0.0;
+    if (!result.half_widths.empty()) {
+        for (const double hw : result.half_widths) point_hw += hw;
+        point_hw /= static_cast<double>(result.half_widths.size());
+    }
+    half_width_sum_ += point_hw;
+    std::string progress =
+        "{\"type\":\"sweep_progress\",\"completed\":" + std::to_string(completed_) +
+        ",\"total\":" + std::to_string(total_) + ",\"mean_half_width\":" +
+        obs::json_number(half_width_sum_ / static_cast<double>(completed_));
+    if (options_.timing) {
+        const double elapsed = static_cast<double>(wall_now_ns() - start_ns_) * 1e-9;
+        const double eta = completed_ == 0
+                               ? 0.0
+                               : elapsed / static_cast<double>(completed_) *
+                                     static_cast<double>(total_ - completed_);
+        progress += ",\"elapsed_s\":" + obs::json_number(elapsed) +
+                    ",\"eta_s\":" + obs::json_number(eta);
+    }
+    progress += "}";
+    emit(progress);
+}
+
+void SweepEvents::finish() {
+    if (!active()) return;
+    std::string line =
+        "{\"type\":\"sweep_finished\",\"experiment\":" + obs::json_quote(experiment_) +
+        ",\"completed\":" + std::to_string(completed_) +
+        ",\"total\":" + std::to_string(total_);
+    if (options_.timing) {
+        line += ",\"elapsed_s\":" +
+                obs::json_number(static_cast<double>(wall_now_ns() - start_ns_) * 1e-9);
+    }
+    line += "}";
+    emit(line);
+}
+
+void SweepEvents::emit(const std::string& line) {
+    static obs::Counter& emitted = obs::counter("exp.events.emitted");
+    emitted.add();
+    options_.sink(line);
+}
+
+}  // namespace dpma::exp

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file events.hpp
+/// Live sweep telemetry: JSONL heartbeats out of exp::run().
+///
+/// A multi-minute sweep used to be silent until exit.  With an event sink
+/// attached (programmatically via RunOptions::event_sink, or for any binary
+/// via the DPMA_EVENTS environment variable / dpma_cli --events), the runner
+/// streams one strict-JSON value per line as points complete:
+///
+///   {"type": "sweep_started", "experiment": NAME, "total": N}
+///   {"type": "point_started", "index": I, "params": {...}}
+///   {"type": "point_finished", "index": I, "values": {...},
+///    "half_widths": {...}[, "elapsed_s": E]}
+///   {"type": "sweep_progress", "completed": K, "total": N,
+///    "mean_half_width": H[, "elapsed_s": E, "eta_s": T]}
+///   {"type": "sweep_finished", "experiment": NAME, "completed": N,
+///    "total": N[, "elapsed_s": E]}
+///
+/// Ordering contract: events are the canonical in-index-order serialisation
+/// of the sweep, not a scheduler trace.  Workers finish points in whatever
+/// order the pool schedules them; the emitter drains the contiguous prefix
+/// of completed points, so the stream is *identical for every jobs count* —
+/// "completed" is strictly monotone and the final event's count equals the
+/// ResultSet's point count.  The only non-deterministic fields are the
+/// wall-clock ones (elapsed_s, eta_s, and point_finished.elapsed_s); set
+/// DPMA_EVENTS_TIMING=0 (or EventOptions::timing = false) to omit them and
+/// the stream is bit-identical for any DPMA_JOBS.
+///
+/// mean_half_width is the running mean, over completed points, of each
+/// point's mean CI half-width (0 for exact evaluations) — a live answer to
+/// "are the confidence intervals tight enough to stop".
+///
+/// DPMA_EVENTS values: a file path (opened in append mode, so several
+/// sweeps in one process — or one bench binary — share the stream), or
+/// "-" / "stderr" to stream to stderr; empty or "0" disables.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace dpma::exp {
+
+/// Receives one complete JSONL line (no trailing newline) per event.
+using EventSinkFn = std::function<void(const std::string& line)>;
+
+struct EventOptions {
+    EventSinkFn sink;    ///< empty = telemetry disabled
+    bool timing = true;  ///< include elapsed_s / eta_s wall-clock fields
+};
+
+/// Sink options from DPMA_EVENTS / DPMA_EVENTS_TIMING.  The returned sink
+/// owns the output stream (file handles stay open as long as the sink is
+/// alive); an unset/disabled variable yields an empty sink.  Throws Error
+/// when the file cannot be opened.
+[[nodiscard]] EventOptions events_from_env();
+
+/// Per-sweep emitter used by exp::run(); public so the TSan smoke and tests
+/// can drive it directly.  All methods are single-threaded by contract: the
+/// runner serialises calls under its drain mutex.
+class SweepEvents {
+public:
+    /// Inert when \p options has no sink — every method is then a no-op.
+    SweepEvents(EventOptions options, const std::string& experiment,
+                const std::vector<std::string>& measures, std::size_t total);
+
+    [[nodiscard]] bool active() const noexcept { return static_cast<bool>(options_.sink); }
+
+    /// Emits point_started + point_finished + sweep_progress for one point,
+    /// in index order (the runner drains completed prefixes).
+    void point(const Point& point, const PointResult& result);
+
+    /// Emits the final sweep_finished event.
+    void finish();
+
+private:
+    void emit(const std::string& line);
+
+    EventOptions options_;
+    std::string experiment_;
+    std::vector<std::string> measures_;
+    std::size_t total_ = 0;
+    std::size_t completed_ = 0;
+    double half_width_sum_ = 0.0;
+    std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace dpma::exp

@@ -79,6 +79,11 @@ struct PointResult {
     /// ctmc::SolveDiagnostics::json() or sim::convergence_json().  Empty
     /// means none; when set it is embedded verbatim in ResultSet::json().
     std::string diagnostics;
+    /// Wall-clock seconds the runner spent evaluating this point, filled in
+    /// by exp::run() (an eval function's own value is overwritten).  This is
+    /// the per-point perf series run records diff (exp/regress.hpp); being
+    /// wall clock it is *not* part of the determinism contract.
+    double elapsed_s = 0.0;
 };
 
 /// Per-point context handed to the evaluation function by the runner.

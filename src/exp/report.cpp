@@ -113,7 +113,7 @@ std::string ResultSet::json() const {
                               ? 0.0
                               : record.result.half_widths[m]);
         }
-        out += "}";
+        out += "}, \"elapsed_s\": " + number(record.result.elapsed_s);
         if (!record.result.diagnostics.empty()) {
             out += ", \"diagnostics\": " + record.result.diagnostics;
         }

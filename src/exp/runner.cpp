@@ -1,5 +1,8 @@
 #include "exp/runner.hpp"
 
+#include <chrono>
+#include <mutex>
+
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
 #include "obs/metrics.hpp"
@@ -20,6 +23,17 @@ ResultSet run(const Experiment& experiment, const RunOptions& options) {
     const std::size_t count = experiment.grid.size();
     std::vector<Point> points(count);
     std::vector<PointResult> results(count);
+
+    // Telemetry (exp/events.hpp): explicit sink, else DPMA_EVENTS.  Points
+    // finish in scheduler order; the drain below emits the contiguous prefix
+    // of completed points under one mutex, so the stream is in index order —
+    // identical for every jobs count.
+    SweepEvents events(options.events.sink ? options.events : events_from_env(),
+                       experiment.name, experiment.measures, count);
+    std::mutex drain_mutex;
+    std::vector<unsigned char> done(count, 0);
+    std::size_t next_drain = 0;
+
     static obs::Counter& point_counter = obs::counter("exp.points");
     pool.run(count, [&](std::size_t i) {
         DPMA_NAMED_SPAN(point_span, "exp.point", "exp");
@@ -29,9 +43,22 @@ ResultSet run(const Experiment& experiment, const RunOptions& options) {
         context.base_seed = options.base_seed;
         context.point_index = i;
         context.pool = &pool;
+        const auto started = std::chrono::steady_clock::now();
         results[i] = experiment.eval(points[i], context);
+        results[i].elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                .count();
         point_counter.add();
+        if (events.active()) {
+            const std::lock_guard<std::mutex> lock(drain_mutex);
+            done[i] = 1;
+            while (next_drain < count && done[next_drain] != 0) {
+                events.point(points[next_drain], results[next_drain]);
+                ++next_drain;
+            }
+        }
     });
+    events.finish();
     span.arg("points", static_cast<double>(count));
 
     ResultSet set(experiment.name, experiment.grid.names(), experiment.measures);

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exp/events.hpp"
 #include "exp/experiment.hpp"
 #include "exp/pool.hpp"
 #include "exp/report.hpp"
@@ -27,6 +28,10 @@ struct RunOptions {
     /// Execute on this pool instead of creating one (e.g. to share workers
     /// between experiments).
     ThreadPool* pool = nullptr;
+    /// Live telemetry sink (exp/events.hpp).  When the sink is empty the
+    /// runner falls back to the DPMA_EVENTS environment variable; the
+    /// stream is in point-index order for every jobs count.
+    EventOptions events;
 };
 
 /// Evaluates every grid point of \p experiment (in parallel when jobs > 1)

@@ -1,12 +1,57 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 
 #include "obs/json.hpp"
 
 namespace dpma::obs {
+
+namespace {
+
+/// Bin index for one observation: 0 is the underflow bin (v below the range,
+/// zero, negative, NaN), kBins - 1 the overflow bin.
+std::size_t bin_index(double v) noexcept {
+    constexpr double lo = 1e-9;  // 10^kLoExponent
+    if (!(v >= lo)) return 0;
+    const double offset =
+        (std::log10(v) - Histogram::kLoExponent) * Histogram::kBinsPerDecade;
+    const auto bin = static_cast<std::size_t>(offset) + 1;
+    return std::min(bin, Histogram::kBins - 1);
+}
+
+/// Lower edge of bin b >= 1 (the first finite-range bin starts at 1e-9).
+double bin_lower(std::size_t b) noexcept {
+    return std::pow(10.0, Histogram::kLoExponent +
+                              static_cast<double>(b - 1) / Histogram::kBinsPerDecade);
+}
+
+}  // namespace
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The extremes are tracked exactly; only interior quantiles pay the
+    // one-bin resolution.
+    if (q == 0.0) return min;
+    if (q == 1.0) return max;
+    // Rank of the order statistic the quantile asks for, 1-based.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBins; ++b) {
+        seen += bins[b];
+        if (seen < rank) continue;
+        if (b == 0) return min;
+        if (b == kBins - 1) return max;
+        const double lower = bin_lower(b);
+        const double upper = bin_lower(b + 1);
+        return std::clamp(std::sqrt(lower * upper), min, max);
+    }
+    return max;  // unreachable: the bins always sum to count
+}
 
 void Histogram::observe(double v) noexcept {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -18,6 +63,7 @@ void Histogram::observe(double v) noexcept {
     }
     ++data_.count;
     data_.sum += v;
+    ++data_.bins[bin_index(v)];
 }
 
 Histogram::Snapshot Histogram::snapshot() const noexcept {
@@ -98,7 +144,10 @@ std::string metrics_json() {
                std::to_string(s.count) + ", \"sum\": " + json_number(s.sum) +
                ", \"min\": " + json_number(s.min) +
                ", \"max\": " + json_number(s.max) +
-               ", \"mean\": " + json_number(s.mean()) + "}";
+               ", \"mean\": " + json_number(s.mean()) +
+               ", \"p50\": " + json_number(s.quantile(0.50)) +
+               ", \"p90\": " + json_number(s.quantile(0.90)) +
+               ", \"p99\": " + json_number(s.quantile(0.99)) + "}";
     }
     out += first ? "}\n" : "\n  }\n";
     out += "}\n";
@@ -119,7 +168,10 @@ std::string metrics_text() {
         const Histogram::Snapshot s = h->snapshot();
         out += name + " = count " + std::to_string(s.count) + ", mean " +
                json_number(s.mean()) + ", min " + json_number(s.min) +
-               ", max " + json_number(s.max) + "\n";
+               ", max " + json_number(s.max) + ", p50 " +
+               json_number(s.quantile(0.50)) + ", p90 " +
+               json_number(s.quantile(0.90)) + ", p99 " +
+               json_number(s.quantile(0.99)) + "\n";
     }
     return out;
 }

@@ -8,7 +8,8 @@
 ///                states composed, vanishing states eliminated);
 ///  * Gauge     — last-written double (current sweep size, jobs in use);
 ///  * Histogram — count/sum/min/max summary of observed doubles (solver
-///                iterations, per-measure residuals).
+///                iterations, per-measure residuals) plus p50/p90/p99 tail
+///                quantiles from fixed log-spaced bins.
 ///
 /// counter("x") & co. return a stable reference to the named instrument,
 /// creating it on first use; hot call sites should cache the reference
@@ -21,6 +22,7 @@
 /// zeroes them all (tests, or per-phase deltas) without invalidating
 /// references.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -57,14 +59,33 @@ private:
 
 class Histogram {
 public:
+    /// Binning layout: kBinsPerDecade log-spaced bins per decade over
+    /// [10^kLoExponent, 10^kHiExponent), bracketed by an underflow bin
+    /// (everything below the range, including zero and negatives) and an
+    /// overflow bin.  Bin b >= 1 covers [10^(kLoExponent + (b-1)/kBinsPerDecade),
+    /// 10^(kLoExponent + b/kBinsPerDecade)): a quantile read off the bins is
+    /// exact to one bin, i.e. a relative factor of 10^(1/kBinsPerDecade)
+    /// (~26%) — coarse for means, plenty to spot a tail that moved decades.
+    static constexpr int kLoExponent = -9;
+    static constexpr int kHiExponent = 12;
+    static constexpr int kBinsPerDecade = 10;
+    static constexpr std::size_t kBins =
+        static_cast<std::size_t>((kHiExponent - kLoExponent) * kBinsPerDecade) + 2;
+
     struct Snapshot {
         std::uint64_t count = 0;
         double sum = 0.0;
         double min = 0.0;
         double max = 0.0;
+        std::array<std::uint64_t, kBins> bins{};
         [[nodiscard]] double mean() const noexcept {
             return count == 0 ? 0.0 : sum / static_cast<double>(count);
         }
+        /// Quantile estimate from the log-spaced bins, \p q in [0, 1]:
+        /// the geometric midpoint of the bin holding the ceil(q * count)-th
+        /// smallest observation, clamped to [min, max] (the under/overflow
+        /// bins answer with min/max exactly).  0 when the histogram is empty.
+        [[nodiscard]] double quantile(double q) const noexcept;
     };
 
     void observe(double v) noexcept;

@@ -1,0 +1,109 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DPMA_HAVE_GETRUSAGE 1
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace dpma::obs {
+namespace {
+
+#if defined(__linux__)
+
+/// VmHWM (peak RSS) from /proc/self/status, in kB; 0 when unreadable.
+std::uint64_t proc_peak_rss_kb() {
+    std::FILE* status = std::fopen("/proc/self/status", "re");
+    if (status == nullptr) return 0;
+    char line[256];
+    std::uint64_t peak = 0;
+    while (std::fgets(line, sizeof line, status) != nullptr) {
+        unsigned long long value = 0;
+        if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+            peak = value;
+            break;
+        }
+    }
+    std::fclose(status);
+    return peak;
+}
+
+/// minflt/majflt/utime/stime from /proc/self/stat (fields 10, 12, 14, 15).
+/// Returns false when the file cannot be read or parsed.
+bool proc_stat(ResourceUsage* out) {
+    std::FILE* stat = std::fopen("/proc/self/stat", "re");
+    if (stat == nullptr) return false;
+    char buffer[1024];
+    const std::size_t n = std::fread(buffer, 1, sizeof buffer - 1, stat);
+    std::fclose(stat);
+    buffer[n] = '\0';
+    // comm (field 2) may contain spaces; everything after its closing ')' is
+    // space-separated.  state is field 3, so minflt is the 7th field after.
+    const char* after_comm = std::strrchr(buffer, ')');
+    if (after_comm == nullptr) return false;
+    unsigned long long minflt = 0, cminflt = 0, majflt = 0, cmajflt = 0;
+    unsigned long long utime = 0, stime = 0;
+    char state = '\0';
+    long long ppid = 0, pgrp = 0, session = 0, tty = 0, tpgid = 0;
+    unsigned long long flags = 0;
+    if (std::sscanf(after_comm + 1, " %c %lld %lld %lld %lld %lld %llu %llu %llu %llu %llu %llu %llu",
+                    &state, &ppid, &pgrp, &session, &tty, &tpgid, &flags, &minflt,
+                    &cminflt, &majflt, &cmajflt, &utime, &stime) != 13) {
+        return false;
+    }
+    const long ticks = sysconf(_SC_CLK_TCK);
+    const double tick_s = ticks > 0 ? 1.0 / static_cast<double>(ticks) : 0.0;
+    out->cpu_user_s = static_cast<double>(utime) * tick_s;
+    out->cpu_system_s = static_cast<double>(stime) * tick_s;
+    out->minor_faults = minflt;
+    out->major_faults = majflt;
+    return true;
+}
+
+#endif  // __linux__
+
+#if defined(DPMA_HAVE_GETRUSAGE)
+
+bool rusage_sample(ResourceUsage* out) {
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return false;
+    out->cpu_user_s = static_cast<double>(usage.ru_utime.tv_sec) +
+                      static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    out->cpu_system_s = static_cast<double>(usage.ru_stime.tv_sec) +
+                        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+#if defined(__APPLE__)
+    out->peak_rss_kb = static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+    out->peak_rss_kb = static_cast<std::uint64_t>(usage.ru_maxrss);  // kB
+#endif
+    out->minor_faults = static_cast<std::uint64_t>(usage.ru_minflt);
+    out->major_faults = static_cast<std::uint64_t>(usage.ru_majflt);
+    return true;
+}
+
+#endif  // DPMA_HAVE_GETRUSAGE
+
+}  // namespace
+
+ResourceUsage sample_resources() {
+    ResourceUsage usage;
+#if defined(__linux__)
+    if (proc_stat(&usage)) {
+        usage.peak_rss_kb = proc_peak_rss_kb();
+        usage.source = "procfs";
+        return usage;
+    }
+#endif
+#if defined(DPMA_HAVE_GETRUSAGE)
+    if (rusage_sample(&usage)) {
+        usage.source = "getrusage";
+        return usage;
+    }
+#endif
+    return usage;
+}
+
+}  // namespace dpma::obs

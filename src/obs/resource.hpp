@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file resource.hpp
+/// Process resource usage for run records (obs/run_report.hpp).
+///
+/// sample() answers "what has this process consumed so far": CPU time split
+/// user/system, peak resident set size, and page-fault counts.  On Linux the
+/// numbers come from /proc/self/status (VmHWM) and /proc/self/stat
+/// (utime/stime/minflt/majflt); when procfs is unavailable the sampler falls
+/// back to getrusage(2), and on platforms with neither it degrades to a
+/// no-op that reports source "none" with zeros — callers never need to
+/// guard, the run record simply says the numbers are absent.
+
+#include <cstdint>
+
+namespace dpma::obs {
+
+struct ResourceUsage {
+    double cpu_user_s = 0.0;
+    double cpu_system_s = 0.0;
+    std::uint64_t peak_rss_kb = 0;
+    std::uint64_t minor_faults = 0;
+    std::uint64_t major_faults = 0;
+    /// Where the numbers came from: "procfs", "getrusage" or "none".
+    const char* source = "none";
+};
+
+/// Snapshot of the calling process's cumulative resource usage.
+[[nodiscard]] ResourceUsage sample_resources();
+
+}  // namespace dpma::obs

@@ -1,0 +1,123 @@
+#include "obs/run_report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/trace.hpp"
+
+// Stamped on the dpma_obs target at configure time (src/obs/CMakeLists.txt);
+// plain "unknown" when the source tree is not a git checkout.
+#if !defined(DPMA_GIT_SHA)
+#define DPMA_GIT_SHA "unknown"
+#endif
+#if !defined(DPMA_BUILD_TYPE)
+#define DPMA_BUILD_TYPE "unknown"
+#endif
+
+namespace dpma::obs {
+namespace {
+
+std::uint64_t wall_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// JSON value for one environment variable: its quoted value, or null when
+/// unset — a record must distinguish "unset" from "set to empty".
+std::string env_json(const char* name) {
+    const char* value = std::getenv(name);
+    return value == nullptr ? "null" : json_quote(value);
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string tool)
+    : tool_(std::move(tool)), start_ns_(wall_now_ns()) {}
+
+void RunReport::set_args(const std::vector<std::string>& args) { args_ = args; }
+
+void RunReport::add_series(std::string series_json) {
+    std::string error;
+    if (!json_valid(series_json, &error)) {
+        throw Error("run report series is not valid JSON: " + error);
+    }
+    series_.push_back(std::move(series_json));
+}
+
+std::string RunReport::json() const {
+    const double wall_s = static_cast<double>(wall_now_ns() - start_ns_) * 1e-9;
+    const ResourceUsage usage = sample_resources();
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"dpma-run-report/1\",\n";
+    out += "  \"tool\": " + json_quote(tool_) + ",\n";
+    out += "  \"args\": [";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_quote(args_[i]);
+    }
+    out += "],\n";
+    out += "  \"git_sha\": " + json_quote(DPMA_GIT_SHA) + ",\n";
+    out += "  \"build_type\": " + json_quote(DPMA_BUILD_TYPE) + ",\n";
+    out += "  \"env\": {\"DPMA_JOBS\": " + env_json("DPMA_JOBS") +
+           ", \"DPMA_BENCH_SCALE\": " + env_json("DPMA_BENCH_SCALE") + "},\n";
+    out += "  \"wall_s\": " + json_number(wall_s) + ",\n";
+    out += "  \"cpu_user_s\": " + json_number(usage.cpu_user_s) + ",\n";
+    out += "  \"cpu_system_s\": " + json_number(usage.cpu_system_s) + ",\n";
+    out += "  \"peak_rss_kb\": " + std::to_string(usage.peak_rss_kb) + ",\n";
+    out += "  \"minor_faults\": " + std::to_string(usage.minor_faults) + ",\n";
+    out += "  \"major_faults\": " + std::to_string(usage.major_faults) + ",\n";
+    out += "  \"resource_source\": " + json_quote(usage.source) + ",\n";
+    out += "  \"metrics\": ";
+    // metrics_json() ends with a newline; splice it in without one.
+    std::string metrics = metrics_json();
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    out += metrics;
+    out += ",\n  \"spans\": [";
+    const std::vector<SpanStats> spans = span_summary();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        out += i > 0 ? ",\n    " : "\n    ";
+        out += "{\"name\": " + json_quote(spans[i].name) +
+               ", \"count\": " + std::to_string(spans[i].count) +
+               ", \"total_us\": " + json_number(spans[i].total_us) + "}";
+    }
+    out += spans.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"series\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        out += i > 0 ? ",\n    " : "\n    ";
+        out += series_[i];
+    }
+    out += series_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void RunReport::write(const std::string& path) const {
+    const std::string text = json();
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot write run report to " + path);
+    out << text;
+}
+
+std::string report_path(const std::string& tool) {
+    if (const char* env = std::getenv("DPMA_REPORT")) {
+        const std::string value(env);
+        if (value.empty() || value == "0") return "";
+        return value;
+    }
+    return "BENCH_" + tool + ".json";
+}
+
+}  // namespace dpma::obs

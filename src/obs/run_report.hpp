@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file run_report.hpp
+/// Self-describing run records.
+///
+/// Every bench binary (via bench::ScopedObservation) and every dpma_cli
+/// subcommand (via --report) can emit one strict-JSON record of what it ran
+/// and what came out: tool name and arguments, the git sha and build type
+/// the binary was compiled from, the effort-relevant environment
+/// (DPMA_JOBS, DPMA_BENCH_SCALE), wall/CPU time, peak RSS and fault counts
+/// (obs/resource.hpp), a metrics-registry snapshot, per-span totals, and
+/// the result series the run produced (exp::ResultSet::json() objects,
+/// pre-rendered by the caller so obs stays dependency-free).
+///
+/// The record is the unit of comparison for the perf-regression reporter
+/// (`dpma_cli report old.json new.json`, exp/regress.hpp): two records of
+/// the same tool pair their series by experiment name and their points by
+/// parameter coordinates, so a bench run today can be diffed against a bench
+/// run from last month without hand-copying numbers.
+///
+/// Schema (all keys always present, "series" possibly empty):
+///   {"schema": "dpma-run-report/1", "tool", "args": [...], "git_sha",
+///    "build_type", "env": {"DPMA_JOBS", "DPMA_BENCH_SCALE"},  (null = unset)
+///    "wall_s", "cpu_user_s", "cpu_system_s", "peak_rss_kb",
+///    "minor_faults", "major_faults", "resource_source",
+///    "metrics": {...}, "spans": [{"name", "count", "total_us"}, ...],
+///    "series": [<ResultSet json>, ...]}
+///
+/// Default artifact path: report_path(tool) = "BENCH_<tool>.json" in the
+/// working directory, overridable with the DPMA_REPORT environment variable
+/// (a path, or "0" to disable — report_path returns "" then).
+
+#include <string>
+#include <vector>
+
+namespace dpma::obs {
+
+class RunReport {
+public:
+    /// Starts the record's wall clock; \p tool names the producing binary.
+    explicit RunReport(std::string tool);
+
+    void set_args(const std::vector<std::string>& args);
+
+    /// Appends one result-series object (e.g. exp::ResultSet::json()).
+    /// \p series_json must be a valid JSON value — enforced, because one bad
+    /// series would poison the whole record.  Throws Error otherwise.
+    void add_series(std::string series_json);
+
+    /// Renders the record: stops the wall clock, samples resources, and
+    /// snapshots the metrics registry and span summary at call time.
+    [[nodiscard]] std::string json() const;
+
+    /// json() to \p path ("-" = stdout).  Throws Error when unwritable.
+    void write(const std::string& path) const;
+
+private:
+    std::string tool_;
+    std::vector<std::string> args_;
+    std::vector<std::string> series_;
+    std::uint64_t start_ns_ = 0;
+};
+
+/// Default record path for \p tool honouring DPMA_REPORT: the variable's
+/// value when set ("0" or empty disables, returning ""), otherwise
+/// "BENCH_<tool>.json".
+[[nodiscard]] std::string report_path(const std::string& tool);
+
+}  // namespace dpma::obs

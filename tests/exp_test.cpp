@@ -315,5 +315,97 @@ TEST(Harness, RpcExperimentMatchesDirectPoint) {
     EXPECT_EQ(engine.waiting_per_request, direct.waiting_per_request);
 }
 
+TEST(Report, JsonCarriesPerPointElapsed) {
+    const ResultSet sweep =
+        run(bench::rpc_markov_experiment({5.0, 10.0}, true), RunOptions{});
+    EXPECT_NE(sweep.json().find("\"elapsed_s\": "), std::string::npos);
+    EXPECT_GT(sweep.at(0).result.elapsed_s, 0.0);
+}
+
+/// Captured event stream of one sweep: the lines and the per-line types.
+struct CapturedEvents {
+    std::vector<std::string> lines;
+    std::size_t points = 0;
+};
+
+CapturedEvents run_with_events(std::size_t jobs, bool timing) {
+    CapturedEvents captured;
+    RunOptions options;
+    options.jobs = jobs;
+    options.events.timing = timing;
+    options.events.sink = [&](const std::string& line) {
+        captured.lines.push_back(line);
+    };
+    const ResultSet results =
+        run(bench::rpc_markov_experiment({0.0, 2.0, 5.0, 10.0, 25.0}, true), options);
+    captured.points = results.size();
+    return captured;
+}
+
+TEST(Events, StreamHasTheDocumentedShapeAndMonotoneProgress) {
+    const CapturedEvents captured = run_with_events(4, true);
+    ASSERT_FALSE(captured.lines.empty());
+    EXPECT_NE(captured.lines.front().find("\"type\":\"sweep_started\""),
+              std::string::npos);
+    EXPECT_NE(captured.lines.back().find("\"type\":\"sweep_finished\""),
+              std::string::npos);
+    // started + N*(point_started, point_finished, sweep_progress) + finished.
+    EXPECT_EQ(captured.lines.size(), 2 + 3 * captured.points);
+    std::size_t last_completed = 0;
+    std::size_t progress_lines = 0;
+    for (const std::string& line : captured.lines) {
+        if (line.find("\"type\":\"sweep_progress\"") == std::string::npos) continue;
+        ++progress_lines;
+        const std::size_t at = line.find("\"completed\":");
+        ASSERT_NE(at, std::string::npos) << line;
+        const std::size_t completed =
+            static_cast<std::size_t>(std::atol(line.c_str() + at + 12));
+        EXPECT_GT(completed, last_completed) << line;
+        last_completed = completed;
+        EXPECT_NE(line.find("\"total\":" + std::to_string(captured.points)),
+                  std::string::npos);
+    }
+    EXPECT_EQ(progress_lines, captured.points);
+    EXPECT_EQ(last_completed, captured.points);
+    // The final event reports every point completed.
+    EXPECT_NE(captured.lines.back().find(
+                  "\"completed\":" + std::to_string(captured.points) +
+                  ",\"total\":" + std::to_string(captured.points)),
+              std::string::npos);
+}
+
+TEST(Events, StreamBitIdenticalAcrossJobCountsWithoutTiming) {
+    const CapturedEvents serial = run_with_events(1, false);
+    const CapturedEvents parallel = run_with_events(8, false);
+    EXPECT_EQ(serial.lines, parallel.lines);
+}
+
+TEST(Events, TimingFieldsAppearOnlyInTimingMode) {
+    const CapturedEvents timed = run_with_events(2, true);
+    bool saw_eta = false;
+    for (const std::string& line : timed.lines) {
+        if (line.find("\"eta_s\":") != std::string::npos) saw_eta = true;
+    }
+    EXPECT_TRUE(saw_eta);
+    for (const std::string& line : run_with_events(2, false).lines) {
+        EXPECT_EQ(line.find("\"elapsed_s\":"), std::string::npos) << line;
+        EXPECT_EQ(line.find("\"eta_s\":"), std::string::npos) << line;
+    }
+}
+
+TEST(Events, EnvParsingHonoursDisableAndTimingToggle) {
+    unsetenv("DPMA_EVENTS");
+    EXPECT_FALSE(static_cast<bool>(events_from_env().sink));
+    setenv("DPMA_EVENTS", "0", 1);
+    EXPECT_FALSE(static_cast<bool>(events_from_env().sink));
+    setenv("DPMA_EVENTS", "stderr", 1);
+    setenv("DPMA_EVENTS_TIMING", "0", 1);
+    const EventOptions options = events_from_env();
+    EXPECT_TRUE(static_cast<bool>(options.sink));
+    EXPECT_FALSE(options.timing);
+    unsetenv("DPMA_EVENTS");
+    unsetenv("DPMA_EVENTS_TIMING");
+}
+
 }  // namespace
 }  // namespace dpma::exp

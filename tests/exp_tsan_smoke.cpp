@@ -14,7 +14,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
 
 #include "adl/compose.hpp"
 #include "adl/measure.hpp"
@@ -220,5 +224,44 @@ int main() {
     }
     std::printf("OK: %zu battery replay points bit-identical across jobs counts\n",
                 c.size());
+
+    // Event telemetry: workers finish out of order, the runner drains the
+    // contiguous completed prefix under one mutex — so the stream (timing
+    // fields off) must be byte-identical for every jobs count, and the sink
+    // callback itself is a shared structure TSan should watch.
+    const auto capture_events = [&](std::size_t jobs) {
+        std::string stream;
+        exp::RunOptions options;
+        options.jobs = jobs;
+        options.base_seed = 7;
+        options.events.timing = false;
+        options.events.sink = [&stream](const std::string& line) {
+            stream += line;
+            stream += '\n';
+        };
+        (void)exp::run(experiment, options);
+        return stream;
+    };
+    const std::string events1 = capture_events(1);
+    const std::string events8 = capture_events(8);
+    if (events1.empty() || events1 != events8) {
+        std::fprintf(stderr, "FAIL: event stream differs between jobs=1 and jobs=8\n");
+        return 1;
+    }
+    std::printf("OK: event stream byte-identical across jobs counts (%zu bytes)\n",
+                events1.size());
+
+    // Run record of everything above: must be strict JSON with the
+    // ResultSet series embedded intact.
+    obs::RunReport record("tsan_smoke");
+    record.add_series(a.json());
+    record.add_series(c.json());
+    std::string error;
+    if (!obs::json_valid(record.json(), &error)) {
+        std::fprintf(stderr, "FAIL: run record is not valid JSON: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::printf("OK: run record round-trips the validator\n");
     return 0;
 }

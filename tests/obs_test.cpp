@@ -2,18 +2,24 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/error.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/solve.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "obs/json.hpp"
+#include "obs/json_parse.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "sim/batch_means.hpp"
 
@@ -137,6 +143,176 @@ TEST(ObsMetrics, CountersAreThreadSafe) {
     }
     for (std::thread& t : threads) t.join();
     EXPECT_EQ(c.value(), base + 40000);
+}
+
+// Log-spaced bins (10 per decade): a quantile estimate is the geometric
+// midpoint of its bin, so it can be off by at most the bin width factor
+// 10^(1/10) ~ 1.26 on either side — that factor is the test tolerance.
+TEST(ObsMetrics, HistogramQuantilesTrackPercentilesWithinBinResolution) {
+    obs::Histogram& h = obs::histogram("test.obs.quantiles");
+    h.reset();
+    for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+    const obs::Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.count, 1000u);
+    const double factor = std::pow(10.0, 0.1);
+    for (const auto& [q, expected] :
+         {std::pair{0.50, 500.0}, {0.90, 900.0}, {0.99, 990.0}}) {
+        const double estimate = snap.quantile(q);
+        EXPECT_GE(estimate, expected / factor) << "q=" << q;
+        EXPECT_LE(estimate, expected * factor) << "q=" << q;
+    }
+    // Extremes clamp to the exact observed min/max.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 1000.0);
+}
+
+TEST(ObsMetrics, HistogramQuantilesHandleOutOfRangeAndEmpty) {
+    obs::Histogram& h = obs::histogram("test.obs.quantile_edges");
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);  // empty
+    h.observe(1e-12);  // underflow bin
+    h.observe(1e15);   // overflow bin
+    const obs::Histogram::Snapshot snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.quantile(0.25), 1e-12);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.99), 1e15);
+}
+
+TEST(ObsMetrics, JsonDumpCarriesHistogramPercentiles) {
+    obs::Histogram& h = obs::histogram("test.obs.pct_dump");
+    h.reset();
+    for (int i = 0; i < 100; ++i) h.observe(5.0);
+    const std::string json = obs::metrics_json();
+    std::string error;
+    EXPECT_TRUE(obs::json_valid(json, &error)) << error;
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p90\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    const obs::Json doc = obs::json_parse(json);
+    const obs::Json* hist = doc.find("histograms");
+    ASSERT_NE(hist, nullptr);
+    const obs::Json* entry = hist->find("test.obs.pct_dump");
+    ASSERT_NE(entry, nullptr);
+    // Every sample is 5.0: the bin midpoint clamps to the min=max=5 range.
+    EXPECT_DOUBLE_EQ(entry->number_at("p50"), 5.0);
+    EXPECT_DOUBLE_EQ(entry->number_at("p99"), 5.0);
+}
+
+// ------------------------------------------------------------- JSON parser
+
+TEST(ObsJsonParse, BuildsTheDocumentTree) {
+    const obs::Json doc = obs::json_parse(
+        R"({"name": "r\u00e9sum\u00e9", "n": -2.5e2, "flag": true,)"
+        R"( "list": [1, "two", null], "nested": {"deep": {"x": 9}}})");
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.string_at("name"), "r\xc3\xa9sum\xc3\xa9");
+    EXPECT_DOUBLE_EQ(doc.number_at("n"), -250.0);
+    const obs::Json* flag = doc.find("flag");
+    ASSERT_NE(flag, nullptr);
+    EXPECT_TRUE(flag->boolean);
+    const obs::Json* list = doc.find("list");
+    ASSERT_TRUE(list != nullptr && list->is_array());
+    ASSERT_EQ(list->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(list->array[0].number, 1.0);
+    EXPECT_EQ(list->array[1].string, "two");
+    EXPECT_TRUE(list->array[2].is_null());
+    const obs::Json* nested = doc.find("nested");
+    ASSERT_NE(nested, nullptr);
+    EXPECT_DOUBLE_EQ(nested->find("deep")->number_at("x"), 9.0);
+    // Missing keys fall back instead of throwing.
+    EXPECT_EQ(doc.find("absent"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.number_at("absent", -1.0), -1.0);
+    EXPECT_EQ(doc.string_at("absent", "d"), "d");
+}
+
+TEST(ObsJsonParse, AgreesWithTheValidator) {
+    for (const char* text :
+         {"", "{", "[1,]", "{\"a\":}", "01", "[1] trailing", "\"\\u12g4\"",
+          "nul"}) {
+        EXPECT_THROW((void)obs::json_parse(text), Error) << text;
+        EXPECT_FALSE(obs::json_valid(text)) << text;
+    }
+    // Surrogate pair -> one 4-byte UTF-8 code point.
+    EXPECT_EQ(obs::json_parse(R"("\ud83d\ude00")").string, "\xf0\x9f\x98\x80");
+}
+
+TEST(ObsJsonParse, RoundTripsMetricsAndResultSets) {
+    exp::ResultSet set("roundtrip", {"rate"}, {"m"});
+    exp::Point point;
+    point.coords = {{"rate", 0.25}};
+    exp::PointResult result;
+    result.values = {4.0};
+    set.add(std::move(point), std::move(result));
+    const obs::Json doc = obs::json_parse(set.json());
+    EXPECT_EQ(doc.string_at("experiment"), "roundtrip");
+    const obs::Json* points = doc.find("points");
+    ASSERT_TRUE(points != nullptr && points->is_array());
+    ASSERT_EQ(points->array.size(), 1u);
+    EXPECT_DOUBLE_EQ(points->array[0].find("values")->number_at("m"), 4.0);
+}
+
+// -------------------------------------------------------------- resources
+
+TEST(ObsResource, SamplesPlausibleUsage) {
+    const obs::ResourceUsage usage = obs::sample_resources();
+    EXPECT_TRUE(std::string(usage.source) == "procfs" ||
+                std::string(usage.source) == "getrusage" ||
+                std::string(usage.source) == "none")
+        << usage.source;
+    EXPECT_GE(usage.cpu_user_s, 0.0);
+    EXPECT_GE(usage.cpu_system_s, 0.0);
+#if defined(__linux__)
+    // A running test process has touched memory and faulted pages.
+    EXPECT_GT(usage.peak_rss_kb, 0u);
+    EXPECT_GT(usage.minor_faults + usage.major_faults, 0u);
+#endif
+}
+
+// ------------------------------------------------------------- run records
+
+TEST(ObsRunReport, EmitsTheDocumentedSchema) {
+    obs::RunReport report("unit_test");
+    report.set_args({"unit_test", "--flag"});
+    report.add_series(R"({"experiment": "s1", "points": []})");
+    const std::string json = report.json();
+    std::string error;
+    ASSERT_TRUE(obs::json_valid(json, &error)) << error;
+    const obs::Json doc = obs::json_parse(json);
+    EXPECT_EQ(doc.string_at("schema"), "dpma-run-report/1");
+    EXPECT_EQ(doc.string_at("tool"), "unit_test");
+    EXPECT_GE(doc.number_at("wall_s"), 0.0);
+    for (const char* key : {"git_sha", "build_type", "resource_source"}) {
+        EXPECT_FALSE(doc.string_at(key).empty()) << key;
+    }
+    for (const char* key : {"env", "metrics", "spans", "series", "peak_rss_kb",
+                            "cpu_user_s", "minor_faults", "major_faults"}) {
+        EXPECT_NE(doc.find(key), nullptr) << key;
+    }
+    const obs::Json* args = doc.find("args");
+    ASSERT_TRUE(args != nullptr && args->is_array());
+    EXPECT_EQ(args->array.size(), 2u);
+    const obs::Json* series = doc.find("series");
+    ASSERT_TRUE(series != nullptr && series->is_array());
+    ASSERT_EQ(series->array.size(), 1u);
+    EXPECT_EQ(series->array[0].string_at("experiment"), "s1");
+}
+
+TEST(ObsRunReport, RejectsInvalidSeriesJson) {
+    obs::RunReport report("unit_test");
+    EXPECT_THROW(report.add_series("{broken"), Error);
+    EXPECT_THROW(report.add_series(""), Error);
+    EXPECT_NO_THROW(report.add_series("{}"));
+}
+
+TEST(ObsRunReport, ReportPathHonoursEnvOverrides) {
+    unsetenv("DPMA_REPORT");
+    EXPECT_EQ(obs::report_path("fig3"), "BENCH_fig3.json");
+    setenv("DPMA_REPORT", "custom/path.json", 1);
+    EXPECT_EQ(obs::report_path("fig3"), "custom/path.json");
+    setenv("DPMA_REPORT", "0", 1);
+    EXPECT_EQ(obs::report_path("fig3"), "");
+    setenv("DPMA_REPORT", "", 1);
+    EXPECT_EQ(obs::report_path("fig3"), "");
+    unsetenv("DPMA_REPORT");
 }
 
 // ---------------------------------------------------------------- tracing

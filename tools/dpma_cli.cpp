@@ -17,12 +17,20 @@
 ///                     [--horizon-factor F] [--peukert-exponent A]
 ///                     [--peukert-ref P] [--kibam-c C] [--kibam-rate K]
 ///                     [--format text|json] [--json PATH|-] [--csv PATH|-]
+///   dpma_cli report   old.json new.json [--threshold R] [--confidence C]
+///                     [--resamples N] [--seed S]
 ///
 /// Global options, valid in any position with any command:
 ///
 ///   --trace FILE       record tracing spans, write Chrome trace-event JSON
 ///                      to FILE on exit (chrome://tracing, Perfetto)
 ///   --metrics FILE     write the metrics registry as JSON to FILE on exit
+///   --report FILE      write an obs::RunReport run record to FILE on exit
+///                      ("-" = stdout); sweep/lifetime attach their
+///                      ResultSet as a record series
+///   --events FILE      stream live sweep telemetry (JSONL heartbeats, see
+///                      exp/events.hpp) to FILE ("-"/"stderr" = stderr);
+///                      shorthand for DPMA_EVENTS=FILE
 ///   --log-level LEVEL  error | warn | info | debug (overrides DPMA_LOG)
 ///
 /// `check` runs the paper's noninterference analysis: --high lists the
@@ -50,6 +58,13 @@
 /// fluid/refined bounds from the CTMC.  Battery parameters must be positive
 /// and finite (kibam-c strictly inside (0,1)); anything else is a usage
 /// error (exit 2).
+///
+/// `report` is the perf-regression gate (exp/regress.hpp): it loads two run
+/// records (as written by --report or a bench binary), pairs their result
+/// series by experiment and point, and prints a verdict table of
+/// bootstrap-CI'd time ratios.  Exit 0 when no series regressed beyond
+/// --threshold (default 1.20), 1 on a significant regression, 4 when either
+/// file is unreadable, invalid JSON, or not a run record.
 ///
 /// `sweep` solves the model at every point of a parameter range on the
 /// experiment engine (src/exp): the model is composed *once*, and each point
@@ -81,19 +96,26 @@
 #include "exp/cache.hpp"
 #include "exp/experiment.hpp"
 #include "exp/pool.hpp"
+#include "exp/regress.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "lts/dot.hpp"
 #include "lts/ops.hpp"
 #include "noninterference/noninterference.hpp"
+#include "obs/json_parse.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "sim/gsmp.hpp"
 
 namespace {
 
 using namespace dpma;
+
+/// Run record of this invocation (--report); commands that produce a
+/// ResultSet attach it as a series.  Null without --report.
+dpma::obs::RunReport* g_run_report = nullptr;
 
 [[noreturn]] void usage() {
     std::fprintf(stderr,
@@ -116,7 +138,10 @@ using namespace dpma;
                  "[--jobs N] [--horizon-factor F] [--peukert-exponent A] "
                  "[--peukert-ref P] [--kibam-c C] [--kibam-rate K] "
                  "[--format text|json] [--json PATH|-] [--csv PATH|-]\n"
+                 "  dpma_cli report   <old.json> <new.json> [--threshold R] "
+                 "[--confidence C] [--resamples N] [--seed S]\n"
                  "global options (any command): [--trace FILE] [--metrics FILE] "
+                 "[--report FILE] [--events FILE] "
                  "[--log-level error|warn|info|debug]\n");
     std::exit(2);
 }
@@ -435,6 +460,7 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
                 static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses));
 
+    if (g_run_report != nullptr) g_run_report->add_series(results.json());
     if (!json_path.empty()) write_output(json_path, results.json());
     if (!csv_path.empty()) write_output(csv_path, results.csv());
     return 0;
@@ -573,9 +599,62 @@ int cmd_lifetime(const std::string& system, std::vector<std::string> args) {
             std::printf("\n");
         }
     }
+    if (g_run_report != nullptr) g_run_report->add_series(results.json());
     if (!json_path.empty()) write_output(json_path, results.json());
     if (!csv_path.empty()) write_output(csv_path, results.csv());
     return 0;
+}
+
+/// `report` — the perf-regression gate over two run records.
+int cmd_report(const std::string& old_path, std::vector<std::string> args) {
+    const std::string threshold_text = option(args, "--threshold", "1.20");
+    const std::string confidence_text = option(args, "--confidence", "0.95");
+    const std::string resamples_text = option(args, "--resamples", "2000");
+    const std::string seed_text = option(args, "--seed", "42");
+    if (args.size() != 1) usage();
+    const std::string new_path = args[0];
+
+    exp::RegressOptions options;
+    if (!parse_double(threshold_text, &options.threshold) ||
+        !parse_double(confidence_text, &options.confidence)) {
+        std::fprintf(stderr, "dpma_cli: report: --threshold/--confidence want "
+                             "numbers\n");
+        return 2;
+    }
+    char* end = nullptr;
+    const long resamples = std::strtol(resamples_text.c_str(), &end, 10);
+    if (end == resamples_text.c_str() || *end != '\0' || resamples < 1) {
+        std::fprintf(stderr, "dpma_cli: report: --resamples wants a positive "
+                             "integer, got '%s'\n", resamples_text.c_str());
+        return 2;
+    }
+    options.resamples = static_cast<int>(resamples);
+    options.seed = static_cast<std::uint64_t>(
+        std::strtoull(seed_text.c_str(), &end, 10));
+    if (end == seed_text.c_str() || *end != '\0') {
+        std::fprintf(stderr, "dpma_cli: report: --seed wants an unsigned "
+                             "integer, got '%s'\n", seed_text.c_str());
+        return 2;
+    }
+    try {
+        options.validate();
+    } catch (const Error& e) {
+        std::fprintf(stderr, "dpma_cli: report: %s\n", e.what());
+        return 2;
+    }
+
+    // Parse errors and schema mismatches propagate as Error -> exit 4.
+    const obs::Json older = obs::json_parse(read_file(old_path));
+    const obs::Json newer = obs::json_parse(read_file(new_path));
+    const exp::RegressReport report = exp::compare_reports(older, newer, options);
+
+    std::printf("perf regression report: %s -> %s (threshold %.3gx, %.0f%% CI, "
+                "%d resamples)\n\n",
+                old_path.c_str(), new_path.c_str(), options.threshold,
+                options.confidence * 100.0, options.resamples);
+    std::fputs(report.table().c_str(), stdout);
+    std::printf("\nverdict: %s\n", report.regression ? "REGRESSION" : "PASS");
+    return report.regression ? 1 : 0;
 }
 
 }  // namespace
@@ -589,6 +668,18 @@ int main(int argc, char** argv) {
     const std::string level_text = option(args, "--log-level", "");
     const std::string trace_path = option(args, "--trace", "");
     const std::string metrics_path = option(args, "--metrics", "");
+    const std::string report_file = option(args, "--report", "");
+    const std::string events_path = option(args, "--events", "");
+    if (!events_path.empty()) {
+        // Same channel the bench binaries use: exp::run picks it up through
+        // events_from_env().
+        setenv("DPMA_EVENTS", events_path.c_str(), 1);
+    }
+    obs::RunReport run_report("dpma_cli");
+    if (!report_file.empty()) {
+        run_report.set_args(std::vector<std::string>(argv, argv + argc));
+        g_run_report = &run_report;
+    }
     if (!level_text.empty()) {
         obs::LogLevel level = obs::LogLevel::Warn;
         if (!obs::parse_log_level(level_text, &level)) {
@@ -610,6 +701,8 @@ int main(int argc, char** argv) {
         try {
             if (!trace_path.empty()) write_output(trace_path, obs::trace_json());
             if (!metrics_path.empty()) write_output(metrics_path, obs::metrics_json());
+            // Like the trace: the record of a failing run is the useful one.
+            if (g_run_report != nullptr) g_run_report->write(report_file);
         } catch (const Error& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
         }
@@ -637,6 +730,8 @@ int main(int argc, char** argv) {
             status = cmd_sweep(model_path, measures_path, std::move(rest));
         } else if (command == "lifetime") {
             status = cmd_lifetime(model_path, std::move(rest));
+        } else if (command == "report" && !rest.empty()) {
+            status = cmd_report(model_path, std::move(rest));
         } else {
             usage();
         }
