@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
     ScopedObservation observation("battery_lifetime", argc, argv);
 
     const double scale = effort_scale();
-    const int reps = std::max(2, static_cast<int>(std::lround(10.0 * scale)));
+    // Floor of 4: the amplification check is statistical, and 2 replications
+    // per point leave the smallest capacity at the mercy of the seed.
+    const int reps = std::max(4, static_cast<int>(std::lround(10.0 * scale)));
 
     std::printf("== battery lifetime: rpc server on a kinetic battery ==\n");
     std::printf("(%d replications per point, kibam c=0.5 k'=1e-3)\n", reps);

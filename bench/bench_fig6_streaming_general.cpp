@@ -10,14 +10,21 @@
 ///    awake period, so a MAC-level DPM with a 100 ms awake period is
 ///    transparent to the client while saving >70% of the NIC energy —
 ///    the Cisco Aironet 350 comparison of Sect. 5.3.
+///
+/// The awake-period sweep runs on the experiment engine, so the run record
+/// (BENCH_fig6_streaming_general.json) carries a result series with
+/// per-point elapsed_s — the series `dpma_cli report` diffs against a
+/// baseline record to catch simulator performance regressions.
 
 #include <cstdio>
 
 #include "bench/harness.hpp"
+#include "exp/runner.hpp"
 
 int main(int argc, char** argv) {
+    using namespace dpma;
     using namespace dpma::bench;
-    const ScopedObservation observation("fig6_streaming_general", argc, argv);
+    ScopedObservation observation("fig6_streaming_general", argc, argv);
     std::printf("== Fig. 6: streaming general model, DPM vs NO-DPM ==\n");
     std::printf("(10 replications per point)\n");
 
@@ -28,14 +35,23 @@ int main(int argc, char** argv) {
     std::printf("NO-DPM baseline: energy/frame=%.2f loss=%.4f miss=%.4f quality=%.4f\n",
                 base.energy_per_frame, base.loss, base.miss, base.quality);
 
+    const exp::Experiment experiment = streaming_general_experiment(
+        {0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0, 800.0}, true,
+        reps, horizon);
+    exp::RunOptions run;
+    run.base_seed = 4200;  // per-point seeds are pinned inside the experiment
+    const exp::ResultSet results = exp::run(experiment, run);
+    observation.record(results);
+
     Table table("streaming / general: sweep of the PSP awake period",
                 {"awake_ms", "epf_dpm", "epf_ci", "loss_dpm", "miss_dpm", "qual_dpm"});
-    for (const double period : {0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0,
-                                600.0, 800.0}) {
-        const StreamingPoint dpm = streaming_general_point(
-            period, true, reps, horizon, 4200 + static_cast<int>(period));
-        table.add_row({period, dpm.energy_per_frame, dpm.energy_per_frame_hw,
-                       dpm.loss, dpm.miss, dpm.quality});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const exp::PointRecord& record = results.at(i);
+        table.add_row({record.point.at("awake_ms"),
+                       results.value(i, "energy_per_frame"),
+                       results.half_width(i, "energy_per_frame"),
+                       results.value(i, "loss"), results.value(i, "miss"),
+                       results.value(i, "quality")});
     }
     table.print();
 

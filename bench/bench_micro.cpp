@@ -107,6 +107,68 @@ void BM_SimulateRpcGeneral(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateRpcGeneral);
 
+// Scheduler-path throughput triplet (items/sec = simulated events/sec): the
+// all-exponential model through the clock-free Markov fast path, the same
+// model forced through the general clocked scheduler, and an
+// immediate-heavy model exercising the compiled immediate tables.
+
+void BM_SimulateMarkovFastPath(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::markovian(5.0, true));
+    const sim::Simulator simulator(model, models::rpc::measures());
+    sim::SimOptions options;
+    options.horizon = 5000.0;
+    std::uint64_t seed = 1;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        options.seed = seed++;
+        const auto run = simulator.run(options);
+        events += run.events;
+        benchmark::DoNotOptimize(run);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("items = simulated events (fast path)");
+}
+BENCHMARK(BM_SimulateMarkovFastPath);
+
+void BM_SimulateMarkovClocked(benchmark::State& state) {
+    const auto model = models::rpc::compose(models::rpc::markovian(5.0, true));
+    const sim::Simulator simulator(model, models::rpc::measures());
+    sim::SimOptions options;
+    options.horizon = 5000.0;
+    options.markov_fast_path = false;
+    std::uint64_t seed = 1;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        options.seed = seed++;
+        const auto run = simulator.run(options);
+        events += run.events;
+        benchmark::DoNotOptimize(run);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("items = simulated events (clocked path)");
+}
+BENCHMARK(BM_SimulateMarkovClocked);
+
+void BM_SimulateImmediateHeavy(benchmark::State& state) {
+    // Immediate shutdown (timeout 0): every idle period fires an immediate
+    // transition, so the run alternates timed and immediate events.
+    const auto model = models::rpc::compose(models::rpc::markovian(0.0, true));
+    const sim::Simulator simulator(model, models::rpc::measures());
+    sim::SimOptions options;
+    options.horizon = 5000.0;
+    std::uint64_t seed = 1;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        options.seed = seed++;
+        const auto run = simulator.run(options);
+        events += run.events;
+        benchmark::DoNotOptimize(run);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("items = simulated events (immediate-heavy)");
+}
+BENCHMARK(BM_SimulateImmediateHeavy);
+
 // Instrumentation overhead guards: a span with tracing disabled must cost on
 // the order of a single atomic load, and a solve with spans compiled in but
 // tracing off must not be measurably slower than the same solve was before

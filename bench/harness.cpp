@@ -60,14 +60,17 @@ struct SimulatedValues {
 SimulatedValues simulate_measures(const adl::ComposedModel& model,
                                   const std::vector<adl::Measure>& measures,
                                   int replications, double warmup, double horizon,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed,
+                                  exp::ThreadPool* pool = nullptr) {
     const sim::Simulator simulator(model, measures);
     sim::SimOptions options;
     options.warmup = warmup;
     options.horizon = horizon * effort_scale();
     options.seed = seed;
     const auto estimates =
-        sim::simulate_replications(simulator, options, replications, 0.90);
+        pool != nullptr
+            ? exp::simulate_replications(simulator, options, replications, 0.90, *pool)
+            : sim::simulate_replications(simulator, options, replications, 0.90);
     SimulatedValues out;
     for (const sim::Estimate& e : estimates) {
         out.means.push_back(e.mean);
@@ -131,6 +134,28 @@ std::shared_ptr<const adl::ComposedModel> rpc_point_model(bool general, bool dpm
                                         Dist::deterministic(timeout))
                        : exp::with_exp_rate(*skeleton, "DPM", "send_shutdown",
                                             1.0 / timeout);
+    });
+}
+
+/// Composed general streaming model for one sweep point.  The awake period
+/// only parameterises the DPM's deterministic send_wakeup delay, so points
+/// with DPM and period > 0 patch one cached skeleton (same reachable state
+/// space, bit-identical to composing from scratch); NO-DPM ignores the
+/// period entirely and period <= 0 is left to the from-scratch composer.
+std::shared_ptr<const adl::ComposedModel> streaming_general_point_model(bool dpm,
+                                                                        double period) {
+    const std::string key = dpm ? point_key("streaming/general", true, period)
+                                : std::string("streaming/general/nodpm");
+    return figure_cache().composed(key, [&] {
+        if (!dpm || period <= 0.0) {
+            return models::streaming::compose(models::streaming::general(period, dpm));
+        }
+        const auto skeleton = figure_cache().composed("streaming/general/skeleton", [] {
+            return models::streaming::compose(
+                models::streaming::general(kSkeletonTimeout, true));
+        });
+        return exp::with_dist(*skeleton, "DPM", "send_wakeup",
+                              Dist::deterministic(period));
     });
 }
 
@@ -302,21 +327,22 @@ RpcPoint rpc_markov_point(double shutdown_timeout, bool dpm) {
 }
 
 RpcPoint rpc_general_point(double shutdown_timeout, bool dpm, int replications,
-                           double horizon, std::uint64_t seed) {
+                           double horizon, std::uint64_t seed, exp::ThreadPool* pool) {
     const adl::ComposedModel model =
         models::rpc::compose(models::rpc::general(shutdown_timeout, dpm));
     const SimulatedValues sim = simulate_measures(
-        model, models::rpc::measures(), replications, 500.0, horizon, seed);
+        model, models::rpc::measures(), replications, 500.0, horizon, seed, pool);
     return rpc_point_from(sim.means, sim.half_widths);
 }
 
 RpcPoint rpc_general_exp_point(double shutdown_timeout, bool dpm, int replications,
-                               double horizon, std::uint64_t seed) {
+                               double horizon, std::uint64_t seed,
+                               exp::ThreadPool* pool) {
     adl::ComposedModel model =
         models::rpc::compose(models::rpc::markovian(shutdown_timeout, dpm));
     exponentialize(model);
     const SimulatedValues sim = simulate_measures(
-        model, models::rpc::measures(), replications, 500.0, horizon, seed);
+        model, models::rpc::measures(), replications, 500.0, horizon, seed, pool);
     return rpc_point_from(sim.means, sim.half_widths);
 }
 
@@ -327,11 +353,12 @@ StreamingPoint streaming_markov_point(double awake_period, bool dpm) {
 }
 
 StreamingPoint streaming_general_point(double awake_period, bool dpm, int replications,
-                                       double horizon, std::uint64_t seed) {
-    const adl::ComposedModel model =
-        models::streaming::compose(models::streaming::general(awake_period, dpm));
-    const SimulatedValues sim = simulate_measures(
-        model, models::streaming::measures(), replications, 3000.0, horizon, seed);
+                                       double horizon, std::uint64_t seed,
+                                       exp::ThreadPool* pool) {
+    const auto model = streaming_general_point_model(dpm, awake_period);
+    const SimulatedValues sim = simulate_measures(*model, models::streaming::measures(),
+                                                  replications, 3000.0, horizon, seed,
+                                                  pool);
     return streaming_point_from(sim.means, sim.half_widths);
 }
 
@@ -376,6 +403,27 @@ exp::Experiment rpc_general_experiment(std::vector<double> timeouts, bool dpm,
         result.diagnostics =
             sim::convergence_json(replication_convergence(estimates, 0.90),
                                   measure_names(models::rpc::measures()));
+        return result;
+    };
+    return experiment;
+}
+
+exp::Experiment streaming_general_experiment(std::vector<double> periods, bool dpm,
+                                             int replications, double horizon) {
+    exp::Experiment experiment;
+    experiment.name =
+        dpm ? "fig6_streaming_general_dpm" : "fig6_streaming_general_nodpm";
+    experiment.grid.axis(exp::Axis::list("awake_ms", std::move(periods)));
+    experiment.measures = {"energy_per_frame", "loss", "miss", "quality"};
+    experiment.eval = [dpm, replications, horizon](const exp::Point& point,
+                                                   const exp::PointContext& context) {
+        const double period = point.at("awake_ms");
+        const StreamingPoint sp = streaming_general_point(
+            period, dpm, replications, horizon,
+            4200 + static_cast<std::uint64_t>(period), context.pool);
+        exp::PointResult result;
+        result.values = {sp.energy_per_frame, sp.loss, sp.miss, sp.quality};
+        result.half_widths = {sp.energy_per_frame_hw, 0.0, 0.0, 0.0};
         return result;
     };
     return experiment;

@@ -20,6 +20,7 @@
 
 #include "exp/cache.hpp"
 #include "exp/experiment.hpp"
+#include "exp/pool.hpp"
 #include "exp/report.hpp"
 #include "models/rpc.hpp"
 #include "models/streaming.hpp"
@@ -109,14 +110,17 @@ struct RpcPoint {
                                       const std::vector<double>& half_widths);
 
 [[nodiscard]] RpcPoint rpc_markov_point(double shutdown_timeout, bool dpm);
+/// \p pool (optional) parallelises the replications (bit-identical results).
 [[nodiscard]] RpcPoint rpc_general_point(double shutdown_timeout, bool dpm,
                                          int replications, double horizon,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         exp::ThreadPool* pool = nullptr);
 /// Fig. 5 validation: the general model with *exponential* distributions
 /// substituted back in, simulated (30 runs, 90% CI in the paper).
 [[nodiscard]] RpcPoint rpc_general_exp_point(double shutdown_timeout, bool dpm,
                                              int replications, double horizon,
-                                             std::uint64_t seed);
+                                             std::uint64_t seed,
+                                             exp::ThreadPool* pool = nullptr);
 
 /// One point of the streaming comparison (Fig. 4 / Fig. 6): the paper's four
 /// derived metrics.
@@ -134,9 +138,11 @@ struct StreamingPoint {
                                                   const std::vector<double>& half_widths);
 
 [[nodiscard]] StreamingPoint streaming_markov_point(double awake_period, bool dpm);
+/// \p pool (optional) parallelises the replications (bit-identical results).
 [[nodiscard]] StreamingPoint streaming_general_point(double awake_period, bool dpm,
                                                      int replications, double horizon,
-                                                     std::uint64_t seed);
+                                                     std::uint64_t seed,
+                                                     exp::ThreadPool* pool = nullptr);
 
 // Engine-based figure sweeps.  Each experiment's measures are the raw
 // measure names of the model family (models::rpc::measures() /
@@ -163,5 +169,15 @@ struct StreamingPoint {
 /// "awake_ms".
 [[nodiscard]] exp::Experiment streaming_markov_experiment(std::vector<double> periods,
                                                           bool dpm);
+
+/// Fig. 6: simulated sweep of the general streaming model over axis
+/// "awake_ms".  Measures are the four derived metrics of StreamingPoint
+/// (energy_per_frame with its CI half-width, then loss/miss/quality); the
+/// per-point seed is pinned to 4200 + period so the printed figures match
+/// the historical hand-rolled sweep.  Replications fan out on the sweep's
+/// pool.
+[[nodiscard]] exp::Experiment streaming_general_experiment(std::vector<double> periods,
+                                                           bool dpm, int replications,
+                                                           double horizon);
 
 }  // namespace dpma::bench

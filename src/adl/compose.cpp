@@ -171,9 +171,11 @@ std::size_t ComposedModel::instance_index(const std::string& name) const {
 
 const std::string& ComposedModel::local_state_name(lts::StateId state,
                                                    std::size_t instance) const {
-    DPMA_REQUIRE(state < local_states.size(), "state out of range");
+    DPMA_REQUIRE(static_cast<std::size_t>(state) * instance_names.size() <
+                     local_states.size(),
+                 "state out of range");
     DPMA_REQUIRE(instance < instance_names.size(), "instance out of range");
-    return local_state_names[instance][local_states[state][instance]];
+    return local_state_names[instance][local_state(state, instance)];
 }
 
 ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
@@ -307,7 +309,7 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
                              std::to_string(options.max_states) + " states");
         }
         const lts::StateId id = model.graph.add_state(global_name(g));
-        model.local_states.push_back(std::move(g));
+        model.local_states.insert(model.local_states.end(), g.begin(), g.end());
         if (packable) state_code.push_back(code);
         queue.push_back(id);
         return id;
@@ -350,8 +352,12 @@ ComposedModel compose(const ArchiType& archi, const ComposeOptions& options) {
     while (!queue.empty()) {
         const lts::StateId from = queue.front();
         queue.pop_front();
-        current.assign(model.local_states[from].begin(),
-                       model.local_states[from].end());
+        current.assign(
+            model.local_states.begin() +
+                static_cast<std::ptrdiff_t>(static_cast<std::size_t>(from) * num_instances),
+            model.local_states.begin() +
+                static_cast<std::ptrdiff_t>((static_cast<std::size_t>(from) + 1) *
+                                            num_instances));
         const std::uint64_t code = packable ? state_code[from] : 0;
 
         for (std::uint32_t i = 0; i < num_instances; ++i) {

@@ -52,12 +52,21 @@ struct LocalLts {
 struct ComposedModel {
     lts::Lts graph;
     std::vector<std::string> instance_names;
-    /// local_states[s][i] = local state of instance i in global state s.
-    std::vector<std::vector<std::uint32_t>> local_states;
+    /// Flattened per-state locals, instance_names.size() entries per global
+    /// state (one contiguous block keeps sweep-time model copies to a single
+    /// allocation); read through local_state().
+    std::vector<std::uint32_t> local_states;
     /// Per instance, the name of each local state (behaviour + arguments).
     std::vector<std::vector<std::string>> local_state_names;
 
     [[nodiscard]] std::size_t instance_index(const std::string& name) const;
+
+    /// Local state of instance \p instance in global state \p state.
+    [[nodiscard]] std::uint32_t local_state(lts::StateId state,
+                                            std::size_t instance) const {
+        return local_states[static_cast<std::size_t>(state) * instance_names.size() +
+                            instance];
+    }
 
     /// Name of the local state of \p instance in global state \p state.
     [[nodiscard]] const std::string& local_state_name(lts::StateId state,

@@ -69,7 +69,7 @@ std::vector<char> state_mask(const ComposedModel& model, const Predicate& predic
         local_mask[i] = starts_with(names[i], in_state.state_prefix) ? 1 : 0;
     }
     for (lts::StateId s = 0; s < n; ++s) {
-        mask[s] = local_mask[model.local_states[s][idx]];
+        mask[s] = local_mask[model.local_state(s, idx)];
     }
     return mask;
 }

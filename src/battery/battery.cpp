@@ -194,14 +194,29 @@ public:
         if (dead_ || dt == 0.0) {
             return kNaN;
         }
+        const double y1_before = available();
+        if (y1_before <= 0.0) {
+            dead_ = true;  // should not happen while !dead_, but be safe
+            return 0.0;
+        }
+        // g(dt) serves both the crossing test and — in the common
+        // no-crossing case — the state update, so the step costs one exp().
+        const double c = params_.kibam_c;
+        const double g_dt = gap_at(power, dt);
+        if (c * (y_ - power * dt - (1.0 - c) * g_dt) > 0.0) {
+            y_ -= power * dt;
+            gap_ = g_dt;
+            delivered_ += power * dt;
+            // Bound -> available flow over the step: whatever y1 gained
+            // beyond the load it served.  Clamp round-off at rest.
+            recovered_ += std::max(available() - y1_before + power * dt, 0.0);
+            return kNaN;
+        }
         const double tau = crossing_time(power, dt);
         const double step = std::isnan(tau) ? dt : tau;
-        const double y1_before = available();
         y_ -= power * step;
         gap_ = gap_at(power, step);
         delivered_ += power * step;
-        // Bound -> available flow over the step: whatever y1 gained beyond
-        // the load it served.  Clamp tiny negative round-off at rest.
         recovered_ += std::max(available() - y1_before + power * step, 0.0);
         if (!std::isnan(tau)) {
             dead_ = true;

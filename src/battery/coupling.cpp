@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <span>
 #include <sstream>
 
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
 #include "ctmc/solve.hpp"
+#include "exp/pool.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -25,70 +27,88 @@ public:
         : model_(model), power_(power) {}
 
     double residence(lts::StateId state, double from, double to) override {
-        static obs::Counter& steps = obs::counter("battery.steps");
-        steps.add();
+        ++steps_;
         const double offset = model_.advance(power_[state], to - from);
         return std::isnan(offset) ? -1.0 : from + offset;
     }
 
+    /// Residence intervals seen; flushed to the metrics registry once per
+    /// replay (a per-event counter add would contend across pool workers).
+    [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
 private:
     BatteryModel& model_;
     const std::vector<double>& power_;
+    std::uint64_t steps_ = 0;
 };
 
 }  // namespace
 
-LifetimeEstimate simulate_lifetime(const sim::Simulator& simulator,
-                                   std::size_t power_measure,
-                                   const BatteryParams& params,
-                                   const ReplayOptions& options) {
-    DPMA_SPAN("battery.replay", "battery");
+namespace {
+
+void validate_replay(const sim::Simulator& simulator, std::size_t power_measure,
+                     const BatteryParams& params, const ReplayOptions& options) {
     DPMA_REQUIRE(options.replications >= 1, "need at least one replication");
     DPMA_REQUIRE(std::isfinite(options.horizon) && options.horizon > 0.0,
                  "replay horizon must be positive and finite");
     DPMA_REQUIRE(power_measure < simulator.measures().size(),
                  "power measure index out of range");
     params.validate();
+}
 
+/// Replays replication \p r through \p battery (assumed freshly reset) and
+/// returns its outcome; \p steps receives the residence-interval count.
+ReplicationOutcome replay_one(const sim::Simulator& simulator,
+                              const std::vector<double>& power,
+                              BatteryModel& battery, const ReplayOptions& options,
+                              int r, std::uint64_t& steps) {
+    BatteryObserver observer(battery, power);
+
+    sim::SimOptions run;
+    run.horizon = options.horizon;
+    // Same per-replication streams as sim::simulate_depletion, so an ideal
+    // battery reproduces run_until's first-passage times exactly.
+    run.seed =
+        sim::Rng::derive_seed(options.seed, static_cast<std::uint64_t>(r) + 7777);
+    run.max_immediate_burst = options.max_immediate_burst;
+    const sim::ObservedResult result = simulator.run_observed(run, observer);
+    steps = observer.steps();
+
+    ReplicationOutcome outcome;
+    outcome.time = result.time;
+    outcome.depleted = result.stopped;
+    outcome.delivered = battery.delivered_charge();
+    outcome.recovered = battery.recovered_charge();
+    outcome.state_of_charge = battery.state_of_charge();
+    outcome.totals = result.totals;
+    return outcome;
+}
+
+/// Folds per-replication outcomes (replication order) into the estimate;
+/// updates the registry exactly as the serial loop did, so a pooled run's
+/// telemetry and aggregates match serial bit for bit.
+LifetimeEstimate aggregate_outcomes(std::vector<ReplicationOutcome>&& outcomes,
+                                    std::span<const std::uint64_t> steps,
+                                    const sim::Simulator& simulator,
+                                    const ReplayOptions& options) {
     static obs::Counter& replays = obs::counter("battery.replays");
     static obs::Counter& censored_counter = obs::counter("battery.censored");
+    static obs::Counter& steps_counter = obs::counter("battery.steps");
     static obs::Histogram& recovered_hist = obs::histogram("battery.recovered_charge");
-
-    const std::vector<double>& power = simulator.state_reward_rates(power_measure);
-    const auto battery = make_battery(params);
 
     LifetimeEstimate estimate;
     estimate.replications = options.replications;
-    estimate.outcomes.reserve(static_cast<std::size_t>(options.replications));
-    estimate.samples.reserve(static_cast<std::size_t>(options.replications));
+    estimate.samples.reserve(outcomes.size());
     estimate.mean_totals.assign(simulator.measures().size(), 0.0);
     std::vector<KahanSum> total_sums(simulator.measures().size());
     KahanSum delivered_sum;
     KahanSum recovered_sum;
 
-    for (int r = 0; r < options.replications; ++r) {
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+        const ReplicationOutcome& outcome = outcomes[r];
         replays.add();
-        battery->reset();
-        BatteryObserver observer(*battery, power);
-
-        sim::SimOptions run;
-        run.horizon = options.horizon;
-        // Same per-replication streams as sim::simulate_depletion, so an
-        // ideal battery reproduces run_until's first-passage times exactly.
-        run.seed = sim::Rng::derive_seed(options.seed,
-                                         static_cast<std::uint64_t>(r) + 7777);
-        run.max_immediate_burst = options.max_immediate_burst;
-        const sim::ObservedResult result = simulator.run_observed(run, observer);
-
-        ReplicationOutcome outcome;
-        outcome.time = result.time;
-        outcome.depleted = result.stopped;
-        outcome.delivered = battery->delivered_charge();
-        outcome.recovered = battery->recovered_charge();
-        outcome.state_of_charge = battery->state_of_charge();
-        outcome.totals = result.totals;
+        steps_counter.add(steps[r]);
         recovered_hist.observe(outcome.recovered);
-
         if (outcome.depleted) {
             estimate.samples.push_back(outcome.time);
             for (std::size_t m = 0; m < outcome.totals.size(); ++m) {
@@ -100,8 +120,8 @@ LifetimeEstimate simulate_lifetime(const sim::Simulator& simulator,
             ++estimate.censored;
             censored_counter.add();
         }
-        estimate.outcomes.push_back(std::move(outcome));
     }
+    estimate.outcomes = std::move(outcomes);
 
     if (!estimate.samples.empty()) {
         const double n = static_cast<double>(estimate.samples.size());
@@ -115,6 +135,57 @@ LifetimeEstimate simulate_lifetime(const sim::Simulator& simulator,
         estimate.mean_recovered = recovered_sum.value() / n;
     }
     return estimate;
+}
+
+}  // namespace
+
+LifetimeEstimate simulate_lifetime(const sim::Simulator& simulator,
+                                   std::size_t power_measure,
+                                   const BatteryParams& params,
+                                   const ReplayOptions& options) {
+    DPMA_SPAN("battery.replay", "battery");
+    validate_replay(simulator, power_measure, params, options);
+
+    const std::vector<double>& power = simulator.state_reward_rates(power_measure);
+    const auto battery = make_battery(params);
+    const auto count = static_cast<std::size_t>(options.replications);
+
+    std::vector<ReplicationOutcome> outcomes;
+    outcomes.reserve(count);
+    std::vector<std::uint64_t> steps(count, 0);
+    for (std::size_t r = 0; r < count; ++r) {
+        battery->reset();
+        outcomes.push_back(replay_one(simulator, power, *battery, options,
+                                      static_cast<int>(r), steps[r]));
+    }
+    return aggregate_outcomes(std::move(outcomes), steps, simulator, options);
+}
+
+LifetimeEstimate simulate_lifetime(const sim::Simulator& simulator,
+                                   std::size_t power_measure,
+                                   const BatteryParams& params,
+                                   const ReplayOptions& options,
+                                   exp::ThreadPool& pool) {
+    DPMA_SPAN("battery.replay", "battery");
+    validate_replay(simulator, power_measure, params, options);
+
+    const std::vector<double>& power = simulator.state_reward_rates(power_measure);
+    const auto count = static_cast<std::size_t>(options.replications);
+
+    // Each replication drains its own battery (reset() and a fresh
+    // make_battery() are equivalent states) and writes slot r; the registry
+    // and the aggregates are then updated in replication order, making the
+    // result bit-identical to the serial overload for any pool size.
+    std::vector<ReplicationOutcome> outcomes(count);
+    std::vector<std::uint64_t> steps(count, 0);
+    pool.run(count, [&](std::size_t r) {
+        const auto battery = make_battery(params);
+        outcomes[r] = replay_one(simulator, power, *battery, options,
+                                 static_cast<int>(r), steps[r]);
+    });
+    static obs::Counter& parallel_counter = obs::counter("sim.replications.parallel");
+    if (pool.jobs() > 1) parallel_counter.add();
+    return aggregate_outcomes(std::move(outcomes), steps, simulator, options);
 }
 
 std::string LifetimeEstimate::json() const {

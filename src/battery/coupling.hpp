@@ -38,6 +38,10 @@
 #include "ctmc/ctmc.hpp"
 #include "sim/gsmp.hpp"
 
+namespace dpma::exp {
+class ThreadPool;
+}  // namespace dpma::exp
+
 namespace dpma::battery {
 
 // ---------------------------------------------------------------------------
@@ -97,6 +101,16 @@ struct LifetimeEstimate {
                                                  std::size_t power_measure,
                                                  const BatteryParams& params,
                                                  const ReplayOptions& options);
+
+/// Replication-parallel overload: each replication drains its own battery on
+/// a pool worker, then counters, histogram observations and aggregates are
+/// applied in replication order — bit-identical to the serial overload for
+/// any pool size (same seeds, same samples vector, same registry deltas).
+[[nodiscard]] LifetimeEstimate simulate_lifetime(const sim::Simulator& simulator,
+                                                 std::size_t power_measure,
+                                                 const BatteryParams& params,
+                                                 const ReplayOptions& options,
+                                                 exp::ThreadPool& pool);
 
 // ---------------------------------------------------------------------------
 // Markovian side

@@ -137,8 +137,14 @@ exp::Experiment lifetime_experiment(const StudyOptions& options) {
         replay.seed = pc.seed();
         replay.replications = replications;
         replay.confidence = confidence;
-        const LifetimeEstimate estimate = simulate_lifetime(
-            *system.simulator, system.power_measure, params, replay);
+        // The runner's pool is reentrant, so the replications of this point
+        // fan out over the same workers that evaluate the other points.
+        const LifetimeEstimate estimate =
+            pc.pool != nullptr
+                ? simulate_lifetime(*system.simulator, system.power_measure, params,
+                                    replay, *pc.pool)
+                : simulate_lifetime(*system.simulator, system.power_measure, params,
+                                    replay);
 
         exp::PointResult result;
         result.values = {estimate.mean,

@@ -386,6 +386,35 @@ std::vector<double> steady_state(const Ctmc& chain, const SolveOptions& options)
     return pi;
 }
 
+namespace {
+
+/// Below this log weight std::exp lands in the subnormal range where the
+/// multiplicative recurrence would start from almost no significand bits;
+/// PoissonWeights stays in log space until the series climbs back above it.
+constexpr double kPoissonLogSwitch = -690.0;
+
+}  // namespace
+
+PoissonWeights::PoissonWeights(double lt) : lt_(lt), log_w_(-lt) {
+    DPMA_REQUIRE(std::isfinite(lt) && lt >= 0.0,
+                 "poisson weight parameter must be finite and >= 0");
+    in_log_ = log_w_ < kPoissonLogSwitch;
+    w_ = in_log_ ? 0.0 : std::exp(log_w_);
+}
+
+void PoissonWeights::advance() noexcept {
+    ++k_;
+    if (in_log_) {
+        log_w_ += std::log(lt_) - std::log(static_cast<double>(k_));
+        if (log_w_ >= kPoissonLogSwitch) {
+            in_log_ = false;
+            w_ = std::exp(log_w_);
+        }
+        return;
+    }
+    w_ *= lt_ / static_cast<double>(k_);
+}
+
 std::vector<double> transient(const Ctmc& chain,
                               const std::vector<std::pair<TangibleId, double>>& initial,
                               double time) {
@@ -403,9 +432,10 @@ std::vector<double> transient(const Ctmc& chain,
     const double lambda = std::max(chain.max_exit_rate() * 1.05, 1e-9);
     const double lt = lambda * time;
 
-    // Uniformised one-step operator.
-    const auto step = [&](const std::vector<double>& v) {
-        std::vector<double> out(n, 0.0);
+    // Uniformised one-step operator, writing into a caller-owned buffer so
+    // the series loop allocates its two vectors once and swaps.
+    const auto step = [&](const std::vector<double>& v, std::vector<double>& out) {
+        std::fill(out.begin(), out.end(), 0.0);
         for (TangibleId s = 0; s < n; ++s) {
             out[s] += v[s] * (1.0 - chain.exit_rate(s) / lambda);
             const double mass = v[s] / lambda;
@@ -414,23 +444,23 @@ std::vector<double> transient(const Ctmc& chain,
                 out[e.target] += mass * e.rate;
             }
         }
-        return out;
     };
 
     std::vector<double> result(n, 0.0);
     std::vector<double> vk = pi;
+    std::vector<double> next(n, 0.0);
     double cumulative = 0.0;
-    // Poisson weights in log space to survive large lambda*t.
-    for (std::size_t k = 0;; ++k) {
-        const double log_w =
-            -lt + static_cast<double>(k) * std::log(lt > 0 ? lt : 1e-300) -
-            std::lgamma(static_cast<double>(k) + 1.0);
-        const double w = std::exp(log_w);
-        for (std::size_t i = 0; i < n; ++i) result[i] += w * vk[i];
+    PoissonWeights weights(lt);
+    for (std::size_t k = 0;; ++k, weights.advance()) {
+        const double w = weights.current();
+        if (w != 0.0) {
+            for (std::size_t i = 0; i < n; ++i) result[i] += w * vk[i];
+        }
         cumulative += w;
         if (cumulative >= 1.0 - 1e-12 && static_cast<double>(k) >= lt) break;
         if (k > 20 * (static_cast<std::size_t>(lt) + 10)) break;  // safety cap
-        vk = step(vk);
+        step(vk, next);
+        vk.swap(next);
     }
     normalize(result);
     return result;
@@ -455,8 +485,8 @@ double accumulated_reward(const Ctmc& chain,
     const double lambda = std::max(chain.max_exit_rate() * 1.05, 1e-9);
     const double lt = lambda * time;
 
-    const auto step = [&](const std::vector<double>& v) {
-        std::vector<double> out(n, 0.0);
+    const auto step = [&](const std::vector<double>& v, std::vector<double>& out) {
+        std::fill(out.begin(), out.end(), 0.0);
         for (TangibleId s = 0; s < n; ++s) {
             out[s] += v[s] * (1.0 - chain.exit_rate(s) / lambda);
             const double mass = v[s] / lambda;
@@ -465,25 +495,24 @@ double accumulated_reward(const Ctmc& chain,
                 out[e.target] += mass * e.rate;
             }
         }
-        return out;
     };
 
     // tail_k = P(Pois(lt) >= k+1); accumulate (tail_k / lambda) * (v_k . r).
     KahanSum total;
     std::vector<double> vk = pi;
+    std::vector<double> next(n, 0.0);
     double cdf = 0.0;  // P(Pois(lt) <= k)
-    for (std::size_t k = 0;; ++k) {
-        const double log_w =
-            -lt + static_cast<double>(k) * std::log(lt) -
-            std::lgamma(static_cast<double>(k) + 1.0);
-        cdf += std::exp(log_w);
+    PoissonWeights weights(lt);
+    for (std::size_t k = 0;; ++k, weights.advance()) {
+        cdf += weights.current();
         const double tail = std::max(0.0, 1.0 - cdf);
         KahanSum dot;
         for (std::size_t i = 0; i < n; ++i) dot.add(vk[i] * reward_rates[i]);
         total.add(tail / lambda * dot.value());
         if (tail < 1e-13 && static_cast<double>(k) >= lt) break;
         if (k > 20 * (static_cast<std::size_t>(lt) + 10)) break;  // safety cap
-        vk = step(vk);
+        step(vk, next);
+        vk.swap(next);
     }
     return total.value();
 }

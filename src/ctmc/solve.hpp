@@ -7,6 +7,7 @@
 /// chains), and transient analysis via uniformisation.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,6 +79,32 @@ struct SolveOptions {
 /// Power iteration on the uniformised DTMC P = I + Q/Lambda.
 [[nodiscard]] std::vector<double> steady_state_power(const Ctmc& chain,
                                                      const SolveOptions& options = {});
+
+/// Streams the Poisson(lt) probabilities w_k = e^{-lt} lt^k / k! that weight
+/// the uniformisation series, without a lgamma per term: each weight follows
+/// from its predecessor via w_{k+1} = w_k * lt / (k+1).  For large lt the
+/// head of the series underflows; those terms are walked in log space (they
+/// report weight 0) until the mass becomes representable, then the recurrence
+/// takes over.  Relative error grows like k ulps from the switch point —
+/// invisible next to the 1e-12 truncation thresholds of the series users.
+class PoissonWeights {
+public:
+    /// \p lt must be finite and >= 0 (the uniformisation rate times t).
+    explicit PoissonWeights(double lt);
+
+    /// Weight of the current term (starts at k = 0).
+    [[nodiscard]] double current() const noexcept { return w_; }
+
+    /// Moves to the next term.
+    void advance() noexcept;
+
+private:
+    double lt_;
+    double w_ = 0.0;
+    double log_w_;          ///< tracked only while the head underflows
+    std::uint64_t k_ = 0;
+    bool in_log_;
+};
 
 /// Transient distribution pi(t) from \p initial via uniformisation with
 /// adaptive truncation of the Poisson series (truncation mass < 1e-12).

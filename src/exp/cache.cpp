@@ -20,24 +20,24 @@ obs::Counter& miss_counter() {
     return counter;
 }
 
-/// Shared patching skeleton: copies the model and hands every transition
-/// whose label matches instance.action to \p patch.
+/// Shared patching skeleton: copies the model and hands the rate of every
+/// transition whose label matches instance.action to \p patch.  Uses the
+/// bulk Lts::mutate_rates walk — a frozen source yields a CSR-backed copy
+/// that is patched in one contiguous pass.
 template <typename PatchFn>
 adl::ComposedModel patch_matching(const adl::ComposedModel& model,
                                   const std::string& instance,
                                   const std::string& action, PatchFn patch) {
+    DPMA_SPAN("exp.patch_model", "exp");
     const std::vector<char> labels = adl::action_mask(
         model, adl::EnabledPredicate{instance, action});
     adl::ComposedModel copy = model;
     std::size_t patched = 0;
-    for (lts::StateId s = 0; s < copy.graph.num_states(); ++s) {
-        const auto out = copy.graph.out(s);
-        for (std::size_t k = 0; k < out.size(); ++k) {
-            if (!labels[out[k].action]) continue;
-            patch(copy, s, k, out[k]);
-            ++patched;
-        }
-    }
+    copy.graph.mutate_rates([&](lts::ActionId a, lts::Rate& rate) {
+        if (!labels[a]) return;
+        patch(a, rate);
+        ++patched;
+    });
     if (patched == 0) {
         throw ModelError("no transition matches " + instance + "." + action);
     }
@@ -100,14 +100,12 @@ adl::ComposedModel with_exp_rate(const adl::ComposedModel& model,
     DPMA_REQUIRE(rate > 0.0, "exponential rate must be > 0");
     return patch_matching(
         model, instance, action,
-        [&](adl::ComposedModel& copy, lts::StateId s, std::size_t k,
-            const lts::Transition& t) {
-            if (!std::holds_alternative<lts::RateExp>(t.rate)) {
-                throw ModelError("transition " +
-                                 copy.graph.actions()->name(t.action) +
+        [&](lts::ActionId a, lts::Rate& transition_rate) {
+            if (!std::holds_alternative<lts::RateExp>(transition_rate)) {
+                throw ModelError("transition " + model.graph.actions()->name(a) +
                                  " is not exponential; cannot patch its rate");
             }
-            copy.graph.set_rate(s, k, lts::RateExp{rate});
+            transition_rate = lts::RateExp{rate};
         });
 }
 
@@ -116,14 +114,12 @@ adl::ComposedModel with_dist(const adl::ComposedModel& model,
                              const Dist& dist) {
     return patch_matching(
         model, instance, action,
-        [&](adl::ComposedModel& copy, lts::StateId s, std::size_t k,
-            const lts::Transition& t) {
-            if (!std::holds_alternative<lts::RateGeneral>(t.rate)) {
-                throw ModelError("transition " +
-                                 copy.graph.actions()->name(t.action) +
+        [&](lts::ActionId a, lts::Rate& transition_rate) {
+            if (!std::holds_alternative<lts::RateGeneral>(transition_rate)) {
+                throw ModelError("transition " + model.graph.actions()->name(a) +
                                  " has no general distribution; cannot patch it");
             }
-            copy.graph.set_rate(s, k, lts::RateGeneral{dist});
+            transition_rate = lts::RateGeneral{dist};
         });
 }
 

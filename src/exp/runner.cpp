@@ -68,6 +68,16 @@ ResultSet run(const Experiment& experiment, const RunOptions& options) {
     return set;
 }
 
+namespace {
+
+/// Counts replication batches dispatched over a pool wider than one job.
+void note_parallel_replications(const ThreadPool& pool) {
+    static obs::Counter& counter = obs::counter("sim.replications.parallel");
+    if (pool.jobs() > 1) counter.add();
+}
+
+}  // namespace
+
 std::vector<sim::Estimate> simulate_replications(const sim::Simulator& simulator,
                                                  const sim::SimOptions& options,
                                                  int replications, double confidence,
@@ -75,6 +85,7 @@ std::vector<sim::Estimate> simulate_replications(const sim::Simulator& simulator
     DPMA_REQUIRE(replications >= 1, "need at least one replication");
     DPMA_NAMED_SPAN(span, "exp.replications", "exp");
     span.arg("replications", static_cast<double>(replications));
+    note_parallel_replications(pool);
     const std::size_t num_measures = simulator.measures().size();
     const auto count = static_cast<std::size_t>(replications);
 
@@ -97,6 +108,44 @@ std::vector<sim::Estimate> simulate_replications(const sim::Simulator& simulator
         estimates[m].half_width = confidence_half_width(estimates[m].samples, confidence);
     }
     return estimates;
+}
+
+sim::Estimate simulate_depletion(const sim::Simulator& simulator,
+                                 std::size_t measure_index, double threshold,
+                                 const sim::SimOptions& options, int replications,
+                                 double confidence, ThreadPool& pool) {
+    DPMA_REQUIRE(replications >= 1, "need at least one replication");
+    DPMA_NAMED_SPAN(span, "exp.depletions", "exp");
+    span.arg("replications", static_cast<double>(replications));
+    note_parallel_replications(pool);
+    const auto count = static_cast<std::size_t>(replications);
+
+    std::vector<double> times(count, 0.0);
+    std::vector<char> depleted(count, 0);
+    pool.run(count, [&](std::size_t r) {
+        sim::SimOptions rep = options;
+        rep.seed = sim::Rng::derive_seed(options.seed,
+                                         static_cast<std::uint64_t>(r) + 7777);
+        const sim::DepletionResult result =
+            simulator.run_until(measure_index, threshold, rep);
+        times[r] = result.time;
+        depleted[r] = result.depleted ? 1 : 0;
+    });
+    // Check in replication order so the error (if any) names the same run
+    // the serial loop would have stopped at.
+    for (std::size_t r = 0; r < count; ++r) {
+        if (!depleted[r]) {
+            throw NumericalError(
+                "depletion horizon too short: threshold not reached; raise "
+                "SimOptions::horizon");
+        }
+    }
+
+    sim::Estimate estimate;
+    estimate.samples = std::move(times);
+    estimate.mean = mean_of(estimate.samples);
+    estimate.half_width = confidence_half_width(estimate.samples, confidence);
+    return estimate;
 }
 
 }  // namespace dpma::exp

@@ -46,4 +46,15 @@ struct RunOptions {
     const sim::Simulator& simulator, const sim::SimOptions& options, int replications,
     double confidence, ThreadPool& pool);
 
+/// Replication-parallel counterpart of sim::simulate_depletion: same
+/// per-replication seeds (offset 7777, like the serial function), samples in
+/// replication order, and the too-short-horizon NumericalError raised for
+/// the lowest failing replication index — bit-identical for any pool size.
+[[nodiscard]] sim::Estimate simulate_depletion(const sim::Simulator& simulator,
+                                               std::size_t measure_index,
+                                               double threshold,
+                                               const sim::SimOptions& options,
+                                               int replications, double confidence,
+                                               ThreadPool& pool);
+
 }  // namespace dpma::exp

@@ -31,39 +31,66 @@ Lts::Lts() : Lts(std::make_shared<ActionTable>()) {}
 
 Lts::Lts(const Lts& other)
     : actions_(other.actions_),
-      out_(other.out_),
       names_(other.names_),
       initial_(other.initial_),
-      num_transitions_(other.num_transitions_) {}
+      num_states_(other.num_states_),
+      num_transitions_(other.num_transitions_) {
+    if (other.csr_ != nullptr) {
+        // Two contiguous array copies instead of one allocation per state;
+        // the adjacency is re-materialised only if the copy is mutated.
+        csr_ = std::make_unique<CsrView>(*other.csr_);
+    } else {
+        out_ = other.out_;
+    }
+}
 
 Lts& Lts::operator=(const Lts& other) {
     if (this == &other) return *this;
     actions_ = other.actions_;
-    out_ = other.out_;
     names_ = other.names_;
     initial_ = other.initial_;
+    num_states_ = other.num_states_;
     num_transitions_ = other.num_transitions_;
-    csr_.reset();
+    if (other.csr_ != nullptr) {
+        out_.clear();
+        csr_ = std::make_unique<CsrView>(*other.csr_);
+    } else {
+        out_ = other.out_;
+        csr_.reset();
+    }
     return *this;
 }
 
+void Lts::thaw() {
+    if (!out_.empty() || csr_ == nullptr || num_states_ == 0) return;
+    out_.resize(num_states_);
+    for (StateId s = 0; s < num_states_; ++s) {
+        const auto row = csr_->out(s);
+        out_[s].assign(row.begin(), row.end());
+    }
+}
+
 StateId Lts::add_state(std::string name) {
-    DPMA_REQUIRE(out_.size() < kNoState, "state-space overflow");
+    DPMA_REQUIRE(num_states_ < kNoState, "state-space overflow");
+    thaw();
     csr_.reset();
     out_.emplace_back();
+    ++num_states_;
     names_.push_back(std::move(name));
-    return static_cast<StateId>(out_.size() - 1);
+    return static_cast<StateId>(num_states_ - 1);
 }
 
 void Lts::add_transition(StateId from, ActionId action, StateId to, Rate rate) {
-    DPMA_REQUIRE(from < out_.size() && to < out_.size(), "transition endpoint out of range");
+    DPMA_REQUIRE(from < num_states_ && to < num_states_, "transition endpoint out of range");
+    thaw();
     csr_.reset();
     out_[from].push_back(Transition{action, to, std::move(rate)});
     ++num_transitions_;
 }
 
 void Lts::reserve_out(StateId state, std::size_t count) {
-    DPMA_REQUIRE(state < out_.size(), "state out of range");
+    DPMA_REQUIRE(state < num_states_, "state out of range");
+    thaw();
     out_[state].reserve(count);
 }
 
@@ -83,13 +110,14 @@ void Lts::freeze() const {
 }
 
 void Lts::set_initial(StateId state) {
-    DPMA_REQUIRE(state < out_.size(), "initial state out of range");
+    DPMA_REQUIRE(state < num_states_, "initial state out of range");
     initial_ = state;
 }
 
 std::span<const Transition> Lts::out(StateId state) const {
-    DPMA_REQUIRE(state < out_.size(), "state out of range");
-    return out_[state];
+    DPMA_REQUIRE(state < num_states_, "state out of range");
+    if (!out_.empty()) return out_[state];
+    return csr_->out(state);  // CSR-only copy
 }
 
 const std::string& Lts::state_name(StateId state) const {
@@ -103,7 +131,15 @@ void Lts::set_state_name(StateId state, std::string name) {
 }
 
 void Lts::set_rate(StateId from, std::size_t transition_index, Rate rate) {
-    DPMA_REQUIRE(from < out_.size(), "state out of range");
+    DPMA_REQUIRE(from < num_states_, "state out of range");
+    if (out_.empty() && csr_ != nullptr) {
+        // CSR-only copy: the view *is* the storage — patch it in place (it
+        // stays consistent, so no invalidation).
+        DPMA_REQUIRE(transition_index < csr_->out(from).size(),
+                     "transition index out of range");
+        csr_->data_[csr_->offsets_[from] + transition_index].rate = std::move(rate);
+        return;
+    }
     DPMA_REQUIRE(transition_index < out_[from].size(), "transition index out of range");
     csr_.reset();
     out_[from][transition_index].rate = std::move(rate);
@@ -113,11 +149,11 @@ std::string Lts::dump() const {
     std::ostringstream outstr;
     outstr << "lts: " << num_states() << " states, " << num_transitions_
            << " transitions, initial " << initial_ << '\n';
-    for (StateId s = 0; s < out_.size(); ++s) {
+    for (StateId s = 0; s < num_states_; ++s) {
         outstr << "  s" << s;
         if (!names_[s].empty()) outstr << " [" << names_[s] << ']';
         outstr << '\n';
-        for (const Transition& t : out_[s]) {
+        for (const Transition& t : out(s)) {
             outstr << "    --" << actions_->name(t.action) << ", "
                    << rate_to_string(t.rate) << "--> s" << t.target << '\n';
         }

@@ -103,8 +103,11 @@ public:
     /// Creates a fresh action table and an empty LTS over it.
     Lts();
 
-    // The CSR cache is identity-bound: copies start unfrozen and refreeze on
-    // demand, so patched per-thread copies never alias the source's view.
+    // Copies never alias the source's CSR view.  Copying a *frozen* source
+    // duplicates just the two contiguous CSR arrays (Transition is trivially
+    // copyable) and serves reads from them; the per-state adjacency is
+    // re-materialised lazily on the first structural mutation.  Copying an
+    // unfrozen source copies the adjacency as before.
     Lts(const Lts& other);
     Lts& operator=(const Lts& other);
     Lts(Lts&&) noexcept = default;
@@ -128,7 +131,7 @@ public:
     void set_initial(StateId state);
     [[nodiscard]] StateId initial() const noexcept { return initial_; }
 
-    [[nodiscard]] std::size_t num_states() const noexcept { return out_.size(); }
+    [[nodiscard]] std::size_t num_states() const noexcept { return num_states_; }
     [[nodiscard]] std::size_t num_transitions() const noexcept { return num_transitions_; }
 
     [[nodiscard]] std::span<const Transition> out(StateId state) const;
@@ -146,6 +149,23 @@ public:
     /// that swap exponential delays for general ones).
     void set_rate(StateId from, std::size_t transition_index, Rate rate);
 
+    /// Applies \p fn(action, rate&) to every transition, in state order.
+    /// Bulk form of set_rate for sweep-time model patching: one pass over
+    /// whichever representation is live, no per-call bounds checks.  A
+    /// CSR-only copy is patched in place (the view stays consistent); the
+    /// adjacency form drops its CSR cache first.
+    template <typename Fn>
+    void mutate_rates(Fn&& fn) {
+        if (out_.empty() && csr_ != nullptr) {
+            for (Transition& t : csr_->data_) fn(t.action, t.rate);
+            return;
+        }
+        csr_.reset();
+        for (std::vector<Transition>& row : out_) {
+            for (Transition& t : row) fn(t.action, t.rate);
+        }
+    }
+
     /// Builds (and caches) the CSR view.  Idempotent; const because the view
     /// is a cache of the logical state, not part of it.
     void freeze() const;
@@ -161,10 +181,16 @@ public:
     }
 
 private:
+    /// Rebuilds the per-state adjacency from the CSR view (CSR-only copies
+    /// materialise it on their first structural mutation).
+    void thaw();
+
     std::shared_ptr<ActionTable> actions_;
+    /// Empty in a CSR-only copy of a frozen Lts; reads then go through csr_.
     std::vector<std::vector<Transition>> out_;
     std::vector<std::string> names_;
     StateId initial_ = kNoState;
+    std::size_t num_states_ = 0;
     std::size_t num_transitions_ = 0;
     mutable std::unique_ptr<CsrView> csr_;
 };

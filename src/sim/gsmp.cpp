@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "core/error.hpp"
 #include "core/stats_math.hpp"
@@ -11,49 +10,6 @@
 #include "obs/trace.hpp"
 
 namespace dpma::sim {
-namespace {
-
-/// Chooses among the enabled immediate transitions of a state following
-/// maximal progress (highest priority, then weight-proportional choice).
-/// Returns the transition index or -1 when the state has no immediates.
-int choose_immediate(const adl::ComposedModel& model, lts::StateId state, Rng& rng) {
-    int best_priority = std::numeric_limits<int>::min();
-    double total_weight = 0.0;
-    const auto out = model.graph.out(state);
-    for (const lts::Transition& t : out) {
-        if (const auto* imm = std::get_if<lts::RateImmediate>(&t.rate)) {
-            if (imm->priority > best_priority) {
-                best_priority = imm->priority;
-                total_weight = 0.0;
-            }
-            if (imm->priority == best_priority) total_weight += imm->weight;
-        }
-    }
-    if (total_weight <= 0.0) return -1;
-    double pick = rng.uniform01() * total_weight;
-    int fallback = -1;
-    for (std::size_t k = 0; k < out.size(); ++k) {
-        if (const auto* imm = std::get_if<lts::RateImmediate>(&out[k].rate)) {
-            if (imm->priority != best_priority || imm->weight <= 0.0) continue;
-            fallback = static_cast<int>(k);
-            pick -= imm->weight;
-            if (pick <= 0.0) return static_cast<int>(k);
-        }
-    }
-    return fallback;  // numerical slack: last candidate
-}
-
-Dist dist_of(const lts::Rate& rate) {
-    if (const auto* exp_rate = std::get_if<lts::RateExp>(&rate)) {
-        return Dist::exponential(exp_rate->rate);
-    }
-    if (const auto* gen = std::get_if<lts::RateGeneral>(&rate)) {
-        return gen->dist;
-    }
-    throw ModelError("transition without a timed rate reached the scheduler");
-}
-
-}  // namespace
 
 Simulator::Simulator(const adl::ComposedModel& model, std::vector<adl::Measure> measures)
     : model_(model), measures_(std::move(measures)) {
@@ -92,6 +48,7 @@ Simulator::Simulator(const adl::ComposedModel& model, std::vector<adl::Measure> 
             }
         }
     }
+    compiled_ = compile_model(model_, state_reward_rate_, action_reward_);
 }
 
 RunResult Simulator::run(const SimOptions& options, std::vector<TraceEvent>* trace) const {
@@ -144,29 +101,43 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
     lts::StateId state = model_.graph.initial();
     DPMA_REQUIRE(state != lts::kNoState, "model has no initial state");
 
+    const bool fast = compiled_.all_exponential && options.markov_fast_path;
+
     double now = 0.0;
     std::uint64_t events = 0;
     bool finished = false;
 
     std::vector<KahanSum> totals(measures_.size());
 
-    // Clocks keyed by action label (enabling memory).
-    std::unordered_map<lts::ActionId, double> clocks;
-    std::unordered_map<lts::ActionId, double> next_clocks;
+    // Dense clocks keyed by action label (enabling memory): value plus a
+    // scheduling-round stamp per label.  A clock carries to the next round
+    // iff its stamp is the previous round's; firing or disabling a label
+    // just leaves its stamp behind — no per-round map churn.  The fast path
+    // never touches them.
+    constexpr std::uint64_t kUnscheduled = std::numeric_limits<std::uint64_t>::max();
+    struct Clock {
+        double value = 0.0;
+        std::uint64_t round = kUnscheduled;
+    };
+    std::vector<Clock> clocks;
+    std::uint64_t round = 0;
+    if (!fast) clocks.assign(compiled_.num_actions, Clock{});
+    std::uint64_t fresh_samples = 0;
 
     // Distributes a state-residence reward interval over the batch buckets
     // (intervals may span several batch boundaries).
     const auto batch_state_time = [&](lts::StateId s, double lo, double hi) {
         if (batches == nullptr) return;
+        const CompiledModel::StateInfo& info = compiled_.states[s];
         double from = lo;
         while (from < hi) {
             const auto index = static_cast<std::size_t>((from - t_begin) / batches->length);
             if (index >= batches->totals.size()) break;
             const double boundary = t_begin + (index + 1) * batches->length;
             const double to = std::min(hi, boundary);
-            for (std::size_t m = 0; m < totals.size(); ++m) {
-                const double rate = state_reward_rate_[m][s];
-                if (rate != 0.0) batches->totals[index][m] += rate * (to - from);
+            for (std::uint32_t e = info.reward_begin; e < info.reward_end; ++e) {
+                const CompiledModel::RewardEntry& entry = compiled_.state_rewards[e];
+                batches->totals[index][entry.measure] += entry.value * (to - from);
             }
             from = to;
         }
@@ -189,9 +160,10 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
                 crossing = lo + (stop->threshold - current) / rate;
             }
         }
-        for (std::size_t m = 0; m < totals.size(); ++m) {
-            const double rate = state_reward_rate_[m][s];
-            if (rate != 0.0) totals[m].add(rate * dt);
+        const CompiledModel::StateInfo& info = compiled_.states[s];
+        for (std::uint32_t e = info.reward_begin; e < info.reward_end; ++e) {
+            const CompiledModel::RewardEntry& entry = compiled_.state_rewards[e];
+            totals[entry.measure].add(entry.value * dt);
         }
         batch_state_time(s, lo, hi);
         return crossing;
@@ -199,17 +171,19 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
 
     const auto accumulate_firing = [&](lts::ActionId action, double at) {
         if (at < t_begin || at > t_end) return;
-        for (std::size_t m = 0; m < totals.size(); ++m) {
-            const double reward = action_reward_[m][action];
-            if (reward != 0.0) totals[m].add(reward);
+        const std::uint32_t reward_begin = compiled_.action_reward_begin[action];
+        const std::uint32_t reward_end = compiled_.action_reward_begin[action + 1];
+        for (std::uint32_t e = reward_begin; e < reward_end; ++e) {
+            const CompiledModel::RewardEntry& entry = compiled_.action_rewards[e];
+            totals[entry.measure].add(entry.value);
         }
         if (batches != nullptr && at > t_begin) {
             const auto index =
                 static_cast<std::size_t>((at - t_begin) / batches->length);
             if (index < batches->totals.size()) {
-                for (std::size_t m = 0; m < totals.size(); ++m) {
-                    const double reward = action_reward_[m][action];
-                    if (reward != 0.0) batches->totals[index][m] += reward;
+                for (std::uint32_t e = reward_begin; e < reward_end; ++e) {
+                    const CompiledModel::RewardEntry& entry = compiled_.action_rewards[e];
+                    batches->totals[index][entry.measure] += entry.value;
                 }
             }
         }
@@ -233,22 +207,38 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
 
     std::uint64_t immediate_burst = 0;
     while (now < t_end) {
-        // Maximal progress: drain immediate transitions without advancing time.
-        const int imm = choose_immediate(model_, state, rng);
-        if (imm >= 0) {
+        const CompiledModel::StateInfo& info = compiled_.states[state];
+
+        // Maximal progress: drain immediate transitions without advancing
+        // time.  The table holds the best-priority candidates with positive
+        // weight; the draw replays the reference scanner (same total, same
+        // sequential subtraction, last candidate as numerical-slack
+        // fallback).
+        if (info.imm_begin != info.imm_end) {
             if (++immediate_burst > options.max_immediate_burst) {
                 throw NumericalError(
                     "immediate-action livelock: over " +
                     std::to_string(options.max_immediate_burst) +
                     " immediate firings without time advancing");
             }
-            const lts::Transition& t = model_.graph.out(state)[static_cast<std::size_t>(imm)];
-            accumulate_firing(t.action, now);
+            double pick = rng.uniform01() * info.imm_total_weight;
+            const CompiledModel::ImmediateCandidate* chosen =
+                &compiled_.immediates[info.imm_end - 1];
+            for (std::uint32_t k = info.imm_begin; k < info.imm_end; ++k) {
+                pick -= compiled_.immediates[k].weight;
+                if (pick <= 0.0) {
+                    chosen = &compiled_.immediates[k];
+                    break;
+                }
+            }
+            accumulate_firing(chosen->action, now);
             if (now >= t_begin) {
                 ++events;
-                if (trace != nullptr) trace->push_back(TraceEvent{now, t.action, t.target});
+                if (trace != nullptr) {
+                    trace->push_back(TraceEvent{now, chosen->action, chosen->target});
+                }
             }
-            state = t.target;
+            state = chosen->target;
             if (stop_reached()) {
                 if (stop_time != nullptr) *stop_time = now;
                 if (depleted != nullptr) *depleted = true;
@@ -259,9 +249,7 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
         }
         immediate_burst = 0;
 
-        // Schedule timed transitions of the current state.
-        const auto out = model_.graph.out(state);
-        if (out.empty()) {
+        if (info.timed_begin == info.timed_end) {
             // Deadlock: the remaining time is spent here.
             double seg_end = t_end;
             bool observer_stop = false;
@@ -280,22 +268,33 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
             now = seg_end;
             break;
         }
-        next_clocks.clear();
-        double min_remaining = std::numeric_limits<double>::infinity();
-        for (const lts::Transition& t : out) {
-            if (next_clocks.contains(t.action)) continue;  // same-label transitions share a clock
-            double remaining;
-            if (auto it = clocks.find(t.action); it != clocks.end()) {
-                remaining = it->second;
-            } else {
-                remaining = rng.sample(dist_of(t.rate));
-            }
-            next_clocks.emplace(t.action, remaining);
-            min_remaining = std::min(min_remaining, remaining);
-        }
-        clocks.swap(next_clocks);
 
-        // Advance time to the earliest expiry.
+        // Schedule: earliest clock expiry, or — on the fast path — the
+        // exponential sojourn of the state's total exit rate (equal in law
+        // by memorylessness; no clock memory).
+        double min_remaining;
+        if (fast) {
+            min_remaining = -std::log(rng.uniform01_open()) / info.exit_rate;
+        } else {
+            ++round;
+            min_remaining = std::numeric_limits<double>::infinity();
+            for (std::uint32_t li = info.timed_begin; li < info.timed_end; ++li) {
+                const CompiledModel::TimedLabel& tl = compiled_.timed[li];
+                Clock& clock = clocks[tl.action];
+                double remaining;
+                if (clock.round == round - 1) {
+                    remaining = clock.value;
+                } else {
+                    remaining = rng.sample(tl.dist);
+                    clock.value = remaining;
+                    ++fresh_samples;
+                }
+                clock.round = round;
+                min_remaining = std::min(min_remaining, remaining);
+            }
+        }
+
+        // Advance time to the expiry.
         const double fire_time = now + min_remaining;
         if (const double at = observe(state, now, std::min(fire_time, t_end));
             !std::isnan(at)) {
@@ -313,9 +312,9 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
             if (depleted != nullptr) *depleted = true;
             // Roll the overshoot back so the totals reflect the stop instant.
             const double overshoot = std::min(fire_time, t_end) - crossing;
-            for (std::size_t m = 0; m < totals.size(); ++m) {
-                const double rate = state_reward_rate_[m][state];
-                if (rate != 0.0) totals[m].add(-rate * overshoot);
+            for (std::uint32_t e = info.reward_begin; e < info.reward_end; ++e) {
+                const CompiledModel::RewardEntry& entry = compiled_.state_rewards[e];
+                totals[entry.measure].add(-entry.value * overshoot);
             }
             finished = true;
             now = crossing;
@@ -327,40 +326,62 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
         }
         now = fire_time;
 
-        // Identify the expiring label (ties: collect all minimal labels and
-        // pick uniformly).
-        lts::ActionId fired_label = kNoSymbol;
-        std::uint32_t minimal = 0;
-        for (auto& [label, remaining] : clocks) {
-            remaining -= min_remaining;
-            if (remaining <= 1e-15) {
-                ++minimal;
-                if (fired_label == kNoSymbol || rng.below(minimal) == 0) {
-                    fired_label = label;
+        // Identify the firing and its target.
+        lts::ActionId fired_action;
+        lts::StateId fired_target;
+        if (fast) {
+            // One uniform draw over the cumulative successor rates; a single
+            // successor needs no draw at all.
+            std::uint32_t c = info.fast_begin;
+            if (info.fast_end - info.fast_begin > 1) {
+                const double u = rng.uniform01() * info.exit_rate;
+                while (c + 1 < info.fast_end && u >= compiled_.fast[c].cum) ++c;
+            }
+            fired_action = compiled_.fast[c].action;
+            fired_target = compiled_.fast[c].target;
+        } else {
+            // Expiring label (ties: collect all minimal labels and pick
+            // uniformly).  The scan walks the labels in the retired
+            // unordered_map's iteration order — the tie-break draws are
+            // order-sensitive — while decrementing every running clock.
+            lts::ActionId fired_label = kNoSymbol;
+            std::uint32_t fired_index = 0;
+            std::uint32_t minimal = 0;
+            for (std::uint32_t k = info.timed_begin; k < info.timed_end; ++k) {
+                const std::uint32_t li = info.timed_begin + compiled_.tie_order[k];
+                const CompiledModel::TimedLabel& tl = compiled_.timed[li];
+                const double remaining = (clocks[tl.action].value -= min_remaining);
+                if (remaining <= 1e-15) {
+                    ++minimal;
+                    if (fired_label == kNoSymbol || rng.below(minimal) == 0) {
+                        fired_label = tl.action;
+                        fired_index = li;
+                    }
                 }
             }
-        }
-        DPMA_ASSERT(fired_label != kNoSymbol, "no clock expired at the minimum");
+            DPMA_ASSERT(fired_label != kNoSymbol, "no clock expired at the minimum");
 
-        // Among transitions carrying the fired label, choose uniformly.
-        std::uint32_t candidates = 0;
-        const lts::Transition* chosen = nullptr;
-        for (const lts::Transition& t : out) {
-            if (t.action != fired_label) continue;
-            ++candidates;
-            if (rng.below(candidates) == 0) chosen = &t;
+            // Among transitions carrying the fired label, choose uniformly.
+            const CompiledModel::TimedLabel& fired = compiled_.timed[fired_index];
+            std::uint32_t candidates = 0;
+            fired_target = lts::kNoState;
+            for (std::uint32_t c = fired.cand_begin; c < fired.cand_end; ++c) {
+                ++candidates;
+                if (rng.below(candidates) == 0) fired_target = compiled_.targets[c];
+            }
+            DPMA_ASSERT(fired_target != lts::kNoState, "fired label has no transition");
+            clocks[fired_label].round = kUnscheduled;
+            fired_action = fired_label;
         }
-        DPMA_ASSERT(chosen != nullptr, "fired label has no transition");
 
-        accumulate_firing(fired_label, now);
+        accumulate_firing(fired_action, now);
         if (now >= t_begin) {
             ++events;
             if (trace != nullptr) {
-                trace->push_back(TraceEvent{now, fired_label, chosen->target});
+                trace->push_back(TraceEvent{now, fired_action, fired_target});
             }
         }
-        clocks.erase(fired_label);
-        state = chosen->target;
+        state = fired_target;
         if (stop_reached()) {
             if (stop_time != nullptr) *stop_time = now;
             if (depleted != nullptr) *depleted = true;
@@ -380,8 +401,12 @@ RunResult Simulator::run_impl(const SimOptions& options, const StopSpec* stop,
     // on a per-event atomic, and `events` already aggregates the loop.
     static obs::Counter& run_counter = obs::counter("sim.runs");
     static obs::Counter& event_counter = obs::counter("sim.events");
+    static obs::Counter& fastpath_counter = obs::counter("sim.fastpath.runs");
+    static obs::Counter& clock_counter = obs::counter("sim.clock.samples");
     run_counter.add();
     event_counter.add(events);
+    if (fast) fastpath_counter.add();
+    if (fresh_samples != 0) clock_counter.add(fresh_samples);
     span.arg("events", static_cast<double>(events));
     return result;
 }

@@ -28,6 +28,7 @@
 
 #include "adl/compose.hpp"
 #include "adl/measure.hpp"
+#include "sim/compiled.hpp"
 #include "sim/rng.hpp"
 
 namespace dpma::sim {
@@ -41,6 +42,11 @@ struct SimOptions {
     std::uint64_t seed = 1;
     /// Guard against immediate-action livelock.
     std::uint64_t max_immediate_burst = 1'000'000;
+    /// Use the all-exponential fast path when the model qualifies (see
+    /// Simulator::fast_path_eligible).  Identical in law but not samplewise
+    /// to the clocked scheduler; turn off to reproduce the clocked stream
+    /// (the differential tests do).
+    bool markov_fast_path = true;
 };
 
 /// One simulation run's estimate of each measure (index-aligned with the
@@ -121,6 +127,12 @@ public:
         return measures_;
     }
 
+    /// Every timed rate the scheduler can reach is exponential, so runs with
+    /// SimOptions::markov_fast_path take the clock-free CTMC path.
+    [[nodiscard]] bool fast_path_eligible() const noexcept {
+        return compiled_.all_exponential;
+    }
+
     /// Total STATE_REWARD accrual rate of measure \p measure_index in every
     /// composed state — e.g. the power the battery sees per state.  Indexed
     /// by composed-graph StateId.
@@ -156,6 +168,8 @@ private:
 
     const adl::ComposedModel& model_;
     std::vector<adl::Measure> measures_;
+    /// Frozen per-state scheduler tables (sim/compiled.hpp), built once.
+    CompiledModel compiled_;
     /// state_reward_rate_[m][s]: total STATE_REWARD accrual rate of measure
     /// m while in composed state s.
     std::vector<std::vector<double>> state_reward_rate_;

@@ -24,14 +24,8 @@ double Rng::standard_normal() {
     return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
 }
 
-double Rng::sample(const Dist& dist) {
+double Rng::sample_rare(const Dist& dist) {
     switch (dist.kind()) {
-        case DistKind::Exponential:
-            return -std::log(uniform01_open()) / dist.a();
-        case DistKind::Deterministic:
-            return dist.a();
-        case DistKind::Uniform:
-            return dist.a() + (dist.b() - dist.a()) * uniform01();
         case DistKind::Normal: {
             // Truncate at zero by resampling; the delay models used here
             // have stddev << mean, so rejections are astronomically rare.
@@ -52,6 +46,8 @@ double Rng::sample(const Dist& dist) {
             return dist.b() * std::pow(-std::log(uniform01_open()), 1.0 / dist.a());
         case DistKind::LogNormal:
             return std::exp(dist.a() + dist.b() * standard_normal());
+        default:
+            break;  // inline families never reach the fallback
     }
     throw Error("unknown distribution kind");
 }

@@ -7,6 +7,7 @@
 /// here rather than with std:: distributions, whose algorithms are
 /// implementation-defined.
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -37,8 +38,21 @@ public:
     [[nodiscard]] double standard_normal();
 
     /// Draws a sample of \p dist (>= 0 by construction for every family;
-    /// the Normal family is truncated at zero by resampling).
-    [[nodiscard]] double sample(const Dist& dist);
+    /// the Normal family is truncated at zero by resampling).  The three
+    /// families on the simulator's hot path are inline; the rest go through
+    /// the out-of-line fallback.
+    [[nodiscard]] double sample(const Dist& dist) {
+        switch (dist.kind()) {
+            case DistKind::Exponential:
+                return -std::log(uniform01_open()) / dist.a();
+            case DistKind::Deterministic:
+                return dist.a();
+            case DistKind::Uniform:
+                return dist.a() + (dist.b() - dist.a()) * uniform01();
+            default:
+                return sample_rare(dist);
+        }
+    }
 
     /// Derives an independent stream for replication \p index (splitmix64 of
     /// the base seed and the index).
@@ -53,6 +67,9 @@ public:
                                                    std::uint64_t replication);
 
 private:
+    /// Sampling for the distribution families not worth inlining.
+    [[nodiscard]] double sample_rare(const Dist& dist);
+
     std::mt19937_64 engine_;
 };
 

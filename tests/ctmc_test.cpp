@@ -203,6 +203,37 @@ TEST(Transient, TimeZeroReturnsInitialDistribution) {
     EXPECT_NEAR(pi[2], 0.6, 1e-12);
 }
 
+// The recurrence-based weight stream must reproduce the direct
+// e^{-lt} lt^k / k! evaluation (one lgamma per term, the formula the
+// uniformisation loops used before) across the whole magnitude range the
+// solvers see — from sub-unit lt to the lt ~ 1e5 of long battery horizons.
+TEST(PoissonWeights, MatchesLgammaFormulaUpTo1e5) {
+    for (const double lt : {0.0, 1e-6, 0.5, 3.0, 40.0, 1e3, 1e5}) {
+        PoissonWeights weights(lt);
+        double cumulative = 0.0;
+        for (std::size_t k = 0;; ++k, weights.advance()) {
+            const double log_w =
+                -lt + static_cast<double>(k) * std::log(lt > 0 ? lt : 1e-300) -
+                std::lgamma(static_cast<double>(k) + 1.0);
+            const double reference = std::exp(log_w);
+            const double w = weights.current();
+            if (reference > 1e-280) {
+                // Representable weights: the recurrence accumulates ~k ulps
+                // of relative error, invisible at the 1e-12 thresholds.
+                EXPECT_NEAR(w, reference, 1e-9 * reference)
+                    << "lt=" << lt << " k=" << k;
+            } else {
+                // Underflowing head: the stream reports (essentially) zero.
+                EXPECT_LE(w, 1e-280) << "lt=" << lt << " k=" << k;
+            }
+            cumulative += w;
+            if (cumulative >= 1.0 - 1e-12 && static_cast<double>(k) >= lt) break;
+        }
+        // The stream sums to 1 like a probability distribution should.
+        EXPECT_NEAR(cumulative, 1.0, 1e-9) << "lt=" << lt;
+    }
+}
+
 /// A small architecture exercising vanishing-state elimination: a timed
 /// step into an immediate probabilistic branch.
 adl::ArchiType vanishing_model(double p_left, int priority_right) {

@@ -110,8 +110,10 @@ exp::Experiment battery_sweep(const sim::Simulator& simulator) {
         replay.horizon = 24.0 * params.capacity;  // generous vs E[power] = 2/3
         replay.seed = context.seed();
         replay.replications = 4;
-        const battery::LifetimeEstimate estimate =
-            battery::simulate_lifetime(simulator, 0, params, replay);
+        // Pooled overload on the sweep's own (nested) pool — the parallel
+        // sweep must still be bit-identical to the serial one.
+        const battery::LifetimeEstimate estimate = battery::simulate_lifetime(
+            simulator, 0, params, replay, *context.pool);
         exp::PointResult result;
         result.values = {estimate.mean, static_cast<double>(estimate.censored),
                          estimate.mean_delivered, estimate.mean_recovered};
@@ -166,10 +168,88 @@ int check_parallel_refinement() {
     return 0;
 }
 
+/// The replication-parallel primitives (exp::simulate_replications,
+/// exp::simulate_depletion, the pooled battery::simulate_lifetime) must be
+/// bit-identical to their serial counterparts for any pool size — same
+/// seeds, same sample vectors, same aggregates.
+int check_pooled_primitives() {
+    const adl::ComposedModel model = adl::compose(cell_system());
+    const sim::Simulator simulator(model, cell_measures());
+    sim::SimOptions options;
+    options.warmup = 5.0;
+    options.horizon = 200.0;
+    options.seed = 99;
+    exp::ThreadPool pool(4);
+
+    const auto serial_reps = sim::simulate_replications(simulator, options, 8, 0.90);
+    const auto pooled_reps =
+        exp::simulate_replications(simulator, options, 8, 0.90, pool);
+    for (std::size_t m = 0; m < serial_reps.size(); ++m) {
+        if (serial_reps[m].samples != pooled_reps[m].samples ||
+            serial_reps[m].mean != pooled_reps[m].mean ||
+            serial_reps[m].half_width != pooled_reps[m].half_width) {
+            std::fprintf(stderr, "FAIL: pooled replications differ from serial\n");
+            return 1;
+        }
+    }
+
+    sim::SimOptions depletion = options;
+    depletion.warmup = 0.0;
+    const sim::Estimate serial_dep =
+        sim::simulate_depletion(simulator, 0, 20.0, depletion, 8, 0.90);
+    const sim::Estimate pooled_dep =
+        exp::simulate_depletion(simulator, 0, 20.0, depletion, 8, 0.90, pool);
+    if (serial_dep.samples != pooled_dep.samples ||
+        serial_dep.mean != pooled_dep.mean ||
+        serial_dep.half_width != pooled_dep.half_width) {
+        std::fprintf(stderr, "FAIL: pooled depletion differs from serial\n");
+        return 1;
+    }
+
+    battery::BatteryParams params;
+    params.kind = battery::BatteryParams::Kind::Kibam;
+    params.capacity = 24.0;
+    params.kibam_c = 0.5;
+    params.kibam_rate = 0.05;
+    battery::ReplayOptions replay;
+    replay.horizon = 24.0 * params.capacity;
+    replay.seed = 99;
+    replay.replications = 8;
+    const battery::LifetimeEstimate serial_life =
+        battery::simulate_lifetime(simulator, 0, params, replay);
+    const battery::LifetimeEstimate pooled_life =
+        battery::simulate_lifetime(simulator, 0, params, replay, pool);
+    if (serial_life.samples != pooled_life.samples ||
+        serial_life.mean != pooled_life.mean ||
+        serial_life.half_width != pooled_life.half_width ||
+        serial_life.censored != pooled_life.censored ||
+        serial_life.mean_totals != pooled_life.mean_totals ||
+        serial_life.mean_delivered != pooled_life.mean_delivered ||
+        serial_life.mean_recovered != pooled_life.mean_recovered ||
+        serial_life.outcomes.size() != pooled_life.outcomes.size()) {
+        std::fprintf(stderr, "FAIL: pooled battery replay differs from serial\n");
+        return 1;
+    }
+    for (std::size_t r = 0; r < serial_life.outcomes.size(); ++r) {
+        const battery::ReplicationOutcome& s = serial_life.outcomes[r];
+        const battery::ReplicationOutcome& p = pooled_life.outcomes[r];
+        if (s.time != p.time || s.depleted != p.depleted ||
+            s.delivered != p.delivered || s.recovered != p.recovered ||
+            s.state_of_charge != p.state_of_charge || s.totals != p.totals) {
+            std::fprintf(stderr,
+                         "FAIL: battery outcome %zu differs pooled vs serial\n", r);
+            return 1;
+        }
+    }
+    std::printf("OK: pooled replication/depletion/battery primitives match serial\n");
+    return 0;
+}
+
 }  // namespace
 
 int main() {
     if (const int rc = check_parallel_refinement(); rc != 0) return rc;
+    if (const int rc = check_pooled_primitives(); rc != 0) return rc;
 
     exp::ModelCache cache;
     const exp::Experiment experiment = sweep(cache);

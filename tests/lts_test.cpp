@@ -241,15 +241,31 @@ TEST(Csr, MutationInvalidatesFrozenView) {
     EXPECT_EQ(csr.transitions().size(), m.num_transitions());
 }
 
-TEST(Csr, CopiesDropTheCacheAndFreezeIndependently) {
+TEST(Csr, CopiesOfFrozenSourcesOwnTheirStorage) {
     Lts m = make_chain();
     m.freeze();
     Lts copy = m;
     EXPECT_TRUE(m.is_frozen());    // source keeps its view
-    EXPECT_FALSE(copy.is_frozen());  // copies start thawed
+    EXPECT_TRUE(copy.is_frozen());  // frozen source -> CSR-backed copy
+    // The copy's view is its own storage, not an alias of the source's.
+    EXPECT_NE(copy.csr().transitions().data(), m.csr().transitions().data());
+    // Rate patches land in the copy only.
+    copy.set_rate(0, 0, RateExp{9.0});
+    EXPECT_EQ(copy.out(0)[0].rate, Rate{RateExp{9.0}});
+    EXPECT_NE(m.out(0)[0].rate, Rate{RateExp{9.0}});
+    // Structural mutation re-materialises the adjacency and drops the view.
     copy.add_state();
     EXPECT_EQ(copy.num_states(), m.num_states() + 1);
+    EXPECT_EQ(copy.out(0)[0].rate, Rate{RateExp{9.0}});  // patch survives thaw
     EXPECT_EQ(copy.csr().num_states(), m.csr().num_states() + 1);
+}
+
+TEST(Csr, CopiesOfUnfrozenSourcesStartThawed) {
+    Lts m = make_chain();
+    Lts copy = m;
+    EXPECT_FALSE(copy.is_frozen());
+    copy.add_state();
+    EXPECT_EQ(copy.num_states(), m.num_states() + 1);
 }
 
 TEST(MakeActionSet, InternsNames) {

@@ -354,7 +354,11 @@ int cmd_simulate(const std::string& model_path, const std::string& measures_path
     options.horizon = horizon;
     options.warmup = warmup;
     options.seed = seed;
-    const auto estimates = sim::simulate_replications(simulator, options, reps, confidence);
+    // Replications fan out over DPMA_JOBS workers; estimates are
+    // bit-identical to the serial path for any jobs count.
+    exp::ThreadPool pool;
+    const auto estimates =
+        exp::simulate_replications(simulator, options, reps, confidence, pool);
     std::printf("simulated %d replications of horizon %g (warmup %g), %.0f%% CIs\n",
                 reps, horizon, warmup, confidence * 100.0);
     for (std::size_t m = 0; m < measures.size(); ++m) {
