@@ -6,12 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/flow/analyze.hpp"
 #include "bisim/equivalence.hpp"
 #include "bisim/partition.hpp"
 #include "ctmc/ctmc.hpp"
 #include "lts/ops.hpp"
 #include "ctmc/solve.hpp"
 #include "models/rpc.hpp"
+#include "models/specs.hpp"
 #include "models/streaming.hpp"
 #include "noninterference/noninterference.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +49,19 @@ void BM_NoninterferenceRpcRevised(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_NoninterferenceRpcRevised);
+
+/// The whole dataflow engine (parse + lint + CFGs + intervals + abstract
+/// composition + ergodicity) on the largest shipped spec.  This is the cost
+/// a `--precheck` adds before composition — it must stay far below the
+/// composition+check it can save.
+void BM_FlowAnalyzeStreaming(benchmark::State& state) {
+    const std::string_view spec = models::streaming_markov_spec();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::flow::analyze_text(spec, "streaming_markov.aem"));
+    }
+}
+BENCHMARK(BM_FlowAnalyzeStreaming);
 
 void BM_NoninterferenceStreaming(benchmark::State& state) {
     const auto model =

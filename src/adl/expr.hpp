@@ -32,6 +32,10 @@ public:
     [[nodiscard]] long value() const noexcept { return value_; }
     [[nodiscard]] std::size_t param_index() const noexcept { return param_; }
     [[nodiscard]] const std::string& param_name() const noexcept { return name_; }
+    // Subtrees of a binary node (null for Const / Param); used by the
+    // interval analysis in analysis/flow.
+    [[nodiscard]] const ExprPtr& lhs() const noexcept { return lhs_; }
+    [[nodiscard]] const ExprPtr& rhs() const noexcept { return rhs_; }
 
     /// Evaluates with the given parameter values; throws on division by zero.
     [[nodiscard]] long eval(std::span<const long> params) const;

@@ -43,6 +43,11 @@ constexpr CodeInfo kCodes[] = {
     {Code::UnknownMeasureState, "unknown-measure-state", Severity::Error},
     {Code::InStateTransReward, "in-state-trans-reward", Severity::Error},
     {Code::DuplicateMeasure, "duplicate-measure", Severity::Warning},
+    {Code::NonPositiveRate, "non-positive-rate", Severity::Error},
+    {Code::UnboundedParameter, "unbounded-parameter", Severity::Warning},
+    {Code::DeadInteraction, "dead-interaction", Severity::Warning},
+    {Code::SyncDeadlock, "sync-deadlock", Severity::Warning},
+    {Code::NonErgodic, "non-ergodic", Severity::Warning},
 };
 
 const CodeInfo& info(Code code) {
@@ -154,6 +159,102 @@ std::string render_json(const std::vector<Diagnostic>& diagnostics) {
     out += diagnostics.empty() ? "],\n" : "\n  ],\n";
     out += "  \"errors\": " + std::to_string(errors) + ",\n";
     out += "  \"warnings\": " + std::to_string(warnings) + "\n}\n";
+    return out;
+}
+
+namespace {
+
+const char* sarif_level(Severity severity) {
+    switch (severity) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "none";
+}
+
+/// physicalLocation object; returns empty when the span has no file (SARIF
+/// locations require an artifact URI, and results may omit locations).
+std::string sarif_location(const Span& span) {
+    if (span.file.empty()) return {};
+    std::string out = "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": " +
+                      obs::json_quote(span.file) + "}";
+    if (span.loc.known()) {
+        out += ", \"region\": {\"startLine\": " + std::to_string(span.loc.line) +
+               ", \"startColumn\": " + std::to_string(span.loc.column) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace
+
+std::string render_sarif(const std::vector<Diagnostic>& diagnostics,
+                         std::string_view tool_name) {
+    // Rules: the distinct codes that occur, in first-occurrence order, so the
+    // log stays small and ruleIndex stays stable for a given input.
+    std::vector<Code> rules;
+    auto rule_index = [&rules](Code code) -> std::size_t {
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+            if (rules[i] == code) return i;
+        }
+        rules.push_back(code);
+        return rules.size() - 1;
+    };
+    std::string results;
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic& d = diagnostics[i];
+        results += i == 0 ? "\n" : ",\n";
+        results += "        {\"ruleId\": ";
+        results += obs::json_quote(code_name(d.code));
+        results += ", \"ruleIndex\": " + std::to_string(rule_index(d.code));
+        results += ", \"level\": ";
+        results += obs::json_quote(sarif_level(d.severity));
+        results += ", \"message\": {\"text\": " + obs::json_quote(d.message) + "}";
+        const std::string location = sarif_location(d.span);
+        if (!location.empty()) {
+            results += ", \"locations\": [" + location + "]";
+        }
+        std::string related;
+        for (const Note& note : d.notes) {
+            std::string note_location = sarif_location(note.span);
+            if (note_location.empty()) continue;
+            // Splice the message into the location object.
+            note_location.insert(note_location.size() - 1,
+                                 ", \"message\": {\"text\": " + obs::json_quote(note.message) +
+                                     "}");
+            if (!related.empty()) related += ", ";
+            related += note_location;
+        }
+        if (!related.empty()) {
+            results += ", \"relatedLocations\": [" + related + "]";
+        }
+        results += "}";
+    }
+    std::string rule_objects;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (i != 0) rule_objects += ", ";
+        rule_objects += "{\"id\": ";
+        rule_objects += obs::json_quote(code_name(rules[i]));
+        rule_objects += ", \"defaultConfiguration\": {\"level\": ";
+        rule_objects += obs::json_quote(sarif_level(code_severity(rules[i])));
+        rule_objects += "}}";
+    }
+    std::string out =
+        "{\n"
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\"driver\": {\"name\": " +
+        obs::json_quote(tool_name) +
+        ", \"informationUri\": \"https://example.invalid/dpma\", \"rules\": [" + rule_objects +
+        "]}},\n"
+        "      \"results\": [" +
+        results + (diagnostics.empty() ? "]\n" : "\n      ]\n") +
+        "    }\n"
+        "  ]\n"
+        "}\n";
     return out;
 }
 

@@ -64,6 +64,12 @@ enum class Code {
     UnknownMeasureState,
     InStateTransReward,
     DuplicateMeasure,
+    // Whole-model dataflow analyses (src/analysis/flow).
+    NonPositiveRate,
+    UnboundedParameter,
+    DeadInteraction,
+    SyncDeadlock,
+    NonErgodic,
 };
 
 /// Kebab-case identifier rendered in brackets after the message, e.g.
@@ -106,5 +112,13 @@ struct Diagnostic {
 
 /// Strict-JSON object: {"diagnostics": [...], "errors": N, "warnings": N}.
 [[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diagnostics);
+
+/// SARIF 2.1.0 log with a single run.  `tool_name` becomes the driver name
+/// ("dpma-lint" / "dpma-analyze"); every code that occurs is listed as a
+/// reporting rule and every diagnostic becomes a result with its physical
+/// location (notes become relatedLocations).  Strict JSON, shared by
+/// `dpma_cli lint --format sarif` and `dpma_cli analyze --format sarif`.
+[[nodiscard]] std::string render_sarif(const std::vector<Diagnostic>& diagnostics,
+                                       std::string_view tool_name);
 
 }  // namespace dpma::analysis

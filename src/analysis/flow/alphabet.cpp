@@ -1,0 +1,381 @@
+#include "analysis/flow/alphabet.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/flow/fixpoint.hpp"
+
+namespace dpma::analysis::flow {
+namespace {
+
+/// Where an interaction edge synchronises: the attachment index, or one of
+/// the two sentinels.
+constexpr std::uint32_t kInternal = UINT32_MAX;
+constexpr std::uint32_t kUnattached = UINT32_MAX - 1;
+
+struct InstanceInfo {
+    const Cfg* cfg = nullptr;
+    /// Per edge: kInternal, kUnattached, or the attachment index.
+    std::vector<std::uint32_t> sync;
+    /// Per edge: guard satisfiable at the owning behaviour's entry env.
+    std::vector<char> feasible;
+};
+
+Diagnostic make(Code code, std::string message, const std::string& file, SourceLoc loc) {
+    Diagnostic diagnostic;
+    diagnostic.severity = code_severity(code);
+    diagnostic.code = code;
+    diagnostic.message = std::move(message);
+    diagnostic.span = {file, loc};
+    return diagnostic;
+}
+
+}  // namespace
+
+AbstractComposition analyze_alphabet(const adl::ArchiType& archi,
+                                     std::span<const Cfg* const> cfg_of_instance,
+                                     const IntervalResult& intervals,
+                                     const std::string& file,
+                                     std::vector<Diagnostic>& out) {
+    const std::size_t num_instances = archi.instances.size();
+    const std::size_t num_attachments = archi.attachments.size();
+
+    // (instance name, port, is_output) -> attachment index.  Lint guarantees
+    // each port is attached at most once; later duplicates are ignored.
+    std::unordered_map<std::string, std::uint32_t> port_attachment;
+    for (std::uint32_t a = 0; a < num_attachments; ++a) {
+        const adl::Attachment& attachment = archi.attachments[a];
+        port_attachment.emplace(attachment.from_instance + ">" + attachment.from_port, a);
+        port_attachment.emplace(attachment.to_instance + "<" + attachment.to_port, a);
+    }
+
+    std::vector<InstanceInfo> info(num_instances);
+    for (std::size_t i = 0; i < num_instances; ++i) {
+        const Cfg* cfg = cfg_of_instance[i];
+        info[i].cfg = cfg;
+        if (cfg == nullptr) continue;
+        const adl::Instance& instance = archi.instances[i];
+        info[i].sync.resize(cfg->edges.size(), kInternal);
+        info[i].feasible.resize(cfg->edges.size(), 1);
+        std::unordered_map<const adl::Alternative*, bool> alt_feasible;
+        for (std::size_t e = 0; e < cfg->edges.size(); ++e) {
+            const CfgEdge& edge = cfg->edges[e];
+            auto cached = alt_feasible.find(edge.alt);
+            if (cached == alt_feasible.end()) {
+                cached = alt_feasible
+                             .emplace(edge.alt,
+                                      intervals.feasible(i, edge.behavior, *edge.alt))
+                             .first;
+            }
+            info[i].feasible[e] = cached->second ? 1 : 0;
+            if (edge.port == PortKind::Internal) continue;
+            const char direction = edge.port == PortKind::Output ? '>' : '<';
+            const auto found =
+                port_attachment.find(instance.name + direction + edge.action->name);
+            info[i].sync[e] = found == port_attachment.end() ? kUnattached : found->second;
+        }
+    }
+
+    AbstractComposition result;
+    result.reachable.resize(num_instances);
+    result.edge_alive.resize(num_instances);
+    result.attachment_alive.assign(num_attachments, 0);
+
+    // Increasing joint fixpoint: reachable sets and co-enabled attachments
+    // grow together until stable.
+    std::vector<char> from_enabled(num_attachments, 0);
+    std::vector<char> to_enabled(num_attachments, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < num_instances; ++i) {
+            const Cfg* cfg = info[i].cfg;
+            if (cfg == nullptr || cfg->num_nodes == 0) continue;
+            std::vector<char>& reach = result.reachable[i];
+            reach.assign(cfg->num_nodes, 0);
+            std::vector<char>& alive = result.edge_alive[i];
+            alive.assign(cfg->edges.size(), 0);
+            const std::uint32_t seeds[] = {cfg->entry.empty() ? 0 : cfg->entry[0]};
+            reach[seeds[0]] = 1;
+            run_fixpoint(cfg->num_nodes, seeds, [&](std::uint32_t node,
+                                                    Worklist& worklist) {
+                for (const std::uint32_t e : cfg->out(node)) {
+                    if (info[i].feasible[e] == 0) continue;
+                    const std::uint32_t sync = info[i].sync[e];
+                    if (sync == kUnattached) continue;  // blocked, as in compose()
+                    if (sync != kInternal &&
+                        (from_enabled[sync] == 0 || to_enabled[sync] == 0)) {
+                        continue;
+                    }
+                    alive[e] = 1;
+                    const std::uint32_t target = cfg->edges[e].to;
+                    if (reach[target] == 0) {
+                        reach[target] = 1;
+                        worklist.push(target);
+                    }
+                }
+            });
+        }
+        // Recompute the abstract enabling sets from the new reachability.
+        for (std::size_t i = 0; i < num_instances; ++i) {
+            const Cfg* cfg = info[i].cfg;
+            if (cfg == nullptr) continue;
+            for (std::size_t e = 0; e < cfg->edges.size(); ++e) {
+                const std::uint32_t sync = info[i].sync[e];
+                if (sync == kInternal || sync == kUnattached) continue;
+                if (info[i].feasible[e] == 0) continue;
+                if (result.reachable[i][cfg->edges[e].from] == 0) continue;
+                std::vector<char>& enabled =
+                    cfg->edges[e].port == PortKind::Output ? from_enabled : to_enabled;
+                if (enabled[sync] == 0) {
+                    enabled[sync] = 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    for (std::uint32_t a = 0; a < num_attachments; ++a) {
+        result.attachment_alive[a] = (from_enabled[a] != 0 && to_enabled[a] != 0) ? 1 : 0;
+    }
+
+    // --- dead-interaction -----------------------------------------------
+    // Warn when an attached port occurs in the behaviour but its partner can
+    // never co-enable the synchronisation.  Ports that never occur at all
+    // are the linter's unused-interaction; we stay silent there.
+    auto port_occurs = [&](const std::string& instance_name, const std::string& port,
+                           PortKind kind) {
+        const adl::Instance* instance = archi.find_instance(instance_name);
+        if (instance == nullptr) return false;
+        for (std::size_t i = 0; i < num_instances; ++i) {
+            if (archi.instances[i].name != instance_name || info[i].cfg == nullptr) {
+                continue;
+            }
+            for (const CfgEdge& edge : info[i].cfg->edges) {
+                if (edge.port == kind && edge.action->name == port) return true;
+            }
+        }
+        return false;
+    };
+    for (std::uint32_t a = 0; a < num_attachments; ++a) {
+        if (result.attachment_alive[a] != 0) continue;
+        const adl::Attachment& attachment = archi.attachments[a];
+        if (!port_occurs(attachment.from_instance, attachment.from_port,
+                         PortKind::Output) ||
+            !port_occurs(attachment.to_instance, attachment.to_port, PortKind::Input)) {
+            continue;
+        }
+        const std::string label = attachment.from_instance + "." + attachment.from_port +
+                                  " # " + attachment.to_instance + "." +
+                                  attachment.to_port;
+        Diagnostic diagnostic =
+            make(Code::DeadInteraction,
+                 "interaction '" + label + "' can never fire: the partners' abstract "
+                 "enabling sets never overlap",
+                 file, attachment.loc);
+        if (from_enabled[a] == 0) {
+            diagnostic.notes.push_back({"'" + attachment.from_instance + "." +
+                                            attachment.from_port +
+                                            "' is never enabled",
+                                        {file, attachment.from_loc}});
+        }
+        if (to_enabled[a] == 0) {
+            diagnostic.notes.push_back({"'" + attachment.to_instance + "." +
+                                            attachment.to_port + "' is never enabled",
+                                        {file, attachment.to_loc}});
+        }
+        out.push_back(std::move(diagnostic));
+    }
+
+    // --- sync-deadlock ---------------------------------------------------
+    // A reachable node all of whose alternatives are dead (unattached or
+    // never co-enabled syncs, or guard-unsatisfiable) is a global deadlock
+    // the per-instance linter cannot see.  Nodes with no edges at all are
+    // the linter's local-deadlock.
+    for (std::size_t i = 0; i < num_instances; ++i) {
+        const Cfg* cfg = info[i].cfg;
+        if (cfg == nullptr) continue;
+        std::vector<char> reported(cfg->type->behaviors.size(), 0);
+        for (std::uint32_t node = 0; node < cfg->num_nodes; ++node) {
+            if (result.reachable[i][node] == 0) continue;
+            const auto edges = cfg->out(node);
+            if (edges.empty()) continue;
+            bool any_alive = false;
+            for (const std::uint32_t e : edges) {
+                if (result.edge_alive[i][e] != 0) {
+                    any_alive = true;
+                    break;
+                }
+            }
+            if (any_alive) continue;
+            const std::uint32_t behavior = cfg->node_behavior[node];
+            if (behavior < reported.size() && reported[behavior] != 0) continue;
+            if (behavior < reported.size()) reported[behavior] = 1;
+            const adl::BehaviorDef& def = cfg->type->behaviors[behavior];
+            out.push_back(make(
+                Code::SyncDeadlock,
+                "instance '" + archi.instances[i].name + "' can get stuck in behaviour '" +
+                    def.name +
+                    "': every alternative is a synchronisation that can never fire "
+                    "or has an unsatisfiable guard",
+                file, def.loc));
+        }
+    }
+    return result;
+}
+
+void check_ergodicity(const adl::ArchiType& archi,
+                      std::span<const Cfg* const> cfg_of_instance,
+                      const AbstractComposition& abstract_composition,
+                      const std::string& file, std::vector<Diagnostic>& out) {
+    for (std::size_t i = 0; i < archi.instances.size(); ++i) {
+        const Cfg* cfg = cfg_of_instance[i];
+        if (cfg == nullptr || cfg->num_nodes == 0) continue;
+        if (abstract_composition.reachable[i].empty()) continue;
+        const std::vector<char>& reach = abstract_composition.reachable[i];
+        const std::vector<char>& alive = abstract_composition.edge_alive[i];
+
+        // Tarjan over the reachable alive subgraph, iterative to survive
+        // deep chains.
+        const std::uint32_t n = cfg->num_nodes;
+        std::vector<std::uint32_t> index(n, UINT32_MAX);
+        std::vector<std::uint32_t> low(n, 0);
+        std::vector<char> on_stack(n, 0);
+        std::vector<std::uint32_t> stack;
+        std::vector<std::uint32_t> scc_of(n, UINT32_MAX);
+        std::uint32_t next_index = 0;
+        std::uint32_t num_sccs = 0;
+
+        struct Frame {
+            std::uint32_t node;
+            std::size_t edge_pos;
+        };
+        std::vector<Frame> call_stack;
+        for (std::uint32_t root = 0; root < n; ++root) {
+            if (reach[root] == 0 || index[root] != UINT32_MAX) continue;
+            call_stack.push_back({root, 0});
+            while (!call_stack.empty()) {
+                Frame& frame = call_stack.back();
+                const std::uint32_t node = frame.node;
+                if (frame.edge_pos == 0) {
+                    index[node] = low[node] = next_index++;
+                    stack.push_back(node);
+                    on_stack[node] = 1;
+                }
+                const auto edges = cfg->out(node);
+                bool descended = false;
+                while (frame.edge_pos < edges.size()) {
+                    const std::uint32_t e = edges[frame.edge_pos++];
+                    if (alive[e] == 0) continue;
+                    const std::uint32_t target = cfg->edges[e].to;
+                    if (index[target] == UINT32_MAX) {
+                        call_stack.push_back({target, 0});
+                        descended = true;
+                        break;
+                    }
+                    if (on_stack[target] != 0) {
+                        low[node] = std::min(low[node], index[target]);
+                    }
+                }
+                if (descended) continue;
+                if (low[node] == index[node]) {
+                    while (true) {
+                        const std::uint32_t member = stack.back();
+                        stack.pop_back();
+                        on_stack[member] = 0;
+                        scc_of[member] = num_sccs;
+                        if (member == node) break;
+                    }
+                    ++num_sccs;
+                }
+                call_stack.pop_back();
+                if (!call_stack.empty()) {
+                    const std::uint32_t parent = call_stack.back().node;
+                    low[parent] = std::min(low[parent], low[node]);
+                }
+            }
+        }
+        if (num_sccs <= 1) continue;
+
+        // Classify: cyclic (size > 1 or self-loop) and absorbing (no alive
+        // edge leaving the component).
+        std::vector<char> cyclic(num_sccs, 0);
+        std::vector<char> absorbing(num_sccs, 1);
+        std::vector<std::uint32_t> scc_size(num_sccs, 0);
+        std::vector<std::uint32_t> representative(num_sccs, UINT32_MAX);
+        for (std::uint32_t node = 0; node < n; ++node) {
+            const std::uint32_t component = scc_of[node];
+            if (component == UINT32_MAX) continue;
+            ++scc_size[component];
+            // Prefer a behaviour-entry node as the component's face in the
+            // diagnostic; fall back to any member.
+            if (representative[component] == UINT32_MAX ||
+                node < cfg->entry.size()) {
+                representative[component] = node;
+            }
+            for (const std::uint32_t e : cfg->out(node)) {
+                if (alive[e] == 0) continue;
+                const std::uint32_t target = cfg->edges[e].to;
+                if (scc_of[target] == component) {
+                    if (target == node) cyclic[component] = 1;
+                } else {
+                    absorbing[component] = 0;
+                }
+            }
+        }
+        for (std::uint32_t component = 0; component < num_sccs; ++component) {
+            if (scc_size[component] > 1) cyclic[component] = 1;
+        }
+
+        std::vector<std::uint32_t> closed;     // cyclic + absorbing
+        std::uint32_t open_cycle = UINT32_MAX;  // cyclic, not absorbing
+        for (std::uint32_t component = 0; component < num_sccs; ++component) {
+            if (cyclic[component] == 0) continue;
+            if (absorbing[component] != 0) {
+                closed.push_back(component);
+            } else if (open_cycle == UINT32_MAX) {
+                open_cycle = component;
+            }
+        }
+        // A transient prefix draining into one closed class is the normal
+        // warm-up shape; two closed classes, or a cycle that can fall into a
+        // closed class, is not.
+        const bool split_classes = closed.size() >= 2;
+        const bool trap = closed.size() == 1 && open_cycle != UINT32_MAX;
+        if (!split_classes && !trap) continue;
+
+        auto behavior_name = [&cfg](std::uint32_t component_rep) -> const adl::BehaviorDef& {
+            return cfg->type->behaviors[cfg->node_behavior[component_rep]];
+        };
+        const adl::BehaviorDef& primary = behavior_name(representative[closed[0]]);
+        Diagnostic diagnostic;
+        if (split_classes) {
+            const adl::BehaviorDef& secondary = behavior_name(representative[closed[1]]);
+            diagnostic = make(Code::NonErgodic,
+                              "instance '" + archi.instances[i].name + "' has " +
+                                  std::to_string(closed.size()) +
+                                  " disjoint closed behaviour classes; the long-run "
+                                  "behaviour depends on the path taken and "
+                                  "steady-state measures are not unique",
+                              file, primary.loc);
+            diagnostic.notes.push_back({"another closed class around behaviour '" +
+                                            secondary.name + "'",
+                                        {file, secondary.loc}});
+        } else {
+            const adl::BehaviorDef& left_behind = behavior_name(representative[open_cycle]);
+            diagnostic = make(Code::NonErgodic,
+                              "instance '" + archi.instances[i].name +
+                                  "' can fall into the closed behaviour class around '" +
+                                  primary.name +
+                                  "' and never return; steady-state measures collapse "
+                                  "onto the trapped class",
+                              file, primary.loc);
+            diagnostic.notes.push_back({"cycle left behind around behaviour '" +
+                                            left_behind.name + "'",
+                                        {file, left_behind.loc}});
+        }
+        out.push_back(std::move(diagnostic));
+    }
+}
+
+}  // namespace dpma::analysis::flow

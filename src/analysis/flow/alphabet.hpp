@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file alphabet.hpp
+/// Abstract composition over interaction alphabets — the whole-model half of
+/// the flow engine.  Instead of building the product LTS, every instance
+/// keeps one bit of abstract state per CFG node ("can this control position
+/// be reached in *some* global behaviour?") and attachments are enabled by
+/// the *overlap of abstract enabling sets*: a synchronisation edge is
+/// traversable once both endpoints can reach a node offering their port.
+///
+/// The joint fixpoint is increasing and linear in the spec: reachable sets
+/// only grow, enabled attachments only grow, and each round re-runs the
+/// per-instance reachability under the current enabling.  The result
+/// over-approximates the projection of the true composed reachable set, so
+/// "never co-enabled" verdicts (`dead-interaction`) and "all alternatives
+/// dead" verdicts (`sync-deadlock`) are sound: the concrete system cannot
+/// fire what the abstraction already rules out.  Guard-infeasible
+/// alternatives (interval analysis) are pruned before the fixpoint, which is
+/// what lets the abstraction see value-dependent deadlocks.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adl/model.hpp"
+#include "analysis/diag.hpp"
+#include "analysis/flow/cfg.hpp"
+#include "analysis/flow/interval.hpp"
+
+namespace dpma::analysis::flow {
+
+/// Joint abstract reachability at the fixpoint.
+struct AbstractComposition {
+    /// Parallel to archi.instances: per-CFG-node reachability.
+    std::vector<std::vector<char>> reachable;
+    /// Parallel to archi.instances: per-CFG-edge traversability (guard
+    /// feasible, and for interaction edges: attached + partner co-enabled).
+    std::vector<std::vector<char>> edge_alive;
+    /// Parallel to archi.attachments: both endpoints can enable the port.
+    std::vector<char> attachment_alive;
+};
+
+/// Runs the abstract-composition fixpoint and emits `dead-interaction` and
+/// `sync-deadlock` diagnostics.  \p cfg_of_instance maps instances to their
+/// element type's CFG (null for unresolved types, which are skipped).
+[[nodiscard]] AbstractComposition analyze_alphabet(
+    const adl::ArchiType& archi, std::span<const Cfg* const> cfg_of_instance,
+    const IntervalResult& intervals, const std::string& file,
+    std::vector<Diagnostic>& out);
+
+/// Absorbing-SCC ergodicity precheck on the abstract reachability graph:
+/// warns (`non-ergodic`) when an instance has two disjoint closed behaviour
+/// classes, or a closed class it can fall into while leaving another cycle
+/// behind — the steady-state solve then has no unique answer to converge to.
+void check_ergodicity(const adl::ArchiType& archi,
+                      std::span<const Cfg* const> cfg_of_instance,
+                      const AbstractComposition& abstract_composition,
+                      const std::string& file, std::vector<Diagnostic>& out);
+
+}  // namespace dpma::analysis::flow

@@ -1,0 +1,94 @@
+#include "analysis/flow/cfg.hpp"
+
+#include <algorithm>
+
+namespace dpma::analysis::flow {
+
+PortKind port_kind(const adl::ElemType& type, const std::string& name) {
+    if (std::find(type.input_interactions.begin(), type.input_interactions.end(), name) !=
+        type.input_interactions.end()) {
+        return PortKind::Input;
+    }
+    if (std::find(type.output_interactions.begin(), type.output_interactions.end(),
+                  name) != type.output_interactions.end()) {
+        return PortKind::Output;
+    }
+    return PortKind::Internal;
+}
+
+Cfg build_cfg(const adl::ElemType& type) {
+    Cfg cfg;
+    cfg.type = &type;
+
+    const std::size_t num_behaviors = type.behaviors.size();
+    cfg.entry.resize(num_behaviors);
+    for (std::uint32_t b = 0; b < num_behaviors; ++b) {
+        cfg.entry[b] = b;
+        cfg.node_behavior.push_back(b);
+    }
+    std::uint32_t next_node = static_cast<std::uint32_t>(num_behaviors);
+    // Lazily allocated sink for calls to undeclared behaviours.
+    std::uint32_t dead_sink = UINT32_MAX;
+
+    auto behavior_index = [&type, num_behaviors](const std::string& name) -> std::uint32_t {
+        for (std::uint32_t b = 0; b < num_behaviors; ++b) {
+            if (type.behaviors[b].name == name) return b;
+        }
+        return UINT32_MAX;
+    };
+
+    for (std::uint32_t b = 0; b < num_behaviors; ++b) {
+        for (const adl::Alternative& alt : type.behaviors[b].alternatives) {
+            if (alt.actions.empty()) continue;  // the parser never produces this
+            std::uint32_t callee = behavior_index(alt.continuation.behavior);
+            std::uint32_t exit = 0;
+            if (callee == UINT32_MAX) {
+                if (dead_sink == UINT32_MAX) {
+                    dead_sink = next_node++;
+                    cfg.node_behavior.push_back(b);
+                }
+                exit = dead_sink;
+                callee = b;  // arbitrary but valid; the edge is a dead end
+            } else {
+                exit = cfg.entry[callee];
+            }
+            std::uint32_t from = cfg.entry[b];
+            for (std::size_t a = 0; a < alt.actions.size(); ++a) {
+                const bool last = a + 1 == alt.actions.size();
+                std::uint32_t to = exit;
+                if (!last) {
+                    to = next_node++;
+                    cfg.node_behavior.push_back(b);
+                }
+                CfgEdge edge;
+                edge.from = from;
+                edge.to = to;
+                edge.action = &alt.actions[a];
+                edge.alt = &alt;
+                edge.behavior = b;
+                edge.callee = callee;
+                edge.first = a == 0;
+                edge.last = last;
+                edge.port = port_kind(type, alt.actions[a].name);
+                cfg.edges.push_back(edge);
+                from = to;
+            }
+        }
+    }
+    cfg.num_nodes = next_node;
+
+    // CSR adjacency.
+    cfg.offsets_.assign(cfg.num_nodes + 1, 0);
+    for (const CfgEdge& edge : cfg.edges) ++cfg.offsets_[edge.from + 1];
+    for (std::size_t i = 1; i < cfg.offsets_.size(); ++i) {
+        cfg.offsets_[i] += cfg.offsets_[i - 1];
+    }
+    cfg.out_edges_.resize(cfg.edges.size());
+    std::vector<std::uint32_t> cursor(cfg.offsets_.begin(), cfg.offsets_.end() - 1);
+    for (std::uint32_t e = 0; e < cfg.edges.size(); ++e) {
+        cfg.out_edges_[cursor[cfg.edges[e].from]++] = e;
+    }
+    return cfg;
+}
+
+}  // namespace dpma::analysis::flow

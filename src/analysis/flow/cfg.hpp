@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cfg.hpp
+/// Per-element-type control-flow graphs over the *syntactic* behaviour
+/// structure — the abstract domain every flow analysis works on.
+///
+/// Nodes are positions between action prefixes: one entry node per behaviour
+/// equation plus one node after each non-final action of an alternative.
+/// Every action occurrence becomes one edge; the edge that fires the last
+/// action of an alternative leads to the entry node of the invoked behaviour
+/// and carries the continuation (whose argument expressions the interval
+/// analysis interprets).  Unlike adl::build_local_lts this never evaluates
+/// parameters, so the graph is linear in the spec even when the concrete
+/// local state space is unbounded.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adl/model.hpp"
+
+namespace dpma::analysis::flow {
+
+enum class PortKind : std::uint8_t { Internal, Input, Output };
+
+/// One action occurrence.
+struct CfgEdge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    const adl::Action* action = nullptr;
+    /// Alternative the action belongs to; its guard gates the whole chain.
+    const adl::Alternative* alt = nullptr;
+    /// Behaviour index the alternative belongs to.
+    std::uint32_t behavior = 0;
+    /// Behaviour index invoked by the continuation (== target node's
+    /// behaviour); only meaningful when `last`.
+    std::uint32_t callee = 0;
+    bool first = false;  ///< first action of its alternative (guard applies)
+    bool last = false;   ///< last action (continuation arguments apply)
+    PortKind port = PortKind::Internal;
+};
+
+/// The control-flow graph of one element type.
+struct Cfg {
+    const adl::ElemType* type = nullptr;
+    std::uint32_t num_nodes = 0;
+    /// Behaviour index -> entry node (the first behaviour is initial).
+    std::vector<std::uint32_t> entry;
+    /// Owning behaviour of every node (for diagnostics).
+    std::vector<std::uint32_t> node_behavior;
+    std::vector<CfgEdge> edges;
+
+    /// Indices into `edges` of the out-edges of \p node.
+    [[nodiscard]] std::span<const std::uint32_t> out(std::uint32_t node) const {
+        return {out_edges_.data() + offsets_[node],
+                out_edges_.data() + offsets_[node + 1]};
+    }
+
+    // CSR adjacency, built by build_cfg.
+    std::vector<std::uint32_t> offsets_;
+    std::vector<std::uint32_t> out_edges_;
+};
+
+/// Builds the CFG of \p type.  Tolerates unresolved behaviour calls (they
+/// become edges into a dead sink node) so it can run on models that lint
+/// rejects; callers normally gate on lint errors first.
+[[nodiscard]] Cfg build_cfg(const adl::ElemType& type);
+
+/// The PortKind of action \p name in \p type.
+[[nodiscard]] PortKind port_kind(const adl::ElemType& type, const std::string& name);
+
+}  // namespace dpma::analysis::flow

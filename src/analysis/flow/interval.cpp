@@ -1,0 +1,454 @@
+#include "analysis/flow/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/flow/fixpoint.hpp"
+#include "lts/rate.hpp"
+
+namespace dpma::analysis::flow {
+namespace {
+
+// Widening thresholds: landmark widening after a few unstable joins, a hard
+// jump to +-infinity when landmark chasing itself fails to converge (two
+// parameters can leapfrog each other's guard bounds indefinitely).
+constexpr std::uint32_t kWidenVisits = 4;
+constexpr std::uint32_t kGiveUpVisits = 64;
+
+[[nodiscard]] bool is_inf(long v) noexcept { return v == kNegInf || v == kPosInf; }
+
+long sat_add(long a, long b) {
+    if (a == kPosInf || b == kPosInf) return kPosInf;
+    if (a == kNegInf || b == kNegInf) return kNegInf;
+    long r = 0;
+    if (__builtin_add_overflow(a, b, &r)) return a > 0 ? kPosInf : kNegInf;
+    return r;
+}
+
+long sat_neg(long a) {
+    if (a == kPosInf) return kNegInf;
+    if (a == kNegInf) return kPosInf;
+    return -a;
+}
+
+long sat_mul(long a, long b) {
+    if (a == 0 || b == 0) return 0;
+    const bool negative = (a < 0) != (b < 0);
+    if (is_inf(a) || is_inf(b)) return negative ? kNegInf : kPosInf;
+    long r = 0;
+    if (__builtin_mul_overflow(a, b, &r)) return negative ? kNegInf : kPosInf;
+    return r;
+}
+
+long sat_div(long a, long b) {
+    if (is_inf(b)) return 0;
+    if (b == 0) return a >= 0 ? kPosInf : kNegInf;  // callers exclude this
+    if (is_inf(a)) return ((a > 0) != (b < 0)) ? kPosInf : kNegInf;
+    return a / b;
+}
+
+Interval add(Interval a, Interval b) { return {sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)}; }
+
+Interval sub(Interval a, Interval b) {
+    return {sat_add(a.lo, sat_neg(b.hi)), sat_add(a.hi, sat_neg(b.lo))};
+}
+
+Interval mul(Interval a, Interval b) {
+    const long c[4] = {sat_mul(a.lo, b.lo), sat_mul(a.lo, b.hi), sat_mul(a.hi, b.lo),
+                       sat_mul(a.hi, b.hi)};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval div(Interval a, Interval b) {
+    if (b.lo <= 0 && b.hi >= 0) return Interval::top();  // may divide by zero
+    const long c[4] = {sat_div(a.lo, b.lo), sat_div(a.lo, b.hi), sat_div(a.hi, b.lo),
+                       sat_div(a.hi, b.hi)};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval mod(Interval a, Interval b) {
+    if (b.lo <= 0) return Interval::top();  // non-positive divisor possible
+    const long m = b.hi == kPosInf ? kPosInf : b.hi - 1;
+    if (a.lo >= 0) return {0, std::min(a.hi, m)};
+    return {sat_neg(m), m};
+}
+
+using CmpOp = adl::BoolExpr::CmpOp;
+
+/// L op R with the operands swapped: R mirror(op) L.
+CmpOp mirror(CmpOp op) {
+    switch (op) {
+        case CmpOp::Lt: return CmpOp::Gt;
+        case CmpOp::Le: return CmpOp::Ge;
+        case CmpOp::Gt: return CmpOp::Lt;
+        case CmpOp::Ge: return CmpOp::Le;
+        case CmpOp::Eq:
+        case CmpOp::Ne: break;
+    }
+    return op;
+}
+
+CmpOp negate(CmpOp op) {
+    switch (op) {
+        case CmpOp::Lt: return CmpOp::Ge;
+        case CmpOp::Le: return CmpOp::Gt;
+        case CmpOp::Gt: return CmpOp::Le;
+        case CmpOp::Ge: return CmpOp::Lt;
+        case CmpOp::Eq: return CmpOp::Ne;
+        case CmpOp::Ne: return CmpOp::Eq;
+    }
+    return op;
+}
+
+/// Narrows \p v to the values satisfying `v op bound`.
+Interval constrain(Interval v, CmpOp op, Interval bound) {
+    switch (op) {
+        case CmpOp::Lt:
+            if (bound.hi != kPosInf) v.hi = std::min(v.hi, bound.hi - 1);
+            return v;
+        case CmpOp::Le:
+            v.hi = std::min(v.hi, bound.hi);
+            return v;
+        case CmpOp::Gt:
+            if (bound.lo != kNegInf) v.lo = std::max(v.lo, bound.lo + 1);
+            return v;
+        case CmpOp::Ge:
+            v.lo = std::max(v.lo, bound.lo);
+            return v;
+        case CmpOp::Eq: return interval_meet(v, bound);
+        case CmpOp::Ne:
+            if (bound.lo == bound.hi && !bound.empty()) {
+                if (v.lo == v.hi && v.lo == bound.lo) return {kPosInf, kNegInf};
+                if (v.lo == bound.lo) ++v.lo;
+                if (v.hi == bound.lo) --v.hi;
+            }
+            return v;
+    }
+    return v;
+}
+
+/// Can `L op R` hold for some choice of values?
+bool satisfiable(Interval l, CmpOp op, Interval r) {
+    if (l.empty() || r.empty()) return false;
+    switch (op) {
+        case CmpOp::Lt: return l.lo < r.hi;
+        case CmpOp::Le: return l.lo <= r.hi;
+        case CmpOp::Gt: return l.hi > r.lo;
+        case CmpOp::Ge: return l.hi >= r.lo;
+        case CmpOp::Eq: return !interval_meet(l, r).empty();
+        case CmpOp::Ne: return !(l.lo == l.hi && r.lo == r.hi && l.lo == r.lo);
+    }
+    return true;
+}
+
+bool refine(const adl::BoolExpr* guard, std::vector<Interval>& env, bool negated);
+
+bool refine_cmp(const adl::BoolExpr& cmp, std::vector<Interval>& env, bool negated) {
+    const CmpOp op = negated ? negate(cmp.cmp_op()) : cmp.cmp_op();
+    const adl::Expr& lhs = *cmp.cmp_lhs();
+    const adl::Expr& rhs = *cmp.cmp_rhs();
+    const Interval l = eval_interval(lhs, env);
+    const Interval r = eval_interval(rhs, env);
+    if (!satisfiable(l, op, r)) return false;
+    if (lhs.kind() == adl::Expr::Kind::Param && lhs.param_index() < env.size()) {
+        env[lhs.param_index()] = constrain(env[lhs.param_index()], op, r);
+        if (env[lhs.param_index()].empty()) return false;
+    }
+    if (rhs.kind() == adl::Expr::Kind::Param && rhs.param_index() < env.size()) {
+        env[rhs.param_index()] = constrain(env[rhs.param_index()], mirror(op), l);
+        if (env[rhs.param_index()].empty()) return false;
+    }
+    return true;
+}
+
+/// Disjunction: each arm refines a copy; the result is the pointwise join of
+/// the satisfiable arms.
+bool refine_or(const adl::BoolExpr* a, const adl::BoolExpr* b, std::vector<Interval>& env,
+               bool negated) {
+    std::vector<Interval> left = env;
+    std::vector<Interval> right = env;
+    const bool ok_left = refine(a, left, negated);
+    const bool ok_right = refine(b, right, negated);
+    if (!ok_left && !ok_right) return false;
+    if (!ok_left) {
+        env = std::move(right);
+    } else if (!ok_right) {
+        env = std::move(left);
+    } else {
+        for (std::size_t i = 0; i < env.size(); ++i) {
+            env[i] = interval_join(left[i], right[i]);
+        }
+    }
+    return true;
+}
+
+bool refine(const adl::BoolExpr* guard, std::vector<Interval>& env, bool negated) {
+    if (guard == nullptr) return !negated;
+    using Kind = adl::BoolExpr::Kind;
+    switch (guard->kind()) {
+        case Kind::True: return !negated;
+        case Kind::Cmp: return refine_cmp(*guard, env, negated);
+        case Kind::And:
+            // !(a && b) == !a || !b
+            if (negated) return refine_or(guard->lhs().get(), guard->rhs().get(), env, true);
+            return refine(guard->lhs().get(), env, false) &&
+                   refine(guard->rhs().get(), env, false);
+        case Kind::Or:
+            if (negated) {
+                return refine(guard->lhs().get(), env, true) &&
+                       refine(guard->rhs().get(), env, true);
+            }
+            return refine_or(guard->lhs().get(), guard->rhs().get(), env, false);
+        case Kind::Not: return refine(guard->lhs().get(), env, !negated);
+    }
+    return true;
+}
+
+/// Guard bounds mentioning \p param, evaluated in \p env — the widening
+/// landmarks.  `cond(n < cap)` contributes cap-1, cap and cap+1, so a
+/// growing `n` stabilises at the guard bound instead of infinity.
+void collect_landmarks(const adl::BoolExpr* guard, std::size_t param,
+                       std::span<const Interval> env, std::vector<long>& out) {
+    if (guard == nullptr) return;
+    using Kind = adl::BoolExpr::Kind;
+    switch (guard->kind()) {
+        case Kind::True: return;
+        case Kind::Cmp: {
+            const adl::Expr& lhs = *guard->cmp_lhs();
+            const adl::Expr& rhs = *guard->cmp_rhs();
+            const bool lhs_is_param =
+                lhs.kind() == adl::Expr::Kind::Param && lhs.param_index() == param;
+            const bool rhs_is_param =
+                rhs.kind() == adl::Expr::Kind::Param && rhs.param_index() == param;
+            if (!lhs_is_param && !rhs_is_param) return;
+            const Interval bound = eval_interval(lhs_is_param ? rhs : lhs, env);
+            for (const long v : {bound.lo, bound.hi}) {
+                if (is_inf(v)) continue;
+                out.push_back(v - 1);
+                out.push_back(v);
+                out.push_back(v + 1);
+            }
+            return;
+        }
+        case Kind::And:
+        case Kind::Or:
+            collect_landmarks(guard->lhs().get(), param, env, out);
+            collect_landmarks(guard->rhs().get(), param, env, out);
+            return;
+        case Kind::Not: collect_landmarks(guard->lhs().get(), param, env, out); return;
+    }
+}
+
+}  // namespace
+
+Interval interval_join(Interval a, Interval b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval interval_meet(Interval a, Interval b) {
+    return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval eval_interval(const adl::Expr& expr, std::span<const Interval> env) {
+    using Kind = adl::Expr::Kind;
+    switch (expr.kind()) {
+        case Kind::Const: return Interval::constant(expr.value());
+        case Kind::Param:
+            return expr.param_index() < env.size() ? env[expr.param_index()]
+                                                   : Interval::top();
+        default: break;
+    }
+    const Interval l = eval_interval(*expr.lhs(), env);
+    const Interval r = eval_interval(*expr.rhs(), env);
+    if (l.empty() || r.empty()) return {kPosInf, kNegInf};
+    switch (expr.kind()) {
+        case Kind::Add: return add(l, r);
+        case Kind::Sub: return sub(l, r);
+        case Kind::Mul: return mul(l, r);
+        case Kind::Div: return div(l, r);
+        case Kind::Mod: return mod(l, r);
+        default: return Interval::top();
+    }
+}
+
+bool refine_by_guard(const adl::BoolExpr* guard, std::vector<Interval>& env) {
+    return refine(guard, env, false);
+}
+
+bool IntervalResult::feasible(std::size_t instance, std::uint32_t behavior,
+                              const adl::Alternative& alt) const {
+    if (instance >= per_instance.size()) return true;
+    const InstanceIntervals& intervals = per_instance[instance];
+    if (behavior >= intervals.reachable.size()) return true;
+    if (intervals.reachable[behavior] == 0) return false;
+    std::vector<Interval> env = intervals.envs[behavior];
+    return refine_by_guard(alt.guard.get(), env);
+}
+
+IntervalResult analyze_intervals(const adl::ArchiType& archi,
+                                 std::span<const Cfg* const> cfg_of_instance,
+                                 const std::string& file, std::vector<Diagnostic>& out) {
+    IntervalResult result;
+    result.per_instance.resize(archi.instances.size());
+
+    for (std::size_t idx = 0; idx < archi.instances.size(); ++idx) {
+        const adl::Instance& instance = archi.instances[idx];
+        const Cfg* cfg = cfg_of_instance[idx];
+        if (cfg == nullptr || cfg->type->behaviors.empty()) continue;
+        const adl::ElemType& type = *cfg->type;
+        const std::size_t num_behaviors = type.behaviors.size();
+
+        InstanceIntervals& intervals = result.per_instance[idx];
+        intervals.envs.resize(num_behaviors);
+        intervals.reachable.assign(num_behaviors, 0);
+
+        std::vector<Interval> seed(type.behaviors[0].params.size(), Interval::top());
+        for (std::size_t p = 0; p < seed.size() && p < instance.args.size(); ++p) {
+            seed[p] = Interval::constant(instance.args[p]);
+        }
+        intervals.envs[0] = std::move(seed);
+        intervals.reachable[0] = 1;
+
+        auto behavior_index = [&type, num_behaviors](const std::string& name) {
+            for (std::uint32_t b = 0; b < num_behaviors; ++b) {
+                if (type.behaviors[b].name == name) return b;
+            }
+            return static_cast<std::uint32_t>(UINT32_MAX);
+        };
+
+        std::vector<std::uint32_t> visits(num_behaviors, 0);
+        const std::uint32_t seeds[] = {0};
+        run_fixpoint(num_behaviors, seeds, [&](std::uint32_t b, Worklist& worklist) {
+            if (intervals.reachable[b] == 0) return;
+            for (const adl::Alternative& alt : type.behaviors[b].alternatives) {
+                std::vector<Interval> env = intervals.envs[b];
+                if (!refine_by_guard(alt.guard.get(), env)) continue;
+                const std::uint32_t callee = behavior_index(alt.continuation.behavior);
+                if (callee == UINT32_MAX) continue;
+                const adl::BehaviorDef& target = type.behaviors[callee];
+                std::vector<Interval> arrival(target.params.size(), Interval::top());
+                for (std::size_t p = 0;
+                     p < arrival.size() && p < alt.continuation.args.size(); ++p) {
+                    arrival[p] = eval_interval(*alt.continuation.args[p], env);
+                }
+                bool changed = false;
+                if (intervals.reachable[callee] == 0) {
+                    intervals.envs[callee] = std::move(arrival);
+                    intervals.reachable[callee] = 1;
+                    changed = true;
+                } else {
+                    std::vector<Interval>& current = intervals.envs[callee];
+                    for (std::size_t p = 0; p < current.size() && p < arrival.size();
+                         ++p) {
+                        const Interval previous = current[p];
+                        const Interval joined = interval_join(previous, arrival[p]);
+                        if (joined == previous) continue;
+                        current[p] = joined;
+                        changed = true;
+                        if (++visits[callee] < kWidenVisits) continue;
+                        // The bound keeps moving: widen the growing side to
+                        // the nearest guard landmark, or to infinity past
+                        // the give-up threshold (landmark chasing can
+                        // itself diverge when two parameters leapfrog each
+                        // other's guard bounds).
+                        std::vector<long> landmarks;
+                        if (visits[callee] < kGiveUpVisits) {
+                            for (const adl::Alternative& guard_alt :
+                                 target.alternatives) {
+                                collect_landmarks(guard_alt.guard.get(), p, current,
+                                                  landmarks);
+                            }
+                        }
+                        Interval& value = current[p];
+                        if (joined.hi > previous.hi && joined.hi != kPosInf) {
+                            long widened = kPosInf;
+                            for (const long mark : landmarks) {
+                                if (mark >= value.hi && mark < widened) widened = mark;
+                            }
+                            value.hi = widened;
+                        }
+                        if (joined.lo < previous.lo && joined.lo != kNegInf) {
+                            long widened = kNegInf;
+                            for (const long mark : landmarks) {
+                                if (mark <= value.lo && mark > widened) widened = mark;
+                            }
+                            value.lo = widened;
+                        }
+                    }
+                }
+                if (!changed) continue;
+                worklist.push(callee);
+            }
+        });
+
+        // Report unbounded parameters once per (behaviour, parameter).
+        for (std::size_t b = 0; b < num_behaviors; ++b) {
+            if (intervals.reachable[b] == 0) continue;
+            const adl::BehaviorDef& def = type.behaviors[b];
+            for (std::size_t p = 0; p < intervals.envs[b].size(); ++p) {
+                const Interval& value = intervals.envs[b][p];
+                if (value.bounded()) continue;
+                Diagnostic diagnostic;
+                diagnostic.severity = code_severity(Code::UnboundedParameter);
+                diagnostic.code = Code::UnboundedParameter;
+                diagnostic.message = "parameter '" +
+                                     (p < def.params.size() ? def.params[p]
+                                                            : std::to_string(p)) +
+                                     "' of behaviour '" + def.name + "' in instance '" +
+                                     instance.name +
+                                     "' may grow without bound; composition can "
+                                     "exceed any state budget";
+                diagnostic.span = {file, def.loc};
+                diagnostic.notes.push_back(
+                    {"instance '" + instance.name + "' declared here",
+                     {file, instance.loc}});
+                out.push_back(std::move(diagnostic));
+            }
+        }
+    }
+    return result;
+}
+
+void check_rates(const adl::ArchiType& archi, const std::string& file,
+                 std::vector<Diagnostic>& out) {
+    auto emit = [&out, &file](const adl::Action& action, const std::string& detail) {
+        Diagnostic diagnostic;
+        diagnostic.severity = code_severity(Code::NonPositiveRate);
+        diagnostic.code = Code::NonPositiveRate;
+        diagnostic.message = "action '" + action.name + "' " + detail;
+        diagnostic.span = {file, action.loc};
+        out.push_back(std::move(diagnostic));
+    };
+    for (const adl::ElemType& type : archi.elem_types) {
+        for (const adl::BehaviorDef& behavior : type.behaviors) {
+            for (const adl::Alternative& alt : behavior.alternatives) {
+                for (const adl::Action& action : alt.actions) {
+                    if (const auto* exp = std::get_if<lts::RateExp>(&action.rate)) {
+                        if (!(exp->rate > 0.0) || !std::isfinite(exp->rate)) {
+                            emit(action, "has exponential rate " +
+                                             std::to_string(exp->rate) +
+                                             "; rates must be positive and finite");
+                        }
+                    } else if (const auto* imm =
+                                   std::get_if<lts::RateImmediate>(&action.rate)) {
+                        if (!(imm->weight > 0.0) || !std::isfinite(imm->weight)) {
+                            emit(action, "has immediate weight " +
+                                             std::to_string(imm->weight) +
+                                             "; weights must be positive and finite");
+                        }
+                        if (imm->priority < 1) {
+                            emit(action,
+                                 "has immediate priority " +
+                                     std::to_string(imm->priority) +
+                                     "; priorities start at 1");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace dpma::analysis::flow

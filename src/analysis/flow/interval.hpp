@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file interval.hpp
+/// Interval / constant propagation of behaviour parameters, per instance.
+///
+/// The abstract state attached to every behaviour equation of an instance is
+/// one integer interval per parameter (bottom = behaviour entry unreachable
+/// for that instance).  Transfer runs along continuation edges: the entry
+/// environment is refined by the alternative's `cond(...)` guard, the
+/// continuation's argument expressions are evaluated in interval arithmetic,
+/// and the result joins into the callee's environment.
+///
+/// Termination uses widening with thresholds: after a few unstable joins a
+/// growing bound jumps to the nearest "landmark" — a bound implied by a
+/// guard comparing the parameter (so `cond(n < cap)` stabilises `n` at
+/// `cap` instead of infinity) — and to +-infinity when no landmark remains.
+/// A parameter whose fixpoint interval is unbounded gets the
+/// `unbounded-parameter` warning: composition unfolds parameters into local
+/// states, so an unbounded parameter means a state bound blowup.
+///
+/// The same module hosts the rate-literal scan (`non-positive-rate`):
+/// exponential rates and immediate priorities/weights are parsed
+/// unvalidated, and a non-positive value silently corrupts the Markovian
+/// phase.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adl/model.hpp"
+#include "analysis/diag.hpp"
+#include "analysis/flow/cfg.hpp"
+
+namespace dpma::analysis::flow {
+
+inline constexpr long kNegInf = std::numeric_limits<long>::min();
+inline constexpr long kPosInf = std::numeric_limits<long>::max();
+
+/// A (possibly empty, possibly unbounded) integer interval.
+struct Interval {
+    long lo = kPosInf;
+    long hi = kNegInf;  // lo > hi encodes the empty interval
+
+    [[nodiscard]] static Interval top() { return {kNegInf, kPosInf}; }
+    [[nodiscard]] static Interval constant(long v) { return {v, v}; }
+    [[nodiscard]] bool empty() const noexcept { return lo > hi; }
+    [[nodiscard]] bool bounded() const noexcept {
+        return empty() || (lo != kNegInf && hi != kPosInf);
+    }
+    friend bool operator==(const Interval&, const Interval&) noexcept = default;
+};
+
+[[nodiscard]] Interval interval_join(Interval a, Interval b);
+[[nodiscard]] Interval interval_meet(Interval a, Interval b);
+
+/// Interval arithmetic over an expression tree; empty env entries propagate
+/// to an empty result.
+[[nodiscard]] Interval eval_interval(const adl::Expr& expr, std::span<const Interval> env);
+
+/// Refines \p env in place under the assumption that \p guard holds.
+/// Returns false when the guard is unsatisfiable under \p env (the
+/// alternative is dead for this instance).  A null guard always holds.
+[[nodiscard]] bool refine_by_guard(const adl::BoolExpr* guard, std::vector<Interval>& env);
+
+/// Fixpoint result for one instance.
+struct InstanceIntervals {
+    /// envs[behaviour][param]; meaningful only where reachable[behaviour].
+    std::vector<std::vector<Interval>> envs;
+    std::vector<char> reachable;
+};
+
+struct IntervalResult {
+    /// Parallel to archi.instances.
+    std::vector<InstanceIntervals> per_instance;
+
+    /// True when the alternative's guard is satisfiable at its behaviour's
+    /// entry environment (unreachable entry => infeasible).  This is what
+    /// the abstract composition uses to prune guard-dead alternatives.
+    [[nodiscard]] bool feasible(std::size_t instance, std::uint32_t behavior,
+                                const adl::Alternative& alt) const;
+};
+
+/// Runs the per-instance interval fixpoints.  \p cfg_of_instance maps every
+/// instance to the CFG of its element type.  Emits `unbounded-parameter`
+/// diagnostics into \p out.
+[[nodiscard]] IntervalResult analyze_intervals(const adl::ArchiType& archi,
+                                               std::span<const Cfg* const> cfg_of_instance,
+                                               const std::string& file,
+                                               std::vector<Diagnostic>& out);
+
+/// Scans every rate literal of every element type for non-positive
+/// exponential rates and non-positive immediate weights / priorities.
+void check_rates(const adl::ArchiType& archi, const std::string& file,
+                 std::vector<Diagnostic>& out);
+
+}  // namespace dpma::analysis::flow

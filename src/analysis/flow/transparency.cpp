@@ -1,0 +1,486 @@
+#include "analysis/flow/transparency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "adl/compose.hpp"
+#include "analysis/flow/cfg.hpp"
+#include "analysis/flow/fixpoint.hpp"
+#include "core/error.hpp"
+#include "lts/ops.hpp"
+#include "noninterference/noninterference.hpp"
+#include "obs/metrics.hpp"
+
+namespace dpma::analysis::flow {
+namespace {
+
+struct HighLabel {
+    std::string text;
+    std::string from_instance;
+    std::string from_action;
+    std::string to_instance;  // empty unless a sync label
+    std::string to_action;
+    bool sync = false;
+};
+
+HighLabel parse_high_label(const std::string& label) {
+    HighLabel out;
+    out.text = label;
+    const auto split_dot = [&label](const std::string& part, std::string& instance,
+                                    std::string& action) {
+        const std::size_t dot = part.find('.');
+        DPMA_REQUIRE(dot != std::string::npos && dot > 0 && dot + 1 < part.size(),
+                     "malformed high label '" + label + "' (want I.a or I.a#J.b)");
+        instance = part.substr(0, dot);
+        action = part.substr(dot + 1);
+    };
+    const std::size_t hash = label.find('#');
+    if (hash == std::string::npos) {
+        split_dot(label, out.from_instance, out.from_action);
+    } else {
+        out.sync = true;
+        split_dot(label.substr(0, hash), out.from_instance, out.from_action);
+        split_dot(label.substr(hash + 1), out.to_instance, out.to_action);
+    }
+    return out;
+}
+
+std::string attachment_label(const adl::Attachment& attachment) {
+    return attachment.from_instance + "." + attachment.from_port + "#" +
+           attachment.to_instance + "." + attachment.to_port;
+}
+
+/// Per-seed tainted CFG region: reachable after a high edge but not
+/// reachable without one.  Interaction ports fired from the region are the
+/// channels through which the DPM's activity leaks out of the seed.
+std::unordered_set<std::string> suspect_ports(const Cfg& cfg,
+                                              const std::unordered_set<std::string>& high) {
+    const auto reach = [&cfg](std::span<const std::uint32_t> seeds,
+                              const std::unordered_set<std::string>* skip) {
+        std::vector<char> seen(cfg.num_nodes, 0);
+        for (const std::uint32_t s : seeds) seen[s] = 1;
+        run_fixpoint(cfg.num_nodes, seeds, [&](std::uint32_t node, Worklist& worklist) {
+            for (const std::uint32_t e : cfg.out(node)) {
+                if (skip != nullptr && skip->contains(cfg.edges[e].action->name)) continue;
+                const std::uint32_t target = cfg.edges[e].to;
+                if (seen[target] == 0) {
+                    seen[target] = 1;
+                    worklist.push(target);
+                }
+            }
+        });
+        return seen;
+    };
+    if (cfg.entry.empty()) return {};
+    const std::uint32_t entry[] = {cfg.entry[0]};
+    const std::vector<char> without_high = reach(entry, &high);
+    std::vector<std::uint32_t> post_high;
+    for (const CfgEdge& edge : cfg.edges) {
+        if (high.contains(edge.action->name)) post_high.push_back(edge.to);
+    }
+    const std::vector<char> after_high = reach(post_high, nullptr);
+
+    std::unordered_set<std::string> ports;
+    for (const CfgEdge& edge : cfg.edges) {
+        if (edge.port == PortKind::Internal) continue;
+        if (after_high[edge.from] != 0 && without_high[edge.from] == 0) {
+            ports.insert(edge.action->name);
+        }
+    }
+    return ports;
+}
+
+/// How one member-local action participates in the slice product.
+enum class MoveKind : std::uint8_t { Free, SyncOut, SyncIn, Blocked };
+
+struct MoveClass {
+    MoveKind kind = MoveKind::Blocked;
+    std::string label;            // product label for Free / SyncOut
+    std::size_t partner = 0;      // slice-member index, SyncOut only
+    Symbol partner_port = kNoSymbol;  // bare symbol of the partner's port
+};
+
+struct SliceCheck {
+    bool passed = false;
+    bool truncated = false;
+    bool high_occurs = false;
+    std::size_t states = 0;
+};
+
+/// Builds the product of the slice members — boundary attachments stay
+/// visible as free interface actions, slice-internal attachments
+/// synchronise exactly as adl::compose would — and runs the
+/// observer-relative noninterference check with the interface as observer.
+std::optional<SliceCheck> check_slice(const adl::ArchiType& archi,
+                                      const std::vector<std::size_t>& members,
+                                      const TransparencyOptions& options) {
+    lts::ActionTable scratch;
+    std::vector<adl::LocalLts> locals;
+    std::vector<const adl::ElemType*> types;
+    std::vector<std::size_t> member_of_instance(archi.instances.size(), SIZE_MAX);
+    try {
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            const adl::Instance& instance = archi.instances[members[m]];
+            const adl::ElemType* type = archi.find_type(instance.type);
+            DPMA_REQUIRE(type != nullptr, "unknown element type " + instance.type);
+            types.push_back(type);
+            locals.push_back(adl::build_local_lts(*type, instance.args, scratch,
+                                                  options.max_local_states));
+            member_of_instance[members[m]] = m;
+        }
+    } catch (const ModelError&) {
+        return std::nullopt;  // a member's local LTS blew the state budget
+    }
+
+    // Classify every (member, bare action) once.
+    std::vector<std::unordered_map<Symbol, MoveClass>> classes(members.size());
+    lts::Lts product;
+    std::unordered_set<Symbol> interface_labels;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+        const adl::Instance& instance = archi.instances[members[m]];
+        for (const auto& row : locals[m].out) {
+            for (const adl::LocalLts::LocalTransition& t : row) {
+                if (classes[m].contains(t.action)) continue;
+                MoveClass move;
+                const std::string& name = scratch.name(t.action);
+                const PortKind kind = port_kind(*types[m], name);
+                if (kind == PortKind::Internal) {
+                    move.kind = MoveKind::Free;
+                    move.label = instance.name + "." + name;
+                } else {
+                    const adl::Attachment* attachment = nullptr;
+                    for (const adl::Attachment& candidate : archi.attachments) {
+                        const bool from_side = kind == PortKind::Output &&
+                                               candidate.from_instance == instance.name &&
+                                               candidate.from_port == name;
+                        const bool to_side = kind == PortKind::Input &&
+                                             candidate.to_instance == instance.name &&
+                                             candidate.to_port == name;
+                        if (from_side || to_side) {
+                            attachment = &candidate;
+                            break;
+                        }
+                    }
+                    if (attachment == nullptr) {
+                        move.kind = MoveKind::Blocked;  // unattached => restricted
+                    } else {
+                        const std::string& partner_name = kind == PortKind::Output
+                                                              ? attachment->to_instance
+                                                              : attachment->from_instance;
+                        const adl::Instance* partner = archi.find_instance(partner_name);
+                        std::size_t partner_member = SIZE_MAX;
+                        if (partner != nullptr) {
+                            for (std::size_t i = 0; i < archi.instances.size(); ++i) {
+                                if (&archi.instances[i] == partner) {
+                                    partner_member = member_of_instance[i];
+                                    break;
+                                }
+                            }
+                        }
+                        if (partner_member == SIZE_MAX) {
+                            // Boundary: the context's side of the attachment —
+                            // visible interface action with the composed label.
+                            move.kind = MoveKind::Free;
+                            move.label = attachment_label(*attachment);
+                            interface_labels.insert(product.action(move.label));
+                        } else if (kind == PortKind::Output) {
+                            move.kind = MoveKind::SyncOut;
+                            move.label = attachment_label(*attachment);
+                            move.partner = partner_member;
+                            move.partner_port = scratch.find(
+                                kind == PortKind::Output ? attachment->to_port
+                                                         : attachment->from_port);
+                        } else {
+                            move.kind = MoveKind::SyncIn;  // moved by the initiator
+                        }
+                    }
+                }
+                classes[m].emplace(t.action, std::move(move));
+            }
+        }
+    }
+
+    // Breadth-first product exploration.
+    std::map<std::vector<std::uint32_t>, lts::StateId> ids;
+    std::vector<std::vector<std::uint32_t>> frontier;
+    SliceCheck result;
+    std::vector<std::uint32_t> initial(members.size());
+    for (std::size_t m = 0; m < members.size(); ++m) initial[m] = locals[m].initial;
+    ids.emplace(initial, product.add_state());
+    product.set_initial(0);
+    frontier.push_back(initial);
+
+    const auto state_of = [&ids, &product, &frontier,
+                           &result, &options](const std::vector<std::uint32_t>& tuple)
+        -> std::optional<lts::StateId> {
+        const auto found = ids.find(tuple);
+        if (found != ids.end()) return found->second;
+        if (ids.size() >= options.max_slice_states) {
+            result.truncated = true;
+            return std::nullopt;
+        }
+        const lts::StateId id = product.add_state();
+        ids.emplace(tuple, id);
+        frontier.push_back(tuple);
+        return id;
+    };
+
+    for (std::size_t cursor = 0; cursor < frontier.size() && !result.truncated;
+         ++cursor) {
+        const std::vector<std::uint32_t> tuple = frontier[cursor];
+        const lts::StateId source = ids.at(tuple);
+        for (std::size_t m = 0; m < members.size() && !result.truncated; ++m) {
+            for (const adl::LocalLts::LocalTransition& t : locals[m].out[tuple[m]]) {
+                const MoveClass& move = classes[m].at(t.action);
+                if (move.kind == MoveKind::Blocked || move.kind == MoveKind::SyncIn) {
+                    continue;
+                }
+                if (move.kind == MoveKind::Free) {
+                    std::vector<std::uint32_t> next = tuple;
+                    next[m] = t.target;
+                    const auto target = state_of(next);
+                    if (!target) break;
+                    product.add_transition(source, product.action(move.label), *target,
+                                           t.rate);
+                    continue;
+                }
+                // SyncOut: joint move with every matching follower transition.
+                for (const adl::LocalLts::LocalTransition& follower :
+                     locals[move.partner].out[tuple[move.partner]]) {
+                    if (follower.action != move.partner_port) continue;
+                    std::vector<std::uint32_t> next = tuple;
+                    next[m] = t.target;
+                    next[move.partner] = follower.target;
+                    const auto target = state_of(next);
+                    if (!target) break;
+                    product.add_transition(source, product.action(move.label), *target,
+                                           t.rate);
+                }
+            }
+        }
+    }
+    result.states = product.num_states();
+    if (result.truncated) return result;
+
+    lts::ActionSet high;
+    for (const std::string& label : options.high_labels) {
+        const Symbol s = product.actions()->find(label);
+        if (s != kNoSymbol) high.insert(s);
+    }
+    // A label is only interned when a transition uses it, so a found symbol
+    // means the high action can actually fire inside the slice.
+    result.high_occurs = !high.empty();
+    if (!result.high_occurs) return result;
+
+    lts::ActionSet interface;
+    for (const Symbol s : interface_labels) interface.insert(s);
+    result.passed = noninterference::check(product, high, interface).noninterfering;
+    return result;
+}
+
+std::vector<std::string> names_of(const adl::ArchiType& archi,
+                                  const std::vector<std::size_t>& members) {
+    std::vector<std::string> names;
+    names.reserve(members.size());
+    for (const std::size_t m : members) names.push_back(archi.instances[m].name);
+    return names;
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+    std::string out;
+    for (const std::string& name : names) {
+        if (!out.empty()) out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* verdict_name(TransparencyVerdict verdict) {
+    switch (verdict) {
+        case TransparencyVerdict::Transparent: return "transparent";
+        case TransparencyVerdict::Leaks: return "leaks";
+        case TransparencyVerdict::Inconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
+TransparencyResult analyze_transparency(const adl::ArchiType& archi,
+                                        const TransparencyOptions& options) {
+    static obs::Counter& proved = obs::counter("analysis.transparency.proved");
+    static obs::Counter& inconclusive = obs::counter("analysis.transparency.inconclusive");
+    static obs::Counter& leaks = obs::counter("analysis.transparency.leaks");
+
+    DPMA_REQUIRE(!options.high_labels.empty(),
+                 "transparency analysis needs at least one high label");
+    DPMA_REQUIRE(archi.find_instance(options.low_instance) != nullptr,
+                 "unknown low instance: " + options.low_instance);
+
+    const auto instance_index = [&archi](const std::string& name) {
+        for (std::size_t i = 0; i < archi.instances.size(); ++i) {
+            if (archi.instances[i].name == name) return i;
+        }
+        throw ModelError("high label names unknown instance '" + name + "'");
+    };
+
+    // Seeds: every instance a high label touches, plus its per-instance set
+    // of high action names (for the taint regions).
+    std::vector<std::size_t> seeds;
+    std::unordered_map<std::size_t, std::unordered_set<std::string>> high_actions;
+    for (const std::string& text : options.high_labels) {
+        const HighLabel label = parse_high_label(text);
+        const std::size_t from = instance_index(label.from_instance);
+        high_actions[from].insert(label.from_action);
+        seeds.push_back(from);
+        if (label.sync) {
+            const std::size_t to = instance_index(label.to_instance);
+            high_actions[to].insert(label.to_action);
+            seeds.push_back(to);
+        }
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+    TransparencyResult result;
+    const std::size_t low = instance_index(options.low_instance);
+    if (std::find(seeds.begin(), seeds.end(), low) != seeds.end()) {
+        result.verdict = TransparencyVerdict::Inconclusive;
+        result.reason = "a high label synchronises directly with the low observer '" +
+                        options.low_instance + "'";
+        inconclusive.add();
+        return result;
+    }
+
+    // CFGs of the element types the taint pass needs.
+    std::unordered_map<const adl::ElemType*, Cfg> cfgs;
+    const auto cfg_of = [&archi, &cfgs](std::size_t instance) -> const Cfg* {
+        const adl::ElemType* type = archi.find_type(archi.instances[instance].type);
+        if (type == nullptr) return nullptr;
+        const auto found = cfgs.find(type);
+        if (found != cfgs.end()) return &found->second;
+        return &cfgs.emplace(type, build_cfg(*type)).first->second;
+    };
+
+    // Taint flood over the attachment graph.  Seeds propagate only through
+    // ports fired from their tainted region; every other tainted instance
+    // propagates through all of its attachments (synchronisation carries
+    // influence in both directions).
+    const std::size_t num_instances = archi.instances.size();
+    std::vector<char> tainted(num_instances, 0);
+    std::vector<std::size_t> parent(num_instances, SIZE_MAX);
+    std::vector<std::string> parent_label(num_instances);
+    std::vector<std::uint32_t> flood_seeds;
+    for (const std::size_t seed : seeds) {
+        tainted[seed] = 1;
+        flood_seeds.push_back(static_cast<std::uint32_t>(seed));
+    }
+    std::vector<std::unordered_set<std::string>> seed_ports(num_instances);
+    for (const std::size_t seed : seeds) {
+        const Cfg* cfg = cfg_of(seed);
+        if (cfg != nullptr) seed_ports[seed] = suspect_ports(*cfg, high_actions[seed]);
+    }
+    run_fixpoint(num_instances, flood_seeds, [&](std::uint32_t node, Worklist& worklist) {
+        const std::string& name = archi.instances[node].name;
+        const bool seed = std::find(seeds.begin(), seeds.end(), node) != seeds.end();
+        for (const adl::Attachment& attachment : archi.attachments) {
+            std::size_t other = SIZE_MAX;
+            const std::string* port = nullptr;
+            if (attachment.from_instance == name) {
+                port = &attachment.from_port;
+                const auto* to = archi.find_instance(attachment.to_instance);
+                if (to != nullptr) other = static_cast<std::size_t>(to - archi.instances.data());
+            } else if (attachment.to_instance == name) {
+                port = &attachment.to_port;
+                const auto* from = archi.find_instance(attachment.from_instance);
+                if (from != nullptr) {
+                    other = static_cast<std::size_t>(from - archi.instances.data());
+                }
+            } else {
+                continue;
+            }
+            if (other == SIZE_MAX || tainted[other] != 0) continue;
+            if (seed && !seed_ports[node].contains(*port)) continue;
+            tainted[other] = 1;
+            parent[other] = node;
+            parent_label[other] = attachment_label(attachment);
+            worklist.push(static_cast<std::uint32_t>(other));
+        }
+    });
+
+    // Stage 1: the seed slice.
+    std::string failure;
+    const auto attempt = [&](const std::vector<std::size_t>& members) -> bool {
+        result.slice_instances = names_of(archi, members);
+        const std::optional<SliceCheck> check = check_slice(archi, members, options);
+        if (!check) {
+            failure = "a slice member's local state space exceeds the budget";
+            return false;
+        }
+        result.slice_states = check->states;
+        if (check->truncated) {
+            failure = "slice product exceeds the state budget (" +
+                      std::to_string(options.max_slice_states) + ")";
+            return false;
+        }
+        if (!check->high_occurs) {
+            failure = "no high label can fire inside the slice";
+            return false;
+        }
+        if (!check->passed) {
+            failure = "slice {" + join_names(result.slice_instances) +
+                      "} distinguishes hiding from removing the high actions";
+            return false;
+        }
+        return true;
+    };
+
+    bool passed = attempt(seeds);
+    if (!passed) {
+        std::vector<std::size_t> grown;
+        for (std::size_t i = 0; i < num_instances; ++i) {
+            if (tainted[i] != 0 && i != low) grown.push_back(i);
+        }
+        if (grown != seeds) passed = attempt(grown);
+    }
+    if (passed) {
+        result.verdict = TransparencyVerdict::Transparent;
+        result.reason = "proved on slice {" + join_names(result.slice_instances) + "} (" +
+                        std::to_string(result.slice_states) +
+                        " product states, interface visible); weak bisimilarity is a "
+                        "congruence for composition and hiding, so the verdict lifts "
+                        "to the full architecture";
+        proved.add();
+        return result;
+    }
+
+    if (tainted[low] != 0) {
+        // Reconstruct the interaction chain seed -> low.
+        std::vector<std::string> chain;
+        for (std::size_t at = low; parent[at] != SIZE_MAX; at = parent[at]) {
+            chain.push_back(parent_label[at]);
+        }
+        std::reverse(chain.begin(), chain.end());
+        result.verdict = TransparencyVerdict::Leaks;
+        result.leak_chain = std::move(chain);
+        std::string via;
+        for (const std::string& link : result.leak_chain) {
+            if (!via.empty()) via += " -> ";
+            via += link;
+        }
+        result.reason = failure + "; tainted interactions reach the low observer via " +
+                        (via.empty() ? std::string("a direct attachment") : via);
+        leaks.add();
+        return result;
+    }
+
+    result.verdict = TransparencyVerdict::Inconclusive;
+    result.reason = failure;
+    inconclusive.add();
+    return result;
+}
+
+}  // namespace dpma::analysis::flow

@@ -4,13 +4,16 @@
 ///
 ///   dpma_cli info     model.aem
 ///   dpma_cli dot      model.aem                       > model.dot
-///   dpma_cli lint     model.aem [measures.msr] [--format text|json]
-///   dpma_cli check    model.aem --high L1,L2 --low C  [--traces]
-///   dpma_cli solve    model.aem measures.msr
+///   dpma_cli lint     model.aem|dir ... [measures.msr]
+///                     [--format text|json|sarif]
+///   dpma_cli analyze  model.aem|dir ... [measures.msr]
+///                     [--format text|json|sarif] [--high L1,L2 --low C]
+///   dpma_cli check    model.aem --high L1,L2 --low C  [--traces] [--precheck]
+///   dpma_cli solve    model.aem measures.msr [--precheck]
 ///   dpma_cli simulate model.aem measures.msr [--horizon H] [--warmup W]
 ///                     [--reps N] [--seed S] [--confidence C]
 ///   dpma_cli sweep    model.aem measures.msr --param I.action=lo:hi:steps
-///                     [--jobs N] [--json PATH|-] [--csv PATH|-]
+///                     [--jobs N] [--json PATH|-] [--csv PATH|-] [--precheck]
 ///   dpma_cli lifetime rpc|streaming [--battery ideal|peukert|kibam]
 ///                     [--capacity lo:hi:steps] [--control C] [--reps N]
 ///                     [--seed S] [--confidence C] [--jobs N]
@@ -39,11 +42,29 @@
 ///
 /// `lint` runs the semantic analyser (src/analysis) and prints every
 /// diagnostic with its file:line:column span — clang-style text by default,
-/// strict JSON with --format json.  Exit 0 when there are no errors
-/// (warnings allowed), 1 otherwise.  All other commands run the same lint
-/// automatically before touching the model: a spec with lint errors fails
-/// fast with the diagnostics on stderr (exit 4) instead of dying somewhere
-/// inside composition or solving.
+/// strict JSON with --format json, SARIF 2.1.0 with --format sarif.  It
+/// accepts any mix of .aem files and directories (searched recursively for
+/// *.aem); exit status aggregates over all of them: 0 when no file has
+/// errors (warnings allowed), 1 otherwise.  All other commands run the same
+/// lint automatically before touching the model: a spec with lint errors
+/// fails fast with the diagnostics on stderr (exit 4) instead of dying
+/// somewhere inside composition or solving.
+///
+/// `analyze` runs lint plus the dataflow / abstract-interpretation engine
+/// (src/analysis/flow): rate-literal scan [non-positive-rate], interval
+/// propagation of behaviour parameters [unbounded-parameter], abstract
+/// composition over interaction alphabets [dead-interaction, sync-deadlock]
+/// and the ergodicity precheck [non-ergodic] — all without ever building
+/// the composed LTS.  With --high/--low it additionally runs the static
+/// DPM-transparency slice and prints the verdict
+/// (transparent/leaks/inconclusive); a static `transparent` is sound (it
+/// implies the exact weak-bisimulation verdict of `check`), the other two
+/// are advisory.  Same inputs, formats and exit contract as `lint`.
+///
+/// `--precheck` on check/solve/sweep runs the same flow passes first:
+/// `check --precheck` skips the exact weak-bisimulation comparison when the
+/// static slice already proves transparency; solve/sweep abort (exit 4) on
+/// flow *errors* before composing.
 ///
 /// Exit status: 0 = check passed / command succeeded, 1 = check or lint
 /// failed, 2 = usage error, 3 = Æmilia parse error, 4 = analysis error
@@ -74,10 +95,12 @@
 /// whole sweep.  Points run in parallel (--jobs, default DPMA_JOBS /
 /// hardware_concurrency); results are identical for every jobs count.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -85,6 +108,7 @@
 
 #include "adl/compose.hpp"
 #include "aemilia/parser.hpp"
+#include "analysis/flow/analyze.hpp"
 #include "analysis/lint.hpp"
 #include "battery/lifetime.hpp"
 #include "bisim/hml.hpp"
@@ -102,6 +126,7 @@
 #include "lts/dot.hpp"
 #include "lts/ops.hpp"
 #include "noninterference/noninterference.hpp"
+#include "obs/json.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -122,16 +147,18 @@ dpma::obs::RunReport* g_run_report = nullptr;
                  "usage:\n"
                  "  dpma_cli info     <model.aem>\n"
                  "  dpma_cli dot      <model.aem>\n"
-                 "  dpma_cli lint     <model.aem> [<measures.msr>] "
-                 "[--format text|json]\n"
+                 "  dpma_cli lint     <model.aem|dir>... [<measures.msr>] "
+                 "[--format text|json|sarif]\n"
+                 "  dpma_cli analyze  <model.aem|dir>... [<measures.msr>] "
+                 "[--format text|json|sarif] [--high L1,L2,... --low INSTANCE]\n"
                  "  dpma_cli check    <model.aem> --high L1,L2,... --low INSTANCE "
-                 "[--traces]\n"
-                 "  dpma_cli solve    <model.aem> <measures.msr>\n"
+                 "[--traces] [--precheck]\n"
+                 "  dpma_cli solve    <model.aem> <measures.msr> [--precheck]\n"
                  "  dpma_cli simulate <model.aem> <measures.msr> [--horizon H] "
                  "[--warmup W] [--reps N] [--seed S] [--confidence C]\n"
                  "  dpma_cli sweep    <model.aem> <measures.msr> "
                  "--param <instance.action>=<lo>:<hi>:<steps> [--jobs N] "
-                 "[--json PATH|-] [--csv PATH|-]\n"
+                 "[--json PATH|-] [--csv PATH|-] [--precheck]\n"
                  "  dpma_cli lifetime <rpc|streaming> "
                  "[--battery ideal|peukert|kibam] [--capacity lo:hi:steps] "
                  "[--control C] [--reps N] [--seed S] [--confidence C] "
@@ -255,44 +282,229 @@ int cmd_dot(const std::string& path) {
     return 0;
 }
 
-int cmd_lint(const std::string& model_path, std::vector<std::string> args) {
-    const std::string format = option(args, "--format", "text");
+/// Expands a mix of .aem files and directories (searched recursively for
+/// *.aem, sorted for stable output) into the list of spec files to process.
+std::vector<std::string> collect_spec_files(const std::vector<std::string>& inputs) {
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const std::string& input : inputs) {
+        std::error_code ec;
+        if (fs::is_directory(input, ec)) {
+            std::vector<std::string> found;
+            for (const auto& entry : fs::recursive_directory_iterator(input)) {
+                if (entry.is_regular_file() && entry.path().extension() == ".aem") {
+                    found.push_back(entry.path().string());
+                }
+            }
+            if (found.empty()) throw Error("no .aem files under " + input);
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        } else {
+            files.push_back(input);
+        }
+    }
+    return files;
+}
+
+/// Shared front end of `lint` and `analyze`: positional inputs (files or
+/// directories), with a trailing .msr peeled off as the measure file of a
+/// single-spec invocation.
+struct SpecInputs {
+    std::vector<std::string> files;
     std::string measures_path;
-    if (!args.empty() && !args[0].empty() && args[0][0] != '-') {
-        measures_path = args[0];
+};
+
+SpecInputs parse_spec_inputs(const std::string& first, std::vector<std::string>& args) {
+    std::vector<std::string> inputs{first};
+    while (!args.empty() && !args[0].empty() && args[0][0] != '-') {
+        inputs.push_back(args[0]);
         args.erase(args.begin());
     }
-    if (!args.empty() || (format != "text" && format != "json")) usage();
+    SpecInputs out;
+    if (inputs.size() >= 2 && inputs.back().size() > 4 &&
+        inputs.back().rfind(".msr") == inputs.back().size() - 4) {
+        out.measures_path = inputs.back();
+        inputs.pop_back();
+    }
+    out.files = collect_spec_files(inputs);
+    if (!out.measures_path.empty() && out.files.size() != 1) {
+        throw Error("a measure file needs exactly one specification, got " +
+                    std::to_string(out.files.size()));
+    }
+    return out;
+}
 
-    const std::string spec_text = read_file(model_path);
-    analysis::LintResult result;
-    if (measures_path.empty()) {
-        result = analysis::lint_text(spec_text, model_path);
-    } else {
-        result = analysis::lint_text(spec_text, model_path, read_file(measures_path),
-                                     measures_path);
+int cmd_lint(const std::string& model_path, std::vector<std::string> args) {
+    const std::string format = option(args, "--format", "text");
+    SpecInputs inputs = parse_spec_inputs(model_path, args);
+    if (!args.empty() || (format != "text" && format != "json" && format != "sarif")) {
+        usage();
+    }
+
+    std::vector<analysis::Diagnostic> merged;
+    bool ok = true;
+    for (const std::string& file : inputs.files) {
+        const std::string spec_text = read_file(file);
+        analysis::LintResult result;
+        if (inputs.measures_path.empty()) {
+            result = analysis::lint_text(spec_text, file);
+        } else {
+            result = analysis::lint_text(spec_text, file,
+                                         read_file(inputs.measures_path),
+                                         inputs.measures_path);
+        }
+        ok = ok && result.ok();
+        if (format == "text" && result.clean()) {
+            std::printf("%s: no problems found\n", file.c_str());
+        }
+        merged.insert(merged.end(), result.diagnostics.begin(),
+                      result.diagnostics.end());
     }
     if (format == "json") {
-        std::fputs(analysis::render_json(result.diagnostics).c_str(), stdout);
-    } else if (result.clean()) {
-        std::printf("%s: no problems found\n", model_path.c_str());
-    } else {
-        std::fputs(analysis::render_text(result.diagnostics).c_str(), stdout);
+        std::fputs(analysis::render_json(merged).c_str(), stdout);
+    } else if (format == "sarif") {
+        std::fputs(analysis::render_sarif(merged, "dpma-lint").c_str(), stdout);
+    } else if (!merged.empty()) {
+        std::fputs(analysis::render_text(merged).c_str(), stdout);
     }
-    return result.ok() ? 0 : 1;
+    return ok ? 0 : 1;
+}
+
+int cmd_analyze(const std::string& model_path, std::vector<std::string> args) {
+    const std::string format = option(args, "--format", "text");
+    const std::string high = option(args, "--high", "");
+    const std::string low = option(args, "--low", "");
+    SpecInputs inputs = parse_spec_inputs(model_path, args);
+    if (!args.empty() || (format != "text" && format != "json" && format != "sarif")) {
+        usage();
+    }
+    if (high.empty() != low.empty()) usage();
+
+    analysis::flow::AnalyzeOptions options;
+    if (!high.empty()) {
+        if (inputs.files.size() != 1) {
+            throw Error("--high/--low slice one architecture; pass a single spec");
+        }
+        for (const std::string& label : split(high, ',')) {
+            options.high_labels.emplace_back(trim(label));
+        }
+        options.low_instance = low;
+    }
+
+    std::vector<analysis::Diagnostic> merged;
+    std::optional<analysis::flow::TransparencyResult> transparency;
+    bool ok = true;
+    for (const std::string& file : inputs.files) {
+        const std::string spec_text = read_file(file);
+        analysis::flow::AnalyzeResult result;
+        if (inputs.measures_path.empty()) {
+            result = analysis::flow::analyze_text(spec_text, file, options);
+        } else {
+            result = analysis::flow::analyze_text(spec_text, file,
+                                                  read_file(inputs.measures_path),
+                                                  inputs.measures_path, options);
+        }
+        ok = ok && result.ok();
+        if (format == "text" && result.clean()) {
+            std::printf("%s: no problems found\n", file.c_str());
+        }
+        const std::vector<analysis::Diagnostic> all = result.all();
+        merged.insert(merged.end(), all.begin(), all.end());
+        if (result.transparency) transparency = std::move(result.transparency);
+    }
+
+    if (format == "json") {
+        std::string json = analysis::render_json(merged);
+        if (transparency) {
+            // Splice the verdict object before the closing "\n}\n".
+            json.resize(json.size() - 3);
+            json += ",\n  \"transparency\": {\"verdict\": " +
+                    obs::json_quote(
+                        analysis::flow::verdict_name(transparency->verdict)) +
+                    ", \"reason\": " + obs::json_quote(transparency->reason) +
+                    ", \"slice_states\": " +
+                    std::to_string(transparency->slice_states) + ", \"slice\": [";
+            for (std::size_t i = 0; i < transparency->slice_instances.size(); ++i) {
+                if (i != 0) json += ", ";
+                json += obs::json_quote(transparency->slice_instances[i]);
+            }
+            json += "], \"leak_chain\": [";
+            for (std::size_t i = 0; i < transparency->leak_chain.size(); ++i) {
+                if (i != 0) json += ", ";
+                json += obs::json_quote(transparency->leak_chain[i]);
+            }
+            json += "]}\n}\n";
+        }
+        std::fputs(json.c_str(), stdout);
+    } else if (format == "sarif") {
+        std::fputs(analysis::render_sarif(merged, "dpma-analyze").c_str(), stdout);
+    } else {
+        if (!merged.empty()) {
+            std::fputs(analysis::render_text(merged).c_str(), stdout);
+        }
+        if (transparency) {
+            std::printf("transparency (static): %s\n",
+                        analysis::flow::verdict_name(transparency->verdict));
+            std::printf("  %s\n", transparency->reason.c_str());
+            for (const std::string& link : transparency->leak_chain) {
+                std::printf("  leak chain: %s\n", link.c_str());
+            }
+        }
+    }
+    return ok ? 0 : 1;
+}
+
+/// The `--precheck` pre-pass of solve/sweep: flow analyses on the linted
+/// architecture, diagnostics to stderr, flow *errors* abort (exit 4).
+void run_precheck(const adl::ArchiType& archi, const std::string& path) {
+    analysis::flow::AnalyzeResult result =
+        analysis::flow::analyze_model(archi, path, analysis::LintResult{});
+    if (!result.flow.empty()) {
+        std::fputs(analysis::render_text(result.flow).c_str(), stderr);
+    }
+    if (!result.ok()) {
+        throw Error(path + " failed the flow precheck with " +
+                    std::to_string(result.error_count()) +
+                    " error(s); diagnostics above, or run `dpma_cli analyze`");
+    }
 }
 
 int cmd_check(const std::string& path, std::vector<std::string> args) {
     const std::string high = option(args, "--high", "");
     const std::string low = option(args, "--low", "");
     const bool traces = flag(args, "--traces");
+    const bool precheck = flag(args, "--precheck");
     if (high.empty() || low.empty() || !args.empty()) usage();
 
-    const adl::ComposedModel model = load_model(path);
+    const adl::ArchiType archi = load_archi(path);
     std::vector<std::string> high_labels;
     for (const std::string& label : split(high, ',')) {
         high_labels.emplace_back(trim(label));
     }
+
+    if (precheck && !traces) {
+        // The static slice can only *prove* transparency; any other verdict
+        // (including precheck setup errors) falls through to the exact check.
+        try {
+            analysis::flow::TransparencyOptions transparency_options;
+            transparency_options.high_labels = high_labels;
+            transparency_options.low_instance = low;
+            const analysis::flow::TransparencyResult verdict =
+                analysis::flow::analyze_transparency(archi, transparency_options);
+            std::printf("static precheck: %s\n  %s\n",
+                        analysis::flow::verdict_name(verdict.verdict),
+                        verdict.reason.c_str());
+            if (verdict.verdict == analysis::flow::TransparencyVerdict::Transparent) {
+                std::printf("noninterference (weak bisimulation): PASS "
+                            "(proved statically, exact check skipped)\n");
+                return 0;
+            }
+        } catch (const Error& e) {
+            std::fprintf(stderr, "static precheck unavailable: %s\n", e.what());
+        }
+    }
+
+    const adl::ComposedModel model = adl::compose(archi);
 
     if (traces) {
         const auto verdict =
@@ -320,8 +532,12 @@ int cmd_check(const std::string& path, std::vector<std::string> args) {
     return verdict.noninterfering ? 0 : 1;
 }
 
-int cmd_solve(const std::string& model_path, const std::string& measures_path) {
+int cmd_solve(const std::string& model_path, const std::string& measures_path,
+              std::vector<std::string> args) {
+    const bool precheck = flag(args, "--precheck");
+    if (!args.empty()) usage();
     const adl::ArchiType archi = load_archi(model_path);
+    if (precheck) run_precheck(archi, model_path);
     const auto measures = load_measures(measures_path, archi, model_path);
     const adl::ComposedModel model = adl::compose(archi);
     const ctmc::MarkovModel markov = ctmc::build_markov(model);
@@ -385,6 +601,7 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
     const std::string jobs_text = option(args, "--jobs", "0");
     const std::string json_path = option(args, "--json", "");
     const std::string csv_path = option(args, "--csv", "");
+    const bool precheck = flag(args, "--precheck");
     if (param.empty() || !args.empty()) usage();
 
     // --param instance.action=lo:hi:steps
@@ -412,6 +629,7 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
     }
 
     const adl::ArchiType archi = load_archi(model_path);
+    if (precheck) run_precheck(archi, model_path);
     const auto measures = load_measures(measures_path, archi, model_path);
 
     // Compose once; every sweep point patches this skeleton's rates.
@@ -720,10 +938,14 @@ int main(int argc, char** argv) {
             status = cmd_dot(model_path);
         } else if (command == "lint") {
             status = cmd_lint(model_path, std::move(rest));
+        } else if (command == "analyze") {
+            status = cmd_analyze(model_path, std::move(rest));
         } else if (command == "check") {
             status = cmd_check(model_path, std::move(rest));
-        } else if (command == "solve" && rest.size() == 1) {
-            status = cmd_solve(model_path, rest[0]);
+        } else if (command == "solve" && !rest.empty()) {
+            const std::string measures_path = rest[0];
+            rest.erase(rest.begin());
+            status = cmd_solve(model_path, measures_path, std::move(rest));
         } else if (command == "simulate" && !rest.empty()) {
             const std::string measures_path = rest[0];
             rest.erase(rest.begin());
