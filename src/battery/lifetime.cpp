@@ -100,6 +100,12 @@ void StudyOptions::validate() const {
     if (!std::isfinite(control)) {
         throw Error("control parameter must be finite (negative = model default)");
     }
+    if (retries < 0) {
+        throw Error("retries must be >= 0");
+    }
+    if (resume && checkpoint_path.empty()) {
+        throw Error("resume requires a checkpoint path");
+    }
 }
 
 exp::Experiment lifetime_experiment(const StudyOptions& options) {
@@ -162,12 +168,21 @@ exp::Experiment lifetime_experiment(const StudyOptions& options) {
     return experiment;
 }
 
-exp::ResultSet run_lifetime_study(const StudyOptions& options) {
+exp::RunOutcome run_lifetime_sweep(const StudyOptions& options) {
     const exp::Experiment experiment = lifetime_experiment(options);
     exp::RunOptions run;
     run.jobs = options.jobs;
     run.base_seed = options.base_seed;
-    return exp::run(experiment, run);
+    run.retries = options.retries;
+    run.checkpoint_path = options.checkpoint_path;
+    run.resume = options.resume;
+    return exp::run_sweep(experiment, run);
+}
+
+exp::ResultSet run_lifetime_study(const StudyOptions& options) {
+    exp::RunOutcome outcome = run_lifetime_sweep(options);
+    if (outcome.first_error) std::rethrow_exception(outcome.first_error);
+    return std::move(outcome.results);
 }
 
 }  // namespace dpma::battery

@@ -1,0 +1,243 @@
+#include "exp/checkpoint.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/log.hpp"
+
+namespace dpma::exp {
+namespace {
+
+constexpr const char* kSchema = "dpma-checkpoint/1";
+
+std::string quoted_list(const std::vector<std::string>& items) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ",";
+        out += obs::json_quote(items[i]);
+    }
+    out += "]";
+    return out;
+}
+
+std::string measure_map(const std::vector<std::string>& measures,
+                        const std::vector<double>& values) {
+    std::string out = "{";
+    for (std::size_t m = 0; m < measures.size(); ++m) {
+        if (m > 0) out += ",";
+        out += obs::json_quote(measures[m]) + ":" +
+               obs::json_number(m < values.size() ? values[m] : 0.0);
+    }
+    out += "}";
+    return out;
+}
+
+/// Seeds are stored as decimal *strings*: a 64-bit seed does not survive a
+/// round-trip through a JSON number (53-bit double mantissa).
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size()) return false;
+    out = value;
+    return true;
+}
+
+/// The per-point seed the runner would derive — what point records store.
+std::uint64_t point_seed(std::uint64_t base_seed, std::size_t index) {
+    PointContext context;
+    context.base_seed = base_seed;
+    context.point_index = index;
+    return context.seed();
+}
+
+void check_header(const obs::Json& record, const Experiment& experiment,
+                  std::uint64_t base_seed, const std::string& path) {
+    const auto fail = [&](const std::string& what) {
+        throw Error("checkpoint " + path + " does not match this sweep: " + what);
+    };
+    if (record.string_at("schema") != kSchema) {
+        fail("schema '" + record.string_at("schema") + "' (want " + kSchema + ")");
+    }
+    if (record.string_at("experiment") != experiment.name) {
+        fail("experiment '" + record.string_at("experiment") + "' (running '" +
+             experiment.name + "')");
+    }
+    std::uint64_t recorded_base = 0;
+    if (!parse_u64(record.string_at("base_seed"), recorded_base) ||
+        recorded_base != base_seed) {
+        fail("base_seed '" + record.string_at("base_seed") + "' (running with " +
+             std::to_string(base_seed) + ")");
+    }
+    if (static_cast<std::size_t>(record.number_at("total")) != experiment.grid.size()) {
+        fail("grid has " + std::to_string(record.number_at("total")) +
+             " points (running " + std::to_string(experiment.grid.size()) + ")");
+    }
+    const auto names_match = [](const obs::Json* list,
+                                const std::vector<std::string>& names) {
+        if (list == nullptr || !list->is_array() || list->array.size() != names.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (!list->array[i].is_string() || list->array[i].string != names[i]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    if (!names_match(record.find("params"), experiment.grid.names())) {
+        fail("different parameter axes");
+    }
+    if (!names_match(record.find("measures"), experiment.measures)) {
+        fail("different measures");
+    }
+}
+
+PointResult parse_point(const obs::Json& record, const Experiment& experiment,
+                        std::uint64_t base_seed, std::size_t index,
+                        const std::string& path) {
+    const auto fail = [&](const std::string& what) {
+        throw Error("checkpoint " + path + ": point " + std::to_string(index) + ": " +
+                    what);
+    };
+    std::uint64_t recorded_seed = 0;
+    if (!parse_u64(record.string_at("seed"), recorded_seed)) fail("missing seed");
+    if (recorded_seed != point_seed(base_seed, index)) {
+        fail("seed mismatch (checkpoint written with a different base seed?)");
+    }
+    PointResult result;
+    const obs::Json* values = record.find("values");
+    if (values == nullptr || !values->is_object()) fail("missing values");
+    for (const std::string& measure : experiment.measures) {
+        const obs::Json* value = values->find(measure);
+        if (value == nullptr) fail("missing measure '" + measure + "'");
+        // json_number() renders NaN as null; read it back the same way.
+        result.values.push_back(value->is_number()
+                                    ? value->number
+                                    : std::numeric_limits<double>::quiet_NaN());
+    }
+    if (const obs::Json* hws = record.find("half_widths")) {
+        if (!hws->is_object()) fail("malformed half_widths");
+        for (const std::string& measure : experiment.measures) {
+            const obs::Json* hw = hws->find(measure);
+            if (hw == nullptr) fail("missing half-width '" + measure + "'");
+            result.half_widths.push_back(
+                hw->is_number() ? hw->number
+                                : std::numeric_limits<double>::quiet_NaN());
+        }
+    }
+    result.elapsed_s = record.number_at("elapsed_s");
+    result.error = record.string_at("error");
+    // "diagnostics" is the original JSON object literal stored as a string;
+    // restoring it verbatim keeps resumed artifacts byte-identical.
+    result.diagnostics = record.string_at("diagnostics");
+    // attempts deliberately stays 0: the marker for "restored, not run here".
+    return result;
+}
+
+}  // namespace
+
+CheckpointWriter::CheckpointWriter(std::string path, const Experiment& experiment,
+                                   std::uint64_t base_seed)
+    : appender_(std::move(path)), measures_(experiment.measures) {
+    std::string header = "{\"type\":\"sweep_checkpoint\",\"schema\":";
+    header += obs::json_quote(kSchema);
+    header += ",\"experiment\":" + obs::json_quote(experiment.name);
+    header += ",\"base_seed\":" + obs::json_quote(std::to_string(base_seed));
+    header += ",\"total\":" + std::to_string(experiment.grid.size());
+    header += ",\"params\":" + quoted_list(experiment.grid.names());
+    header += ",\"measures\":" + quoted_list(measures_);
+    header += "}";
+    appender_.append_line(header);
+}
+
+void CheckpointWriter::point(const Point& point, const PointResult& result,
+                             std::uint64_t seed) {
+    std::string line = "{\"type\":\"point\",\"index\":" + std::to_string(point.index);
+    line += ",\"seed\":" + obs::json_quote(std::to_string(seed));
+    line += ",\"params\":{";
+    for (std::size_t p = 0; p < point.coords.size(); ++p) {
+        if (p > 0) line += ",";
+        line += obs::json_quote(point.coords[p].first) + ":" +
+                obs::json_number(point.coords[p].second);
+    }
+    line += "},\"values\":" + measure_map(measures_, result.values);
+    if (!result.half_widths.empty()) {
+        line += ",\"half_widths\":" + measure_map(measures_, result.half_widths);
+    }
+    line += ",\"elapsed_s\":" + obs::json_number(result.elapsed_s);
+    line += ",\"attempts\":" + std::to_string(result.attempts);
+    if (result.failed()) line += ",\"error\":" + obs::json_quote(result.error);
+    if (!result.diagnostics.empty()) {
+        line += ",\"diagnostics\":" + obs::json_quote(result.diagnostics);
+    }
+    line += "}";
+    appender_.append_line(line);
+}
+
+CheckpointState load_checkpoint(const std::string& path, const Experiment& experiment,
+                                std::uint64_t base_seed) {
+    CheckpointState state;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        // First run of an always-resume script: nothing to restore yet.
+        obs::logf(obs::LogLevel::Warn, "checkpoint %s not found; starting fresh",
+                  path.c_str());
+        return state;
+    }
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        obs::Json record;
+        try {
+            record = obs::json_parse(line);
+        } catch (const Error&) {
+            // A torn final line is the expected wound of a killed writer;
+            // anything else is corruption and must not be papered over.
+            if (in.peek() == std::ifstream::traits_type::eof()) {
+                obs::logf(obs::LogLevel::Warn,
+                          "checkpoint %s: ignoring torn final line %zu", path.c_str(),
+                          line_no);
+                break;
+            }
+            throw Error("checkpoint " + path + ": malformed JSON on line " +
+                        std::to_string(line_no));
+        }
+        const std::string type = record.string_at("type");
+        if (type == "sweep_checkpoint") {
+            check_header(record, experiment, base_seed, path);
+        } else if (type == "point") {
+            const auto index = static_cast<std::size_t>(record.number_at("index"));
+            if (index >= experiment.grid.size()) {
+                throw Error("checkpoint " + path + ": point index " +
+                            std::to_string(index) + " out of range");
+            }
+            PointResult result =
+                parse_point(record, experiment, base_seed, index, path);
+            if (result.failed()) {
+                // Failed points re-run on resume; that is the point of
+                // resuming after fixing whatever made them fail.
+                ++state.failed_seen;
+                state.finished.erase(index);
+            } else {
+                state.finished[index] = std::move(result);
+            }
+        } else {
+            throw Error("checkpoint " + path + ": unknown record type '" + type +
+                        "' on line " + std::to_string(line_no));
+        }
+    }
+    return state;
+}
+
+}  // namespace dpma::exp

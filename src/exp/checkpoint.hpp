@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Sweep checkpointing: crash-safe progress records and resume.
+///
+/// A long sweep writes nothing until it finishes, so a crash (or a batch
+/// scheduler kill) at point 199 of 200 used to cost every point.  With
+/// RunOptions::checkpoint_path set, the runner appends one strict-JSON line
+/// per finished point to a JSONL file — durably, via obs::DurableAppender
+/// (one write(2) + fsync(2) per record) — and a later run with
+/// RunOptions::resume restores those points instead of recomputing them.
+///
+/// File format (`dpma-checkpoint/1`), one JSON value per line:
+///
+///   {"type": "sweep_checkpoint", "schema": "dpma-checkpoint/1",
+///    "experiment": NAME, "base_seed": "B", "total": N,
+///    "params": [...], "measures": [...]}
+///   {"type": "point", "index": I, "seed": "S", "params": {...},
+///    "values": {...}[, "half_widths": {...}], "elapsed_s": E,
+///    "attempts": A[, "error": MSG][, "diagnostics": JSON-as-string]}
+///
+/// One header line is appended each time a run opens the file (several runs
+/// of one sweep share it: interrupted run, resumed run, ...); the loader
+/// verifies *every* header against the experiment at hand — name, base
+/// seed, grid size, axis names, measures — and refuses records written for
+/// a different sweep.  "diagnostics" holds the original JSON object literal
+/// as a *string* so a restored point reproduces the artifact bytes exactly;
+/// "base_seed" and "seed" are decimal strings because a 64-bit seed does not
+/// survive a round-trip through a JSON number (53-bit double mantissa).
+///
+/// Why resume is bit-identical to an uninterrupted run: every point's
+/// randomness derives from (base_seed, point_index) alone (see
+/// runner.hpp's determinism contract), never from scheduling or from other
+/// points, so recomputing the missing points yields the same bytes the
+/// interrupted run would have produced, and the restored ones are replayed
+/// verbatim.  The one wall-clock field, elapsed_s, is restored from the
+/// record; set DPMA_RESULT_TIMING=0 to zero it everywhere when byte-diffing
+/// resumed against uninterrupted runs (the ctest does exactly that).
+///
+/// Failure records ("error" present) are loaded but NOT restored: a resumed
+/// run retries failed points — the whole reason to resume after fixing the
+/// cause of the failure.  A torn final line (the writer died mid-append,
+/// the only damage an append-mode fsync-per-record file admits) is skipped
+/// with a warning; a malformed line anywhere else is a hard error.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "obs/atomic_write.hpp"
+
+namespace dpma::exp {
+
+/// Appends checkpoint records for one run.  Constructing the writer appends
+/// the header line immediately — so even a run killed before its first
+/// point leaves a well-formed, resumable file.
+class CheckpointWriter {
+public:
+    /// Opens \p path for durable appending and writes the header.  Throws
+    /// core Error (with the path) when the file cannot be opened or written.
+    CheckpointWriter(std::string path, const Experiment& experiment,
+                     std::uint64_t base_seed);
+
+    CheckpointWriter(const CheckpointWriter&) = delete;
+    CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+    /// Appends the record of one finished point (success or final failure).
+    /// \p seed is the per-point seed the runner derived — recorded so a
+    /// resumed run can cross-check the determinism contract.
+    void point(const Point& point, const PointResult& result, std::uint64_t seed);
+
+    [[nodiscard]] const std::string& path() const noexcept {
+        return appender_.path();
+    }
+
+private:
+    obs::DurableAppender appender_;
+    std::vector<std::string> measures_;
+};
+
+/// What load_checkpoint() restored.
+struct CheckpointState {
+    /// Successfully finished points by grid index; the runner skips these.
+    std::map<std::size_t, PointResult> finished;
+    /// Point records seen but not restored because they recorded a failure
+    /// (those points re-run on resume).
+    std::size_t failed_seen = 0;
+};
+
+/// Loads \p path and returns the points it finished for \p experiment.
+/// A missing file yields an empty state (so `--resume` is safe on the very
+/// first run of a script); a mismatched header — different experiment,
+/// base seed, grid or measures — throws core Error, as does a malformed
+/// line anywhere but the final one.  When one index appears several times
+/// (a resumed run re-ran a previously failed point), the last record wins.
+[[nodiscard]] CheckpointState load_checkpoint(const std::string& path,
+                                              const Experiment& experiment,
+                                              std::uint64_t base_seed);
+
+}  // namespace dpma::exp

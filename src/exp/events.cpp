@@ -64,23 +64,32 @@ EventOptions events_from_env() {
     // DPM and NO-DPM series) share one stream.
     auto out = std::make_shared<std::ofstream>(value, std::ios::binary | std::ios::app);
     if (!*out) throw Error("DPMA_EVENTS: cannot open " + value);
-    options.sink = [out](const std::string& line) {
+    options.sink = [out, value](const std::string& line) {
         *out << line << '\n';
         out->flush();  // heartbeats must be visible while the sweep runs
+        // A full disk must fail the sweep, not silently drop heartbeats.
+        if (!*out) throw Error("DPMA_EVENTS: write failed: " + value);
     };
     return options;
 }
 
 SweepEvents::SweepEvents(EventOptions options, const std::string& experiment,
-                         const std::vector<std::string>& measures, std::size_t total)
+                         const std::vector<std::string>& measures, std::size_t total,
+                         std::size_t restored)
     : options_(std::move(options)),
       experiment_(experiment),
       measures_(measures),
-      total_(total) {
+      total_(total),
+      completed_(restored),
+      restored_(restored) {
     if (!active()) return;
     start_ns_ = wall_now_ns();
-    emit("{\"type\":\"sweep_started\",\"experiment\":" + obs::json_quote(experiment_) +
-         ",\"total\":" + std::to_string(total_) + "}");
+    std::string line =
+        "{\"type\":\"sweep_started\",\"experiment\":" + obs::json_quote(experiment_) +
+        ",\"total\":" + std::to_string(total_);
+    if (restored_ > 0) line += ",\"restored\":" + std::to_string(restored_);
+    line += "}";
+    emit(line);
 }
 
 void SweepEvents::point(const Point& point, const PointResult& result) {
@@ -88,19 +97,32 @@ void SweepEvents::point(const Point& point, const PointResult& result) {
     emit("{\"type\":\"point_started\",\"index\":" + std::to_string(point.index) +
          ",\"params\":" + params_json(point) + "}");
 
-    std::string finished =
-        "{\"type\":\"point_finished\",\"index\":" + std::to_string(point.index) +
-        ",\"values\":" + measure_map_json(measures_, result.values) +
-        ",\"half_widths\":" + measure_map_json(measures_, result.half_widths);
-    if (options_.timing) {
-        finished += ",\"elapsed_s\":" + obs::json_number(result.elapsed_s);
+    if (result.failed()) {
+        ++failed_;
+        std::string failed =
+            "{\"type\":\"point_failed\",\"index\":" + std::to_string(point.index) +
+            ",\"error\":" + obs::json_quote(result.error) +
+            ",\"attempts\":" + std::to_string(result.attempts);
+        if (options_.timing) {
+            failed += ",\"elapsed_s\":" + obs::json_number(result.elapsed_s);
+        }
+        failed += "}";
+        emit(failed);
+    } else {
+        std::string finished =
+            "{\"type\":\"point_finished\",\"index\":" + std::to_string(point.index) +
+            ",\"values\":" + measure_map_json(measures_, result.values) +
+            ",\"half_widths\":" + measure_map_json(measures_, result.half_widths);
+        if (options_.timing) {
+            finished += ",\"elapsed_s\":" + obs::json_number(result.elapsed_s);
+        }
+        finished += "}";
+        emit(finished);
     }
-    finished += "}";
-    emit(finished);
 
     ++completed_;
     double point_hw = 0.0;
-    if (!result.half_widths.empty()) {
+    if (!result.failed() && !result.half_widths.empty()) {
         for (const double hw : result.half_widths) point_hw += hw;
         point_hw /= static_cast<double>(result.half_widths.size());
     }
@@ -122,12 +144,15 @@ void SweepEvents::point(const Point& point, const PointResult& result) {
     emit(progress);
 }
 
-void SweepEvents::finish() {
+void SweepEvents::finish(bool interrupted) {
     if (!active()) return;
-    std::string line =
-        "{\"type\":\"sweep_finished\",\"experiment\":" + obs::json_quote(experiment_) +
-        ",\"completed\":" + std::to_string(completed_) +
-        ",\"total\":" + std::to_string(total_);
+    std::string line = "{\"type\":";
+    line += interrupted ? "\"sweep_interrupted\"" : "\"sweep_finished\"";
+    line += ",\"experiment\":" + obs::json_quote(experiment_) +
+            ",\"completed\":" + std::to_string(completed_) +
+            ",\"total\":" + std::to_string(total_);
+    if (failed_ > 0) line += ",\"failed\":" + std::to_string(failed_);
+    if (restored_ > 0) line += ",\"restored\":" + std::to_string(restored_);
     if (options_.timing) {
         line += ",\"elapsed_s\":" +
                 obs::json_number(static_cast<double>(wall_now_ns() - start_ns_) * 1e-9);

@@ -8,14 +8,25 @@
 /// via the DPMA_EVENTS environment variable / dpma_cli --events), the runner
 /// streams one strict-JSON value per line as points complete:
 ///
-///   {"type": "sweep_started", "experiment": NAME, "total": N}
+///   {"type": "sweep_started", "experiment": NAME, "total": N
+///    [, "restored": R]}
 ///   {"type": "point_started", "index": I, "params": {...}}
 ///   {"type": "point_finished", "index": I, "values": {...},
 ///    "half_widths": {...}[, "elapsed_s": E]}
+///   {"type": "point_failed", "index": I, "error": MSG, "attempts": A
+///    [, "elapsed_s": E]}
 ///   {"type": "sweep_progress", "completed": K, "total": N,
 ///    "mean_half_width": H[, "elapsed_s": E, "eta_s": T]}
 ///   {"type": "sweep_finished", "experiment": NAME, "completed": N,
-///    "total": N[, "elapsed_s": E]}
+///    "total": N[, "failed": F][, "restored": R][, "elapsed_s": E]}
+///   {"type": "sweep_interrupted", ...same fields as sweep_finished}
+///
+/// point_failed replaces point_finished for a point whose eval exhausted its
+/// retry budget (exp/runner.hpp failure isolation); "restored" counts points
+/// skipped because a checkpoint already held them (--resume), and
+/// sweep_interrupted closes a stream whose sweep stopped early on
+/// SIGINT/SIGTERM (exp/shutdown.hpp).  The optional fields appear only when
+/// nonzero, so streams of fully successful sweeps are unchanged.
 ///
 /// Ordering contract: events are the canonical in-index-order serialisation
 /// of the sweep, not a scheduler trace.  Workers finish points in whatever
@@ -64,17 +75,22 @@ struct EventOptions {
 class SweepEvents {
 public:
     /// Inert when \p options has no sink — every method is then a no-op.
+    /// \p restored counts checkpoint-restored points (skipped on resume);
+    /// they are announced in sweep_started and pre-counted as completed.
     SweepEvents(EventOptions options, const std::string& experiment,
-                const std::vector<std::string>& measures, std::size_t total);
+                const std::vector<std::string>& measures, std::size_t total,
+                std::size_t restored = 0);
 
     [[nodiscard]] bool active() const noexcept { return static_cast<bool>(options_.sink); }
 
-    /// Emits point_started + point_finished + sweep_progress for one point,
-    /// in index order (the runner drains completed prefixes).
+    /// Emits point_started + point_finished (or point_failed) +
+    /// sweep_progress for one point, in index order (the runner drains
+    /// completed prefixes).
     void point(const Point& point, const PointResult& result);
 
-    /// Emits the final sweep_finished event.
-    void finish();
+    /// Emits the final sweep_finished event — or sweep_interrupted when the
+    /// sweep stopped early on a shutdown request.
+    void finish(bool interrupted = false);
 
 private:
     void emit(const std::string& line);
@@ -84,6 +100,8 @@ private:
     std::vector<std::string> measures_;
     std::size_t total_ = 0;
     std::size_t completed_ = 0;
+    std::size_t failed_ = 0;
+    std::size_t restored_ = 0;
     double half_width_sum_ = 0.0;
     std::uint64_t start_ns_ = 0;
 };

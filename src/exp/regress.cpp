@@ -16,6 +16,7 @@ struct SeriesPoints {
     /// Canonical param key -> (elapsed_s, measure values, half widths).
     struct PointData {
         double elapsed_s = 0.0;
+        bool failed = false;  ///< the record carries an "error" member
         std::vector<std::pair<std::string, double>> values;  ///< measure, value
         std::vector<double> half_widths;                     ///< value-aligned
     };
@@ -54,6 +55,9 @@ std::map<std::string, SeriesPoints> collect_series(const obs::Json& report) {
             if (params == nullptr || !params->is_object()) continue;
             SeriesPoints::PointData data;
             data.elapsed_s = point.number_at("elapsed_s");
+            if (const obs::Json* error = point.find("error")) {
+                data.failed = error->is_string();
+            }
             if (const obs::Json* values = point.find("values");
                 values != nullptr && values->is_object()) {
                 const obs::Json* hws = point.find("half_widths");
@@ -157,6 +161,13 @@ RegressReport compare_reports(const obs::Json& older, const obs::Json& newer,
                 continue;
             }
             const SeriesPoints::PointData& new_point = new_it->second;
+            if (old_point.failed || new_point.failed) {
+                // A failed point has NaN values and no meaningful elapsed_s
+                // on the failed side; comparing it would poison the ratios
+                // and spray bogus drift notes.
+                ++cmp.failed;
+                continue;
+            }
             ++cmp.paired;
 
             if (old_point.elapsed_s > 0.0 && new_point.elapsed_s > 0.0) {
@@ -195,6 +206,11 @@ RegressReport compare_reports(const obs::Json& older, const obs::Json& newer,
             report.notes.push_back("series '" + name + "': " +
                                    std::to_string(cmp.only_old) + " point(s) only old, " +
                                    std::to_string(cmp.only_new) + " only new");
+        }
+        if (cmp.failed > 0) {
+            report.notes.push_back("series '" + name + "': " +
+                                   std::to_string(cmp.failed) +
+                                   " failed point(s) excluded from comparison");
         }
 
         if (!ratios.empty()) {

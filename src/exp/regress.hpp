@@ -53,6 +53,10 @@ struct SeriesComparison {
     std::size_t paired = 0;    ///< points present in both records
     std::size_t only_old = 0;  ///< points only in the old record
     std::size_t only_new = 0;
+    /// Points failed ("error" member) on either side: excluded from pairing
+    /// — their values are NaN and their time is meaningless — and surfaced
+    /// as a note instead.
+    std::size_t failed = 0;
     double old_total_s = 0.0;  ///< summed elapsed_s over paired points
     double new_total_s = 0.0;
     double ratio = 1.0;  ///< geometric mean of per-point new/old ratios

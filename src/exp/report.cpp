@@ -114,6 +114,13 @@ std::string ResultSet::json() const {
                               : record.result.half_widths[m]);
         }
         out += "}, \"elapsed_s\": " + number(record.result.elapsed_s);
+        if (record.result.failed()) {
+            // Failed points are represented, not dropped: their values are
+            // NaN (null above) and the failure record rides along so report
+            // consumers can tell "measured zero" from "never measured".
+            out += ", \"error\": " + quoted(record.result.error) +
+                   ", \"attempts\": " + std::to_string(record.result.attempts);
+        }
         if (!record.result.diagnostics.empty()) {
             out += ", \"diagnostics\": " + record.result.diagnostics;
         }

@@ -54,7 +54,9 @@ public:
     /// "params": {...}, "values": {...}, "half_widths": {...},
     /// "diagnostics": {...}}, ...]}, where "diagnostics" appears only for
     /// points whose PointResult carried one (solver residual history,
-    /// simulator convergence trajectory).
+    /// simulator convergence trajectory).  A failed point additionally
+    /// carries "error" (exception type and message) and "attempts"; its
+    /// values are NaN, rendered null.
     [[nodiscard]] std::string json() const;
 
 private:

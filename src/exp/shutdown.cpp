@@ -1,0 +1,48 @@
+#include "exp/shutdown.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace dpma::exp {
+namespace {
+
+// Lock-free or the handler is not async-signal-safe; every platform this
+// repo targets satisfies this, and the static_assert documents the
+// requirement instead of hoping.
+std::atomic<int> g_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free atomic");
+
+void handle_shutdown_signal(int signal) {
+    g_signal.store(signal, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+    static const bool installed = [] {
+        struct sigaction action {};
+        action.sa_handler = handle_shutdown_signal;
+        sigemptyset(&action.sa_mask);
+        // No SA_RESTART: a sweep blocked in a slow read should see EINTR
+        // and come around to polling shutdown_requested().
+        action.sa_flags = 0;
+        (void)sigaction(SIGINT, &action, nullptr);
+        (void)sigaction(SIGTERM, &action, nullptr);
+        return true;
+    }();
+    (void)installed;
+}
+
+bool shutdown_requested() noexcept {
+    return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() noexcept {
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+void reset_shutdown() noexcept { g_signal.store(0, std::memory_order_relaxed); }
+
+}  // namespace dpma::exp

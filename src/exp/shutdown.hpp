@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file shutdown.hpp
+/// Cooperative graceful shutdown for long-running sweeps.
+///
+/// A multi-hour lifetime sweep killed by Ctrl-C or a batch scheduler's
+/// SIGTERM used to die point-blank: default signal disposition, process
+/// gone, every finished-but-unwritten point lost.  This module turns those
+/// signals into a *request*: install_shutdown_handler() registers a
+/// sigaction for SIGINT and SIGTERM whose handler only stores the signal
+/// number into a lock-free atomic — the full extent of what an
+/// async-signal-safe handler may do — and the sweep runner
+/// (exp/runner.hpp) polls shutdown_requested() before starting each point.
+/// On request it stops dispatching new points, lets in-flight ones drain,
+/// flushes the checkpoint, emits a sweep_interrupted event and returns with
+/// RunOutcome::interrupted set so the CLI can exit with its distinct code.
+
+namespace dpma::exp {
+
+/// Installs the SIGINT/SIGTERM handler (idempotent; later calls are no-ops).
+/// Call once near the top of a CLI command that runs sweeps.  Tools that
+/// want default kill behaviour simply never call this.
+void install_shutdown_handler();
+
+/// True once SIGINT or SIGTERM has been received since the last
+/// reset_shutdown().  Safe to call from any thread; a plain load.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// The signal number that triggered the request (SIGINT or SIGTERM), or 0
+/// when no request is pending.
+[[nodiscard]] int shutdown_signal() noexcept;
+
+/// Clears a pending request.  For tests, which raise(3) signals and must
+/// not leak the request into the next test case.
+void reset_shutdown() noexcept;
+
+}  // namespace dpma::exp

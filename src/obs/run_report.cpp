@@ -3,9 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
 #include "core/error.hpp"
+#include "obs/atomic_write.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"
@@ -103,12 +103,15 @@ std::string RunReport::json() const {
 void RunReport::write(const std::string& path) const {
     const std::string text = json();
     if (path == "-") {
-        std::fputs(text.c_str(), stdout);
+        if (std::fputs(text.c_str(), stdout) == EOF || std::fflush(stdout) != 0) {
+            throw Error("cannot write run report to stdout");
+        }
         return;
     }
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw Error("cannot write run report to " + path);
-    out << text;
+    // Atomic replace (temp + fsync + rename): a crash mid-write can never
+    // leave a truncated BENCH_*.json, and a short write throws instead of
+    // exiting 0.
+    atomic_write(path, text);
 }
 
 std::string report_path(const std::string& tool) {

@@ -1,0 +1,378 @@
+/// \file exp_resume_test.cpp
+/// Fault-tolerant sweep execution: atomic artifact writes, per-index
+/// failure isolation in the pool, failed-point records with retries,
+/// checkpoint/resume byte-identity and torn-line tolerance, and the
+/// interrupted/failed event stream.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/experiment.hpp"
+#include "exp/pool.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "obs/atomic_write.hpp"
+#include "obs/metrics.hpp"
+
+namespace dpma::exp {
+namespace {
+
+std::string read_text(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Unique scratch path per test; removed on construction so reruns start
+/// clean and on destruction so the suite leaves no debris.
+struct ScratchFile {
+    explicit ScratchFile(const std::string& name)
+        : path(::testing::TempDir() + "dpma_" + name) {
+        std::remove(path.c_str());
+    }
+    ~ScratchFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+/// Deterministic synthetic sweep: values derived from the coordinate and
+/// the per-point seed only, with half-widths and diagnostics so resume has
+/// to replay every PointResult field byte-exactly.
+Experiment make_experiment(std::size_t points = 8) {
+    Experiment experiment;
+    experiment.name = "resume demo";
+    experiment.grid.axis(
+        Axis::linspace("x", 1.0, static_cast<double>(points), points));
+    experiment.measures = {"y", "z"};
+    experiment.eval = [](const Point& point, const PointContext& context) {
+        PointResult result;
+        const double x = point.at("x");
+        result.values = {2.0 * x, static_cast<double>(context.seed() % 1000)};
+        result.half_widths = {0.5, 0.25};
+        result.diagnostics = "{\"point\":" + std::to_string(point.index) + "}";
+        return result;
+    };
+    return experiment;
+}
+
+TEST(AtomicWrite, ReplacesAtomicallyAndFailsWithThePath) {
+    ScratchFile file("atomic_write_test.json");
+    obs::atomic_write(file.path, "one");
+    EXPECT_EQ(read_text(file.path), "one");
+    obs::atomic_write(file.path, "two");
+    EXPECT_EQ(read_text(file.path), "two");
+
+    const std::string bad = "/nonexistent-dpma-dir/out.json";
+    try {
+        obs::atomic_write(bad, "x");
+        FAIL() << "atomic_write into a missing directory must throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find(bad), std::string::npos) << e.what();
+    }
+}
+
+TEST(AtomicWrite, LeavesNoTemporaryDebris) {
+    ScratchFile file("atomic_debris_test.json");
+    obs::atomic_write(file.path, "payload");
+    // The temp name is <path>.tmp.<pid>; it must be gone after the rename.
+    const std::string tmp = file.path + ".tmp." + std::to_string(::getpid());
+    std::ifstream probe(tmp);
+    EXPECT_FALSE(static_cast<bool>(probe)) << tmp;
+}
+
+TEST(AtomicWrite, DurableAppenderAppendsAcrossReopens) {
+    ScratchFile file("appender_test.jsonl");
+    {
+        obs::DurableAppender appender(file.path);
+        appender.append_line("{\"a\":1}");
+        appender.append_line("{\"a\":2}");
+    }
+    {
+        // A second writer (a resumed run) appends, never truncates.
+        obs::DurableAppender appender(file.path);
+        appender.append_line("{\"a\":3}");
+    }
+    EXPECT_EQ(read_text(file.path), "{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n");
+}
+
+TEST(ThreadPool, RunCollectIsolatesFailuresPerIndex) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(16);
+    const std::vector<std::exception_ptr> errors =
+        pool.run_collect(hits.size(), [&](std::size_t i) {
+            ++hits[i];
+            if (i == 3 || i == 11) throw Error("boom " + std::to_string(i));
+        });
+    ASSERT_EQ(errors.size(), hits.size());
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        // Unlike run(), a failure cancels nothing: every index executed.
+        EXPECT_EQ(hits[i].load(), 1) << i;
+        EXPECT_EQ(static_cast<bool>(errors[i]), i == 3 || i == 11) << i;
+    }
+    try {
+        std::rethrow_exception(errors[11]);
+        FAIL();
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "boom 11");
+    }
+}
+
+TEST(Runner, FailedPointBecomesARecordNotALostSweep) {
+    Experiment experiment = make_experiment();
+    const auto inner = experiment.eval;
+    experiment.eval = [inner](const Point& point, const PointContext& context) {
+        if (point.index == 2) throw NumericalError("solver diverged");
+        return inner(point, context);
+    };
+    RunOptions options;
+    options.jobs = 4;
+    options.timing = false;
+    const std::uint64_t failed_before = obs::counter("exp.point.failed").value();
+    const RunOutcome outcome = run_sweep(experiment, options);
+    EXPECT_EQ(obs::counter("exp.point.failed").value(), failed_before + 1);
+
+    EXPECT_EQ(outcome.total, 8u);
+    EXPECT_EQ(outcome.completed, 7u);
+    EXPECT_EQ(outcome.failed, 1u);
+    EXPECT_FALSE(outcome.interrupted);
+    EXPECT_FALSE(outcome.complete());
+    ASSERT_EQ(outcome.results.size(), 8u);  // siblings are not discarded
+
+    const PointRecord& failed = outcome.results.at(2);
+    EXPECT_TRUE(failed.result.failed());
+    EXPECT_EQ(failed.result.attempts, 1);
+    EXPECT_NE(failed.result.error.find("NumericalError"), std::string::npos)
+        << failed.result.error;
+    EXPECT_NE(failed.result.error.find("solver diverged"), std::string::npos);
+    for (const double v : failed.result.values) EXPECT_TRUE(std::isnan(v));
+
+    const std::string json = outcome.results.json();
+    EXPECT_NE(json.find("\"error\": "), std::string::npos);
+    EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
+
+    // The compatibility wrapper still surfaces the original exception type.
+    EXPECT_THROW((void)run(experiment, options), NumericalError);
+}
+
+TEST(Runner, RetryBudgetRecoversFlakyPoints) {
+    std::atomic<int> first_attempts{0};
+    Experiment experiment = make_experiment();
+    const auto inner = experiment.eval;
+    experiment.eval = [inner, &first_attempts](const Point& point,
+                                               const PointContext& context) {
+        if (point.index == 1 && first_attempts.fetch_add(1) == 0) {
+            throw Error("flaky dependency");
+        }
+        return inner(point, context);
+    };
+    RunOptions options;
+    options.jobs = 2;
+    options.timing = false;
+    options.retries = 2;
+    const std::uint64_t retried_before = obs::counter("exp.point.retried").value();
+    const RunOutcome outcome = run_sweep(experiment, options);
+    EXPECT_EQ(obs::counter("exp.point.retried").value(), retried_before + 1);
+    EXPECT_EQ(outcome.failed, 0u);
+    EXPECT_TRUE(outcome.complete());
+    EXPECT_EQ(outcome.results.at(1).result.attempts, 2);
+    EXPECT_FALSE(outcome.results.at(1).result.failed());
+}
+
+void expect_resume_byte_identical(std::size_t jobs) {
+    ScratchFile checkpoint("resume_ck_" + std::to_string(jobs) + ".jsonl");
+    RunOptions base;
+    base.jobs = jobs;
+    base.timing = false;
+    const ResultSet reference = run(make_experiment(), base);
+
+    // Interrupted run: the stop flag goes up after the third evaluation, so
+    // some points land in the checkpoint and some never start.
+    std::atomic<bool> stop{false};
+    std::atomic<int> evaluated{0};
+    Experiment interruptible = make_experiment();
+    const auto inner = interruptible.eval;
+    interruptible.eval = [inner, &stop, &evaluated](const Point& point,
+                                                    const PointContext& context) {
+        PointResult result = inner(point, context);
+        if (evaluated.fetch_add(1) + 1 >= 3) stop.store(true);
+        return result;
+    };
+    RunOptions first = base;
+    first.checkpoint_path = checkpoint.path;
+    first.stop = &stop;
+    const RunOutcome partial = run_sweep(interruptible, first);
+    if (jobs == 1) {
+        // Serial scheduling is deterministic: exactly 3 points ran, 5 were
+        // skipped.  (At higher jobs counts in-flight points may finish.)
+        EXPECT_TRUE(partial.interrupted);
+        EXPECT_EQ(partial.results.size(), 3u);
+        EXPECT_EQ(partial.skipped, 5u);
+    }
+    EXPECT_EQ(partial.failed, 0u);
+
+    // Resumed run restores the checkpointed points and computes the rest;
+    // the merged artifacts must be byte-identical to the uninterrupted run.
+    RunOptions second = base;
+    second.checkpoint_path = checkpoint.path;
+    second.resume = true;
+    const RunOutcome resumed = run_sweep(make_experiment(), second);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_GE(resumed.restored, 3u);
+    EXPECT_EQ(resumed.restored + resumed.completed, resumed.total);
+    EXPECT_EQ(resumed.results.json(), reference.json());
+    EXPECT_EQ(resumed.results.csv(), reference.csv());
+}
+
+TEST(Checkpoint, ResumeIsByteIdenticalSerial) { expect_resume_byte_identical(1); }
+
+TEST(Checkpoint, ResumeIsByteIdenticalParallel) { expect_resume_byte_identical(4); }
+
+TEST(Checkpoint, FailedPointsRerunOnResume) {
+    ScratchFile checkpoint("resume_failed_ck.jsonl");
+    std::atomic<bool> faulty{true};
+    Experiment experiment = make_experiment();
+    const auto inner = experiment.eval;
+    experiment.eval = [inner, &faulty](const Point& point,
+                                       const PointContext& context) {
+        if (point.index == 2 && faulty.load()) throw Error("flaky dependency");
+        return inner(point, context);
+    };
+    RunOptions options;
+    options.jobs = 2;
+    options.timing = false;
+    options.checkpoint_path = checkpoint.path;
+    const RunOutcome first = run_sweep(experiment, options);
+    EXPECT_EQ(first.failed, 1u);
+
+    // The cause is fixed; resume recomputes exactly the failed point.
+    faulty.store(false);
+    options.resume = true;
+    const RunOutcome second = run_sweep(experiment, options);
+    EXPECT_EQ(second.failed, 0u);
+    EXPECT_EQ(second.restored, 7u);
+    EXPECT_EQ(second.completed, 1u);
+    RunOptions plain;
+    plain.jobs = 2;
+    plain.timing = false;
+    const ResultSet reference = run(make_experiment(), plain);
+    EXPECT_EQ(second.results.json(), reference.json());
+}
+
+TEST(Checkpoint, RejectsMismatchedSweeps) {
+    ScratchFile checkpoint("mismatch_ck.jsonl");
+    RunOptions options;
+    options.jobs = 1;
+    options.timing = false;
+    options.checkpoint_path = checkpoint.path;
+    (void)run_sweep(make_experiment(), options);
+
+    // Same file, different base seed: the records' seeds no longer match
+    // the determinism contract, so restoring them would be silent poison.
+    EXPECT_THROW((void)load_checkpoint(checkpoint.path, make_experiment(), 2), Error);
+    Experiment renamed = make_experiment();
+    renamed.name = "other sweep";
+    EXPECT_THROW((void)load_checkpoint(checkpoint.path, renamed, 1), Error);
+    Experiment smaller = make_experiment(4);
+    smaller.name = "resume demo";
+    EXPECT_THROW((void)load_checkpoint(checkpoint.path, smaller, 1), Error);
+
+    // A missing file is not an error: the first run of an always-resume
+    // script starts fresh.
+    const CheckpointState fresh =
+        load_checkpoint(checkpoint.path + ".does-not-exist", make_experiment(), 1);
+    EXPECT_TRUE(fresh.finished.empty());
+}
+
+TEST(Checkpoint, ToleratesTornFinalLineButNotMidFileCorruption) {
+    ScratchFile checkpoint("torn_ck.jsonl");
+    RunOptions options;
+    options.jobs = 1;
+    options.timing = false;
+    options.checkpoint_path = checkpoint.path;
+    (void)run_sweep(make_experiment(), options);
+
+    // A writer killed inside write(2) leaves a torn *final* line; the
+    // loader must shrug it off and keep every complete record.
+    {
+        std::ofstream append(checkpoint.path, std::ios::binary | std::ios::app);
+        append << "{\"type\":\"point\",\"ind";
+    }
+    const CheckpointState state =
+        load_checkpoint(checkpoint.path, make_experiment(), 1);
+    EXPECT_EQ(state.finished.size(), 8u);
+
+    // The same garbage mid-file is corruption, not a torn tail.
+    std::string text = read_text(checkpoint.path);
+    text += "\n";  // terminate the torn line: now a complete, malformed line
+    text += "{\"type\":\"sweep_checkpoint\"";
+    std::ofstream rewrite(checkpoint.path, std::ios::binary | std::ios::trunc);
+    rewrite << text;
+    rewrite.close();
+    EXPECT_THROW((void)load_checkpoint(checkpoint.path, make_experiment(), 1), Error);
+}
+
+TEST(Events, FailedPointsAndInterruptionsAreAnnounced) {
+    Experiment experiment = make_experiment();
+    const auto inner = experiment.eval;
+    experiment.eval = [inner](const Point& point, const PointContext& context) {
+        if (point.index == 1) throw Error("boom");
+        return inner(point, context);
+    };
+    const auto capture = [&](std::size_t jobs) {
+        std::vector<std::string> lines;
+        RunOptions options;
+        options.jobs = jobs;
+        options.timing = false;
+        options.events.timing = false;
+        options.events.sink = [&](const std::string& line) {
+            lines.push_back(line);
+        };
+        (void)run_sweep(experiment, options);
+        return lines;
+    };
+    const std::vector<std::string> serial = capture(1);
+    bool saw_failed = false;
+    for (const std::string& line : serial) {
+        if (line.find("\"type\":\"point_failed\"") == std::string::npos) continue;
+        saw_failed = true;
+        EXPECT_NE(line.find("\"index\":1"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"error\":"), std::string::npos) << line;
+        EXPECT_NE(line.find("\"attempts\":1"), std::string::npos) << line;
+    }
+    EXPECT_TRUE(saw_failed);
+    EXPECT_NE(serial.back().find("\"type\":\"sweep_finished\""), std::string::npos);
+    EXPECT_NE(serial.back().find("\"failed\":1"), std::string::npos);
+    // Failure events obey the same determinism contract as the rest of the
+    // stream: bit-identical for any jobs count.
+    EXPECT_EQ(serial, capture(8));
+
+    // A sweep stopped before its first point closes with sweep_interrupted.
+    std::atomic<bool> stop{true};
+    std::vector<std::string> lines;
+    RunOptions options;
+    options.jobs = 2;
+    options.timing = false;
+    options.events.timing = false;
+    options.events.sink = [&](const std::string& line) { lines.push_back(line); };
+    options.stop = &stop;
+    const RunOutcome outcome = run_sweep(make_experiment(), options);
+    EXPECT_TRUE(outcome.interrupted);
+    EXPECT_EQ(outcome.results.size(), 0u);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines.back().find("\"type\":\"sweep_interrupted\""), std::string::npos);
+    EXPECT_NE(lines.back().find("\"completed\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpma::exp

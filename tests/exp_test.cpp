@@ -249,11 +249,16 @@ ResultSet demo_results() {
     Point p0;
     p0.index = 0;
     p0.coords = {{"x", 1.5}, {"dpm", 1.0}};
-    set.add(p0, PointResult{{0.25, 3.0}, {0.01, 0.2}, {}});
+    PointResult r0;
+    r0.values = {0.25, 3.0};
+    r0.half_widths = {0.01, 0.2};
+    set.add(p0, r0);
     Point p1;
     p1.index = 1;
     p1.coords = {{"x", 2.5}, {"dpm", 0.0}};
-    set.add(p1, PointResult{{0.5, 2.0}, {}, {}});
+    PointResult r1;
+    r1.values = {0.5, 2.0};
+    set.add(p1, r1);
     return set;
 }
 
@@ -283,8 +288,13 @@ TEST(Report, RejectsMisalignedResults) {
     ResultSet set("demo", {"x"}, {"a", "b"});
     Point p;
     p.coords = {{"x", 1.0}};
-    EXPECT_THROW(set.add(p, PointResult{{1.0}, {}, {}}), Error);
-    EXPECT_THROW(set.add(p, PointResult{{1.0, 2.0}, {0.1}, {}}), Error);
+    PointResult one_value;
+    one_value.values = {1.0};
+    EXPECT_THROW(set.add(p, one_value), Error);
+    PointResult misaligned_hw;
+    misaligned_hw.values = {1.0, 2.0};
+    misaligned_hw.half_widths = {0.1};
+    EXPECT_THROW(set.add(p, misaligned_hw), Error);
 }
 
 TEST(Harness, TableFromResultSetPrints) {

@@ -14,12 +14,14 @@
 ///                     [--reps N] [--seed S] [--confidence C]
 ///   dpma_cli sweep    model.aem measures.msr --param I.action=lo:hi:steps
 ///                     [--jobs N] [--json PATH|-] [--csv PATH|-] [--precheck]
+///                     [--checkpoint PATH [--resume]] [--retries N]
 ///   dpma_cli lifetime rpc|streaming [--battery ideal|peukert|kibam]
 ///                     [--capacity lo:hi:steps] [--control C] [--reps N]
 ///                     [--seed S] [--confidence C] [--jobs N]
 ///                     [--horizon-factor F] [--peukert-exponent A]
 ///                     [--peukert-ref P] [--kibam-c C] [--kibam-rate K]
 ///                     [--format text|json] [--json PATH|-] [--csv PATH|-]
+///                     [--checkpoint PATH [--resume]] [--retries N]
 ///   dpma_cli report   old.json new.json [--threshold R] [--confidence C]
 ///                     [--resamples N] [--seed S]
 ///
@@ -69,9 +71,23 @@
 /// Exit status: 0 = check passed / command succeeded, 1 = check or lint
 /// failed, 2 = usage error, 3 = Æmilia parse error, 4 = analysis error
 /// (lint errors under a non-lint command, numerical failure, bad measure,
-/// unwritable output, ...).  Trace and metrics files are written even when
-/// the command fails — a trace of a failing run is precisely the one worth
-/// looking at.
+/// unwritable output, ...), 5 = sweep interrupted gracefully (SIGINT/
+/// SIGTERM: in-flight points drained, checkpoint and partial artifacts
+/// written), 6 = sweep completed but some points failed after their retry
+/// budget (artifacts written; failed points carry "error" records).  Trace
+/// and metrics files are written even when the command fails — a trace of
+/// a failing run is precisely the one worth looking at.
+///
+/// Fault tolerance on sweep/lifetime: --checkpoint PATH appends one durable
+/// JSONL record per finished point (exp/checkpoint.hpp; survives kill -9
+/// modulo a torn final line), --resume restores the points the checkpoint
+/// already holds — resumed runs are bit-identical to uninterrupted ones
+/// (set DPMA_RESULT_TIMING=0 to byte-compare artifacts) — and --retries N
+/// re-runs a throwing point up to N extra times before recording it as
+/// failed instead of aborting the sweep.  Every file artifact (--json,
+/// --csv, --trace, --metrics, --report) is written atomically: temp file +
+/// fsync + rename, so no crash or full disk leaves a truncated artifact
+/// behind.
 ///
 /// `lifetime` runs a battery lifetime study (src/battery) on a built-in
 /// case-study system: capacity x {NO-DPM, DPM} sweep, each point replaying
@@ -123,9 +139,11 @@
 #include "exp/regress.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "exp/shutdown.hpp"
 #include "lts/dot.hpp"
 #include "lts/ops.hpp"
 #include "noninterference/noninterference.hpp"
+#include "obs/atomic_write.hpp"
 #include "obs/json.hpp"
 #include "obs/json_parse.hpp"
 #include "obs/log.hpp"
@@ -158,13 +176,15 @@ dpma::obs::RunReport* g_run_report = nullptr;
                  "[--warmup W] [--reps N] [--seed S] [--confidence C]\n"
                  "  dpma_cli sweep    <model.aem> <measures.msr> "
                  "--param <instance.action>=<lo>:<hi>:<steps> [--jobs N] "
-                 "[--json PATH|-] [--csv PATH|-] [--precheck]\n"
+                 "[--json PATH|-] [--csv PATH|-] [--precheck] "
+                 "[--checkpoint PATH [--resume]] [--retries N]\n"
                  "  dpma_cli lifetime <rpc|streaming> "
                  "[--battery ideal|peukert|kibam] [--capacity lo:hi:steps] "
                  "[--control C] [--reps N] [--seed S] [--confidence C] "
                  "[--jobs N] [--horizon-factor F] [--peukert-exponent A] "
                  "[--peukert-ref P] [--kibam-c C] [--kibam-rate K] "
-                 "[--format text|json] [--json PATH|-] [--csv PATH|-]\n"
+                 "[--format text|json] [--json PATH|-] [--csv PATH|-] "
+                 "[--checkpoint PATH [--resume]] [--retries N]\n"
                  "  dpma_cli report   <old.json> <new.json> [--threshold R] "
                  "[--confidence C] [--resamples N] [--seed S]\n"
                  "global options (any command): [--trace FILE] [--metrics FILE] "
@@ -584,15 +604,76 @@ int cmd_simulate(const std::string& model_path, const std::string& measures_path
     return 0;
 }
 
-/// Writes \p text to \p path, or to stdout when \p path is "-".
+/// Writes \p text to \p path, or to stdout when \p path is "-".  File
+/// writes are atomic (obs::atomic_write: temp + fsync + rename) and both
+/// paths check the stream state — a full disk exits nonzero with the path
+/// in the message instead of leaving a truncated artifact behind.
 void write_output(const std::string& path, const std::string& text) {
     if (path == "-") {
-        std::fputs(text.c_str(), stdout);
+        if (std::fputs(text.c_str(), stdout) == EOF || std::fflush(stdout) != 0) {
+            throw Error("cannot write to stdout");
+        }
         return;
     }
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw Error("cannot write " + path);
-    out << text;
+    obs::atomic_write(path, text);
+}
+
+/// Maps a sweep outcome to the CLI exit code — 0 complete, 5 interrupted,
+/// 6 finished with failed points — and prints the failure/interrupt summary
+/// to stderr (per-point errors, and how to resume when a checkpoint exists).
+int sweep_status(const exp::RunOutcome& outcome, const std::string& checkpoint_path) {
+    for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+        const exp::PointRecord& record = outcome.results.at(i);
+        if (!record.result.failed()) continue;
+        std::fprintf(stderr, "dpma_cli: point %zu failed after %d attempt(s): %s\n",
+                     record.point.index, record.result.attempts,
+                     record.result.error.c_str());
+    }
+    if (outcome.restored > 0) {
+        std::fprintf(stderr, "dpma_cli: restored %zu point(s) from checkpoint\n",
+                     outcome.restored);
+    }
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "dpma_cli: sweep interrupted: %zu/%zu point(s) done, "
+                     "%zu skipped%s%s\n",
+                     outcome.completed + outcome.restored + outcome.failed,
+                     outcome.total, outcome.skipped,
+                     checkpoint_path.empty() ? "" : "; resume with --resume --checkpoint ",
+                     checkpoint_path.c_str());
+        return 5;
+    }
+    if (outcome.failed > 0) {
+        std::fprintf(stderr, "dpma_cli: sweep finished with %zu failed point(s)\n",
+                     outcome.failed);
+        return 6;
+    }
+    return 0;
+}
+
+/// Shared parse of the fault-tolerance flags on sweep/lifetime.
+struct FaultToleranceArgs {
+    std::string checkpoint_path;
+    bool resume = false;
+    int retries = 0;
+};
+
+FaultToleranceArgs parse_fault_tolerance(std::vector<std::string>& args) {
+    FaultToleranceArgs out;
+    out.checkpoint_path = option(args, "--checkpoint", "");
+    out.resume = flag(args, "--resume");
+    const std::string retries_text = option(args, "--retries", "0");
+    char* end = nullptr;
+    const long retries = std::strtol(retries_text.c_str(), &end, 10);
+    if (end == retries_text.c_str() || *end != '\0' || retries < 0) {
+        throw Error("--retries wants a non-negative integer, got '" + retries_text +
+                    "'");
+    }
+    out.retries = static_cast<int>(retries);
+    if (out.resume && out.checkpoint_path.empty()) {
+        throw Error("--resume requires --checkpoint PATH");
+    }
+    return out;
 }
 
 int cmd_sweep(const std::string& model_path, const std::string& measures_path,
@@ -601,8 +682,18 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
     const std::string jobs_text = option(args, "--jobs", "0");
     const std::string json_path = option(args, "--json", "");
     const std::string csv_path = option(args, "--csv", "");
+    FaultToleranceArgs fault_tolerance;
+    try {
+        fault_tolerance = parse_fault_tolerance(args);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "dpma_cli: sweep: %s\n", e.what());
+        return 2;
+    }
     const bool precheck = flag(args, "--precheck");
     if (param.empty() || !args.empty()) usage();
+    // From here on Ctrl-C / SIGTERM means "stop dispatching, drain, write
+    // the checkpoint and partial artifacts, exit 5" — not instant death.
+    exp::install_shutdown_handler();
 
     // --param instance.action=lo:hi:steps
     const std::size_t eq = param.find('=');
@@ -663,7 +754,11 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
 
     exp::RunOptions run_options;
     run_options.jobs = jobs;
-    const exp::ResultSet results = exp::run(experiment, run_options);
+    run_options.retries = fault_tolerance.retries;
+    run_options.checkpoint_path = fault_tolerance.checkpoint_path;
+    run_options.resume = fault_tolerance.resume;
+    const exp::RunOutcome outcome = exp::run_sweep(experiment, run_options);
+    const exp::ResultSet& results = outcome.results;
 
     std::printf("sweep of exponential rate %s over [%g, %g], %ld points, jobs=%zu\n",
                 target.c_str(), lo, hi, steps,
@@ -685,7 +780,7 @@ int cmd_sweep(const std::string& model_path, const std::string& measures_path,
     if (g_run_report != nullptr) g_run_report->add_series(results.json());
     if (!json_path.empty()) write_output(json_path, results.json());
     if (!csv_path.empty()) write_output(csv_path, results.csv());
-    return 0;
+    return sweep_status(outcome, fault_tolerance.checkpoint_path);
 }
 
 /// Strict full-string double parse; rejects trailing garbage.
@@ -719,6 +814,12 @@ int cmd_lifetime(const std::string& system, std::vector<std::string> args) {
     const std::string format = option(args, "--format", "text");
     const std::string json_path = option(args, "--json", "");
     const std::string csv_path = option(args, "--csv", "");
+    FaultToleranceArgs fault_tolerance;
+    try {
+        fault_tolerance = parse_fault_tolerance(args);
+    } catch (const Error& e) {
+        return lifetime_usage_error(e.what());
+    }
     if (!args.empty()) usage();
     if (format != "text" && format != "json") {
         return lifetime_usage_error("--format wants text or json, got '" + format + "'");
@@ -796,13 +897,18 @@ int cmd_lifetime(const std::string& system, std::vector<std::string> args) {
                                     jobs_text + "'");
     }
     options.jobs = static_cast<std::size_t>(jobs);
+    options.retries = fault_tolerance.retries;
+    options.checkpoint_path = fault_tolerance.checkpoint_path;
+    options.resume = fault_tolerance.resume;
     try {
         options.validate();
     } catch (const Error& e) {
         return lifetime_usage_error(e.what());
     }
 
-    const exp::ResultSet results = battery::run_lifetime_study(options);
+    exp::install_shutdown_handler();
+    const exp::RunOutcome outcome = battery::run_lifetime_sweep(options);
+    const exp::ResultSet& results = outcome.results;
     if (format == "json") {
         std::fputs(results.json().c_str(), stdout);
     } else {
@@ -824,7 +930,7 @@ int cmd_lifetime(const std::string& system, std::vector<std::string> args) {
     if (g_run_report != nullptr) g_run_report->add_series(results.json());
     if (!json_path.empty()) write_output(json_path, results.json());
     if (!csv_path.empty()) write_output(csv_path, results.csv());
-    return 0;
+    return sweep_status(outcome, fault_tolerance.checkpoint_path);
 }
 
 /// `report` — the perf-regression gate over two run records.
